@@ -1,0 +1,267 @@
+// Package channelmod is the public API of the reproduction of
+// "Thermal Balancing of Liquid-Cooled 3D-MPSoCs Using Channel Modulation"
+// (Sabry, Sridhar, Atienza — DATE 2012).
+//
+// The library models inter-tier microchannel liquid cooling of two-tier 3D
+// ICs with an analytical state-space thermal model along the coolant flow,
+// and selects channel-width profiles wC(z) (the paper's design-time
+// "channel modulation") that minimize the on-die thermal gradient subject
+// to fabrication bounds and pressure-drop constraints.
+//
+// # Quick start
+//
+//	spec, _ := channelmod.TestA()                  // single channel, 50 W/cm²
+//	cmp, _ := channelmod.Compare(spec)             // min / max / optimal widths
+//	fmt.Println(cmp.Report())
+//
+// The three fundamental operations are:
+//
+//   - Baseline — evaluate a uniform-width design,
+//   - Optimize — solve the optimal channel modulation problem,
+//   - Compare  — run the paper's standard three-way evaluation.
+//
+// Scenario constructors (TestA, TestB, Architecture) rebuild the paper's
+// experiments; custom stacks are assembled from Params, Flux and
+// ChannelLoad directly. ThermalMap runs the finite-volume grid simulator
+// (the 3D-ICE stand-in) to produce full 2D temperature maps.
+package channelmod
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ascii"
+	"repro/internal/compact"
+	"repro/internal/control"
+	"repro/internal/convection"
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/fluids"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/microchannel"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Aliases re-export the library's building blocks so downstream users can
+// name them without reaching into internal packages.
+type (
+	// Params holds stack geometry and materials (Table I).
+	Params = compact.Params
+	// Fluid carries coolant properties.
+	Fluid = fluids.Fluid
+	// Flux is a piecewise-constant per-unit-length heat input.
+	Flux = compact.Flux
+	// Profile is a piecewise-constant channel-width profile.
+	Profile = microchannel.Profile
+	// Bounds are fabrication width bounds (Eq. 8).
+	Bounds = microchannel.Bounds
+	// Spec is an optimization problem description.
+	Spec = control.Spec
+	// ChannelLoad is one channel column's heat input.
+	ChannelLoad = control.ChannelLoad
+	// Result is an evaluated or optimized design.
+	Result = control.Result
+	// Comparison is the three-way min/max/optimal evaluation.
+	Comparison = core.Comparison
+	// Die is a floorplanned silicon die.
+	Die = floorplan.Die
+	// Stack is a two-die 3D-MPSoC.
+	Stack = floorplan.Stack
+	// Mode selects peak or average power.
+	Mode = floorplan.Mode
+	// TestBConfig parameterizes the random Test-B workload.
+	TestBConfig = power.TestBConfig
+	// GridStack is a finite-volume thermal simulation setup.
+	GridStack = grid.Stack
+	// GridConfig describes a finite-volume simulation domain.
+	GridConfig = grid.Config
+	// GridField is a resolved 2D temperature field.
+	GridField = grid.Field
+	// TransientConfig parameterizes a backward-Euler transient run.
+	TransientConfig = grid.TransientConfig
+	// TransientResult carries transient simulation snapshots.
+	TransientResult = grid.TransientResult
+	// TimeFieldFunc samples a quantity at (x, y, t).
+	TimeFieldFunc = grid.TimeFieldFunc
+	// Summary holds distribution statistics of a temperature set.
+	Summary = metrics.Summary
+)
+
+// Solver selects the inner NLP solver of the optimizer.
+type Solver = control.Solver
+
+// Re-exported mode and solver constants.
+const (
+	// Peak selects worst-case power maps.
+	Peak = floorplan.Peak
+	// Average selects time-averaged power maps.
+	Average = floorplan.Average
+	// SolverLBFGSB is the default projected quasi-Newton solver.
+	SolverLBFGSB = control.SolverLBFGSB
+	// SolverProjGrad is the projected-gradient baseline.
+	SolverProjGrad = control.SolverProjGrad
+	// SolverNelderMead is the derivative-free baseline.
+	SolverNelderMead = control.SolverNelderMead
+)
+
+// DefaultParams returns the Table I parameter set.
+func DefaultParams() Params { return compact.DefaultParams() }
+
+// DefaultBounds returns the Table I width bounds [10, 50] µm.
+func DefaultBounds() Bounds { return core.DefaultBounds() }
+
+// DefaultWater returns the paper's coolant (water at 300 K with
+// cv = 4.17e6 J/m³K).
+func DefaultWater() Fluid { return fluids.DefaultWater() }
+
+// NewProfile builds a width profile from per-segment widths over a channel
+// of the given length.
+func NewProfile(widths []float64, length float64) (*Profile, error) {
+	return microchannel.NewProfile(widths, length)
+}
+
+// NewUniformProfile builds a constant-width profile.
+func NewUniformProfile(width, length float64, segments int) (*Profile, error) {
+	return microchannel.NewUniform(width, length, segments)
+}
+
+// NewFlux builds a heat-input profile from per-segment linear densities
+// (W/m).
+func NewFlux(values []float64, length float64) (*Flux, error) {
+	return compact.NewFlux(values, length)
+}
+
+// UniformLoad builds a symmetric two-layer channel load from an areal flux
+// density in W/cm² applied to both layers over a column of the given
+// cluster width.
+func UniformLoad(wcm2, clusterWidth, length float64) (ChannelLoad, error) {
+	top, bottom, err := power.UniformFluxes(wcm2, clusterWidth, length)
+	if err != nil {
+		return ChannelLoad{}, err
+	}
+	return ChannelLoad{FluxTop: top, FluxBottom: bottom}, nil
+}
+
+// TestA builds the paper's Test A experiment (uniform 50 W/cm²).
+func TestA() (*Spec, error) { return core.TestASpec() }
+
+// TestB builds the paper's Test B experiment (random segment fluxes in
+// [50, 250] W/cm²) from the given configuration; use DefaultTestB for the
+// library's fixed seed.
+func TestB(cfg TestBConfig) (*Spec, error) { return core.TestBSpec(cfg) }
+
+// DefaultTestB returns the canonical Test-B configuration.
+func DefaultTestB() TestBConfig { return power.DefaultTestB() }
+
+// Architecture builds the Fig. 7 two-die MPSoC experiments (arch 1–3) for
+// the given power mode.
+func Architecture(arch int, mode Mode) (*Spec, error) {
+	return core.ArchSpec(arch, mode, control.DefaultSegments)
+}
+
+// Baseline evaluates a uniform-width design against a spec.
+func Baseline(spec *Spec, width float64) (*Result, error) {
+	return control.Baseline(spec, width)
+}
+
+// Evaluate solves a spec at explicit width profiles.
+func Evaluate(spec *Spec, profiles []*Profile) (*Result, error) {
+	return control.Evaluate(spec, profiles)
+}
+
+// Optimize solves the optimal channel-modulation problem of a spec.
+func Optimize(spec *Spec) (*Result, error) {
+	return control.Optimize(spec)
+}
+
+// Compare runs the paper's three-way evaluation: uniformly minimum width,
+// uniformly maximum width, and optimal modulation.
+func Compare(spec *Spec) (*Comparison, error) {
+	return core.Compare(spec)
+}
+
+// FlowAllocationResult is the outcome of the flow-clustering baseline.
+type FlowAllocationResult = control.FlowAllocationResult
+
+// OptimizeMinPumping solves the dual problem the paper mentions in
+// Sec. IV-B: minimize the pumping effort subject to an upper bound on the
+// thermal gradient (single-channel specs).
+func OptimizeMinPumping(spec *Spec, maxGradientK float64) (*Result, error) {
+	return control.OptimizeMinPumping(spec, maxGradientK)
+}
+
+// OptimizeFlowAllocation runs the related-work baseline (Qian et al.):
+// uniform channel widths with per-channel coolant flow allocation under a
+// fixed total flow. Compare against Optimize to quantify what width
+// modulation buys beyond flow clustering.
+func OptimizeFlowAllocation(spec *Spec, width, minScale, maxScale float64) (*FlowAllocationResult, error) {
+	return control.OptimizeFlowAllocation(spec, width, minScale, maxScale)
+}
+
+// Report renders a Comparison as a human-readable block with the same
+// quantities the paper reports: thermal gradients, reduction, peak
+// temperatures and pressure drops.
+func Report(c *Comparison) string {
+	var b strings.Builder
+	row := func(name string, r *Result) {
+		fmt.Fprintf(&b, "  %-18s ΔT = %6.2f K   peak = %s   ΔPmax = %8.3f bar\n",
+			name, r.GradientK, units.Temperature(r.PeakK), units.ToBar(r.MaxPressureDrop()))
+	}
+	row("min width", c.MinWidth)
+	row("max width", c.MaxWidth)
+	row("optimal modulation", c.Optimal)
+	fmt.Fprintf(&b, "  gradient reduction vs uniform: %.0f%%\n", c.GradientReduction()*100)
+	return b.String()
+}
+
+// ThermalMap solves a grid simulation and returns the resolved field.
+func ThermalMap(s *GridStack) (*GridField, error) { return s.Solve() }
+
+// Fig1Uniform builds the paper's Fig. 1(a) stack: 14 mm × 15 mm dies with
+// a uniform combined flux of 50 W/cm².
+func Fig1Uniform() (*GridStack, error) {
+	return core.Fig1UniformStack(core.Fig1Config{})
+}
+
+// Fig1Niagara builds the paper's Fig. 1(b) stack: the UltraSPARC T1 power
+// map on the same footprint.
+func Fig1Niagara() (*GridStack, error) {
+	return core.Fig1NiagaraStack(core.Fig1Config{})
+}
+
+// ArchThermalMap builds a grid simulation of a Fig. 7 architecture, either
+// with the width profiles of an optimization result or a uniform width
+// (pass profiles == nil) — the Fig. 9 rendering path.
+func ArchThermalMap(arch int, mode Mode, profiles []*Profile, uniformWidth float64) (*GridStack, error) {
+	return core.ArchGridStack(arch, mode, profiles, uniformWidth, 0, 0)
+}
+
+// RenderHeatmap renders a [y][x] temperature map as ASCII art with a fixed
+// scale (lo == hi selects the data range).
+func RenderHeatmap(gridMap [][]float64, title string, lo, hi float64) string {
+	return ascii.Heatmap(gridMap, ascii.HeatmapOptions{Title: title, Lo: lo, Hi: hi, ShowScale: true})
+}
+
+// RenderBars renders labelled values as a horizontal bar chart (the Fig. 8
+// stand-in).
+func RenderBars(labels []string, values []float64, unit string) string {
+	return ascii.Bars(labels, values, unit, 40)
+}
+
+// RenderProfiles renders temperature-vs-position series as an ASCII line
+// plot (the Fig. 5/6 stand-in). Series are keyed by their plot glyph.
+func RenderProfiles(x []float64, series map[byte][]float64, title string) string {
+	return ascii.LinePlot(x, series, 72, 18, title)
+}
+
+// Summarize computes distribution statistics over a temperature sample set.
+func Summarize(samples []float64) Summary { return metrics.Summarize(samples) }
+
+// PressureDrop evaluates the paper's Eq. 9 pressure-drop integral for a
+// width profile under the given parameters.
+func PressureDrop(p Params, profile *Profile) (float64, error) {
+	return convection.PressureDrop(p.Coolant, p.FlowRatePerChannel,
+		profile.Widths(), p.ChannelHeight, profile.Length(), convection.PaperDarcy)
+}

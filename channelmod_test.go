@@ -1,0 +1,223 @@
+package channelmod
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestTableIDefaults is the E3 experiment of DESIGN.md: the library's
+// defaults must encode Table I of the paper.
+func TestTableIDefaults(t *testing.T) {
+	p := DefaultParams()
+	if p.SiliconConductivity != 130 {
+		t.Errorf("kSi = %v, want 130 W/mK", p.SiliconConductivity)
+	}
+	if math.Abs(p.Pitch-100e-6) > 1e-15 {
+		t.Errorf("W = %v, want 100 µm", p.Pitch)
+	}
+	if math.Abs(p.SlabHeight-50e-6) > 1e-15 {
+		t.Errorf("HSi = %v, want 50 µm", p.SlabHeight)
+	}
+	if math.Abs(p.ChannelHeight-100e-6) > 1e-15 {
+		t.Errorf("HC = %v, want 100 µm", p.ChannelHeight)
+	}
+	if cv := p.Coolant.VolumetricHeatCapacity(); math.Abs(cv-4.17e6)/4.17e6 > 1e-12 {
+		t.Errorf("cv = %v, want 4.17e6 J/m³K", cv)
+	}
+	if got := units.ToMilliLitersPerMinute(p.ClusterFlowRate()); math.Abs(got-4.8) > 1e-9 {
+		t.Errorf("modeled-channel flow = %v ml/min, want 4.8", got)
+	}
+	if p.InletTemp != 300 {
+		t.Errorf("TCin = %v, want 300 K", p.InletTemp)
+	}
+	b := DefaultBounds()
+	if math.Abs(b.Min-10e-6) > 1e-15 || math.Abs(b.Max-50e-6) > 1e-15 {
+		t.Errorf("bounds = %+v, want [10, 50] µm", b)
+	}
+	w := DefaultWater()
+	if err := w.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicScenarioConstructors(t *testing.T) {
+	a, err := TestA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bSpec, err := TestB(DefaultTestB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bSpec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for arch := 1; arch <= 3; arch++ {
+		s, err := Architecture(arch, Peak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Architecture(0, Peak); err == nil {
+		t.Fatal("arch 0 must fail")
+	}
+}
+
+func TestPublicBuildingBlocks(t *testing.T) {
+	prof, err := NewUniformProfile(30e-6, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Segments() != 5 {
+		t.Fatal("profile segments")
+	}
+	if _, err := NewProfile(nil, 0.01); err == nil {
+		t.Fatal("empty profile must fail")
+	}
+	fl, err := NewFlux([]float64{100, 200}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.Total() <= 0 {
+		t.Fatal("flux total")
+	}
+	load, err := UniformLoad(50, 1e-3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.FluxTop.At(0) != load.FluxBottom.At(0) {
+		t.Fatal("uniform load symmetry")
+	}
+	if _, err := UniformLoad(50, 0, 0.01); err == nil {
+		t.Fatal("zero width must fail")
+	}
+}
+
+func TestBaselineAndPressure(t *testing.T) {
+	spec, err := TestA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Segments = 6
+	res, err := Baseline(spec, spec.Bounds.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GradientK < 20 || res.GradientK > 35 {
+		t.Fatalf("baseline gradient = %v", res.GradientK)
+	}
+	dp, err := PressureDrop(spec.Params, res.Profiles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dp-res.PressureDrops[0])/dp > 1e-12 {
+		t.Fatalf("PressureDrop helper disagrees: %v vs %v", dp, res.PressureDrops[0])
+	}
+}
+
+func TestCompareAndReport(t *testing.T) {
+	spec, err := TestA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Segments = 6
+	spec.OuterIterations = 2
+	cmp, err := Compare(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Optimal.GradientK >= cmp.UniformGradient() {
+		t.Fatal("optimization must improve the gradient")
+	}
+	rep := Report(cmp)
+	for _, want := range []string{"min width", "max width", "optimal modulation", "reduction"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestThermalMapsPublic(t *testing.T) {
+	s, err := Fig1Uniform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink for test speed.
+	s.Cfg.NX, s.Cfg.NY = 28, 10
+	f, err := ThermalMap(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Gradient() <= 0 {
+		t.Fatal("gradient must be positive")
+	}
+	hm := RenderHeatmap(f.Top, "fig1a", 0, 0)
+	if !strings.Contains(hm, "fig1a") {
+		t.Fatal("heatmap title missing")
+	}
+
+	n, err := Fig1Niagara()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Cfg.NX, n.Cfg.NY = 28, 10
+	if _, err := ThermalMap(n); err != nil {
+		t.Fatal(err)
+	}
+
+	am, err := ArchThermalMap(1, Peak, nil, 50e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am.Cfg.NX = 25
+	ff, err := ThermalMap(am)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.PeakTemperature() <= 300 {
+		t.Fatal("arch map must heat up")
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	bars := RenderBars([]string{"a", "b"}, []float64{1, 2}, "K")
+	if !strings.Contains(bars, "a") {
+		t.Fatal("bars")
+	}
+	lp := RenderProfiles([]float64{0, 1}, map[byte][]float64{'x': {1, 2}}, "t")
+	if !strings.Contains(lp, "t") {
+		t.Fatal("line plot")
+	}
+	s := Summarize([]float64{1, 3})
+	if s.Gradient != 2 {
+		t.Fatal("summary")
+	}
+}
+
+func TestEvaluatePublic(t *testing.T) {
+	spec, err := TestA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Segments = 4
+	prof, err := NewUniformProfile(30e-6, spec.Params.Length, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(spec, []*Profile{prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GradientK <= 0 {
+		t.Fatal("gradient")
+	}
+}

@@ -1,0 +1,140 @@
+// Command chanmod optimizes the channel modulation of a scenario from the
+// command line and prints the three-way comparison plus the resolved width
+// profiles.
+//
+// Usage:
+//
+//	chanmod -scenario testA|testB|arch1|arch2|arch3 [-mode peak|average]
+//	        [-segments 20] [-dpmax-bar 10] [-seed 2012] [-solver lbfgsb|projgrad|neldermead]
+//	chanmod -scenario-file design.json [-out-json result.json]
+//	chanmod -write-example design.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	channelmod "repro"
+	"repro/internal/control"
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+func main() {
+	scn := flag.String("scenario", "testA", "scenario: testA, testB, arch1, arch2, arch3")
+	scnFile := flag.String("scenario-file", "", "load the scenario from a JSON file instead")
+	outJSON := flag.String("out-json", "", "write the optimal design as JSON to this file")
+	writeExample := flag.String("write-example", "", "write an example scenario JSON to this file and exit")
+	modeStr := flag.String("mode", "peak", "power mode for arch scenarios: peak or average")
+	segments := flag.Int("segments", control.DefaultSegments, "width segments per channel")
+	dpMaxBar := flag.Float64("dpmax-bar", 10, "pressure budget in bar")
+	seed := flag.Int64("seed", 2012, "random seed for testB")
+	solverStr := flag.String("solver", "lbfgsb", "inner solver: lbfgsb, projgrad, neldermead")
+	flag.Parse()
+
+	if *writeExample != "" {
+		f, err := os.Create(*writeExample)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := scenario.Save(f, scenario.Example()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote example scenario to %s\n", *writeExample)
+		return
+	}
+
+	var spec *channelmod.Spec
+	var err error
+	name := *scn
+	if *scnFile != "" {
+		fh, ferr := os.Open(*scnFile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		var file *scenario.File
+		spec, file, err = scenario.Load(fh)
+		fh.Close()
+		if err == nil {
+			name = file.Name
+		}
+	} else {
+		spec, err = buildSpec(*scn, *modeStr, *seed)
+		if err == nil {
+			spec.Segments = *segments
+			spec.MaxPressure = units.Bar(*dpMaxBar)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	switch *solverStr {
+	case "lbfgsb":
+		spec.Solver = control.SolverLBFGSB
+	case "projgrad":
+		spec.Solver = control.SolverProjGrad
+	case "neldermead":
+		spec.Solver = control.SolverNelderMead
+	default:
+		fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solverStr)
+		os.Exit(2)
+	}
+
+	cmp, err := channelmod.Compare(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("scenario %s (%d channels, %d segments, solver %s)\n",
+		name, len(spec.Channels), spec.Segments, spec.Solver)
+	fmt.Print(channelmod.Report(cmp))
+	fmt.Println("optimal width profiles, inlet -> outlet (µm):")
+	for k, p := range cmp.Optimal.Profiles {
+		fmt.Printf("  ch%02d:", k)
+		for i := 0; i < p.Segments(); i++ {
+			fmt.Printf("%6.1f", p.Width(i)*1e6)
+		}
+		fmt.Println()
+	}
+
+	if *outJSON != "" {
+		f, err := os.Create(*outJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := scenario.WriteResult(f, scenario.NewResult(name, cmp.Optimal)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote optimal design to %s\n", *outJSON)
+	}
+}
+
+func buildSpec(scenario, modeStr string, seed int64) (*channelmod.Spec, error) {
+	mode := channelmod.Peak
+	if modeStr == "average" {
+		mode = channelmod.Average
+	} else if modeStr != "peak" {
+		return nil, fmt.Errorf("unknown mode %q", modeStr)
+	}
+	switch scenario {
+	case "testA":
+		return channelmod.TestA()
+	case "testB":
+		cfg := channelmod.DefaultTestB()
+		cfg.Seed = seed
+		return channelmod.TestB(cfg)
+	case "arch1", "arch2", "arch3":
+		return channelmod.Architecture(int(scenario[4]-'0'), mode)
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", scenario)
+	}
+}

@@ -1,0 +1,106 @@
+// Command sweep runs the parameter-sweep ablations of DESIGN.md: the
+// pressure-budget sweep (A2: achievable gradient vs allowed pumping
+// effort), the control-discretization sweep (A1: segments vs achieved
+// gradient) and a flow-rate sweep.
+//
+// Usage:
+//
+//	sweep -kind pressure|segments|flow [-points 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	channelmod "repro"
+	"repro/internal/units"
+)
+
+func main() {
+	kind := flag.String("kind", "pressure", "sweep kind: pressure, segments, flow")
+	points := flag.Int("points", 5, "number of sweep points")
+	flag.Parse()
+
+	var err error
+	switch *kind {
+	case "pressure":
+		err = sweepPressure(*points)
+	case "segments":
+		err = sweepSegments()
+	case "flow":
+		err = sweepFlow(*points)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func sweepPressure(points int) error {
+	fmt.Println("A2: gradient vs pressure budget (Test A)")
+	fmt.Println("  ΔPmax(bar)   ΔT(K)   ΔPused(bar)")
+	for i := 0; i < points; i++ {
+		bar := 1.0 * float64(int(1)<<uint(i)) // 1, 2, 4, 8, 16 ...
+		spec, err := channelmod.TestA()
+		if err != nil {
+			return err
+		}
+		spec.Segments = 10
+		// Tight budgets leave the optimum pressed hard against the ΔP
+		// boundary; give the multiplier loop more updates to settle.
+		spec.OuterIterations = 10
+		spec.MaxPressure = units.Bar(bar)
+		res, err := channelmod.Optimize(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %8.1f   %6.2f   %8.2f\n", bar, res.GradientK,
+			units.ToBar(res.MaxPressureDrop()))
+	}
+	return nil
+}
+
+func sweepSegments() error {
+	fmt.Println("A1: gradient vs control discretization (Test A)")
+	fmt.Println("  segments   ΔT(K)   evaluations")
+	for _, k := range []int{2, 5, 10, 20, 40} {
+		spec, err := channelmod.TestA()
+		if err != nil {
+			return err
+		}
+		spec.Segments = k
+		spec.OuterIterations = 4
+		res, err := channelmod.Optimize(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %8d   %6.2f   %11d\n", k, res.GradientK, res.Evaluations)
+	}
+	return nil
+}
+
+func sweepFlow(points int) error {
+	fmt.Println("flow-rate sweep: uniform max-width gradient vs per-channel flow (Test A)")
+	fmt.Println("  flow(ml/min)   ΔT(K)   coolant-outlet(°C)")
+	for i := 0; i < points; i++ {
+		ml := 0.24 * float64(i+1) // 0.24 .. 1.2 ml/min
+		spec, err := channelmod.TestA()
+		if err != nil {
+			return err
+		}
+		spec.Params.FlowRatePerChannel = units.MilliLitersPerMinute(ml)
+		spec.Segments = 1
+		res, err := channelmod.Baseline(spec, spec.Bounds.Max)
+		if err != nil {
+			return err
+		}
+		tc := res.Solution.Channels[0].TC
+		fmt.Printf("  %10.2f   %6.2f   %14.2f\n", ml, res.GradientK,
+			units.ToCelsius(tc[len(tc)-1]))
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Command thermalmap renders steady-state temperature maps of the paper's
+// stacks with the finite-volume grid simulator (the Fig. 1 / Fig. 9
+// rendering path).
+//
+// Usage:
+//
+//	thermalmap -stack fig1a|fig1b|arch1|arch2|arch3 [-mode peak|average]
+//	           [-width-um 50] [-nx 56] [-ny 22] [-layer top|bottom|coolant]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	channelmod "repro"
+	"repro/internal/units"
+)
+
+func main() {
+	stackStr := flag.String("stack", "fig1a", "stack: fig1a, fig1b, arch1, arch2, arch3")
+	modeStr := flag.String("mode", "peak", "power mode for arch stacks")
+	widthUm := flag.Float64("width-um", 50, "uniform channel width in µm")
+	nx := flag.Int("nx", 0, "grid resolution along the flow (0 = default)")
+	ny := flag.Int("ny", 0, "grid resolution across the flow (0 = default)")
+	layer := flag.String("layer", "top", "layer to render: top, bottom, coolant")
+	flag.Parse()
+
+	s, err := buildStack(*stackStr, *modeStr, units.Micrometers(*widthUm))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *nx > 0 {
+		s.Cfg.NX = *nx
+	}
+	if *ny > 0 {
+		s.Cfg.NY = *ny
+	}
+	f, err := channelmod.ThermalMap(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var m [][]float64
+	switch *layer {
+	case "top":
+		m = f.Top
+	case "bottom":
+		m = f.Bottom
+	case "coolant":
+		m = f.Coolant
+	default:
+		fmt.Fprintf(os.Stderr, "unknown layer %q\n", *layer)
+		os.Exit(2)
+	}
+	lo, hi := f.SiliconExtrema()
+	title := fmt.Sprintf("%s / %s layer — T in [%s, %s], gradient %.2f K (flow: bottom -> top)",
+		*stackStr, *layer, units.Temperature(lo), units.Temperature(hi), f.Gradient())
+	fmt.Print(channelmod.RenderHeatmap(m, title, 0, 0))
+}
+
+func buildStack(stack, modeStr string, width float64) (*channelmod.GridStack, error) {
+	mode := channelmod.Peak
+	if modeStr == "average" {
+		mode = channelmod.Average
+	} else if modeStr != "peak" {
+		return nil, fmt.Errorf("unknown mode %q", modeStr)
+	}
+	switch stack {
+	case "fig1a":
+		s, err := channelmod.Fig1Uniform()
+		if err != nil {
+			return nil, err
+		}
+		s.Width = func(x, y float64) float64 { return width }
+		return s, nil
+	case "fig1b":
+		s, err := channelmod.Fig1Niagara()
+		if err != nil {
+			return nil, err
+		}
+		s.Width = func(x, y float64) float64 { return width }
+		return s, nil
+	case "arch1", "arch2", "arch3":
+		return channelmod.ArchThermalMap(int(stack[4]-'0'), mode, nil, width)
+	default:
+		return nil, fmt.Errorf("unknown stack %q", stack)
+	}
+}

@@ -1,0 +1,55 @@
+package channelmod_test
+
+import (
+	"fmt"
+
+	channelmod "repro"
+)
+
+// ExampleBaseline evaluates the paper's Test A structure with a uniform
+// maximum-width design and prints the thermal gradient — the number the
+// paper's Fig. 5(a) reports as ≈28 °C.
+func ExampleBaseline() {
+	spec, err := channelmod.TestA()
+	if err != nil {
+		panic(err)
+	}
+	spec.Segments = 1
+	res, err := channelmod.Baseline(spec, spec.Bounds.Max)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("uniform max-width gradient: %.1f K\n", res.GradientK)
+	// Output:
+	// uniform max-width gradient: 27.9 K
+}
+
+// ExampleDefaultParams shows the Table I parameter set the library
+// defaults to.
+func ExampleDefaultParams() {
+	p := channelmod.DefaultParams()
+	fmt.Printf("kSi = %.0f W/mK, pitch = %.0f um, HSi = %.0f um, HC = %.0f um\n",
+		p.SiliconConductivity, p.Pitch*1e6, p.SlabHeight*1e6, p.ChannelHeight*1e6)
+	fmt.Printf("cv = %.3g J/m3K, TCin = %.0f K\n",
+		p.Coolant.VolumetricHeatCapacity(), p.InletTemp)
+	// Output:
+	// kSi = 130 W/mK, pitch = 100 um, HSi = 50 um, HC = 100 um
+	// cv = 4.17e+06 J/m3K, TCin = 300 K
+}
+
+// ExamplePressureDrop evaluates the paper's Eq. 9 for a uniform max-width
+// channel: ≈1 bar, well below the 10-bar budget.
+func ExamplePressureDrop() {
+	p := channelmod.DefaultParams()
+	prof, err := channelmod.NewUniformProfile(50e-6, p.Length, 1)
+	if err != nil {
+		panic(err)
+	}
+	dp, err := channelmod.PressureDrop(p, prof)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("max-width pressure drop: %.2f bar\n", dp/1e5)
+	// Output:
+	// max-width pressure drop: 0.98 bar
+}

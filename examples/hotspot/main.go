@@ -1,0 +1,60 @@
+// Hotspot: the paper's Test B — random segmented heat fluxes in
+// [50, 250] W/cm² on both layers — showing how the optimal width profile
+// dips over hotspots (Fig. 6b) and plotting the axial temperature
+// profiles (Fig. 5b) as ASCII art.
+//
+// Run with:
+//
+//	go run ./examples/hotspot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	channelmod "repro"
+)
+
+func main() {
+	cfg := channelmod.DefaultTestB()
+	spec, err := channelmod.TestB(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec.Segments = 10
+	spec.OuterIterations = 4
+
+	fmt.Printf("Test B (seed %d): per-segment heat flux of the top layer (W/m):\n  ", cfg.Seed)
+	for _, v := range spec.Channels[0].FluxTop.Values() {
+		fmt.Printf("%7.0f", v)
+	}
+	fmt.Println()
+
+	cmp, err := channelmod.Compare(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(channelmod.Report(cmp))
+
+	// Axial silicon temperature of the three designs (Fig. 5b stand-in):
+	// m = uniform min width, M = uniform max width, o = optimal.
+	sol := func(r *channelmod.Result) []float64 { return r.Solution.Channels[0].T1 }
+	z := cmp.Optimal.Solution.Z
+	x := make([]float64, len(z))
+	copy(x, z)
+	series := map[byte][]float64{
+		'm': sol(cmp.MinWidth),
+		'M': sol(cmp.MaxWidth),
+		'o': sol(cmp.Optimal),
+	}
+	fmt.Println()
+	fmt.Print(channelmod.RenderProfiles(x, series,
+		"top-layer temperature (K) vs distance from inlet (m): m=min, M=max, o=optimal"))
+
+	fmt.Println("\noptimal width profile (µm) — note the dips over the hottest segments:")
+	w := cmp.Optimal.Profiles[0]
+	for i := 0; i < w.Segments(); i++ {
+		fmt.Printf("%7.1f", w.Width(i)*1e6)
+	}
+	fmt.Println()
+}

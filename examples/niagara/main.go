@@ -1,0 +1,45 @@
+// Niagara: thermal balancing of the paper's two-die 3D-MPSoC
+// architectures (Fig. 7/8) — optimize each architecture at peak and
+// average power and print the gradient bars.
+//
+// Run with:
+//
+//	go run ./examples/niagara
+package main
+
+import (
+	"fmt"
+	"log"
+
+	channelmod "repro"
+)
+
+func main() {
+	var labels []string
+	var values []float64
+
+	for arch := 1; arch <= 3; arch++ {
+		for _, mode := range []channelmod.Mode{channelmod.Peak, channelmod.Average} {
+			spec, err := channelmod.Architecture(arch, mode)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Example-sized budgets; cmd/experiments runs the full ones.
+			spec.Segments = 8
+			spec.OuterIterations = 3
+
+			cmp, err := channelmod.Compare(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("Arch %d, %s power:\n%s\n", arch, mode, channelmod.Report(cmp))
+
+			tag := fmt.Sprintf("A%d/%s", arch, mode)
+			labels = append(labels, tag+" uniform", tag+" optimal")
+			values = append(values, cmp.UniformGradient(), cmp.Optimal.GradientK)
+		}
+	}
+
+	fmt.Println("thermal gradients (K) — uniform vs optimally modulated:")
+	fmt.Print(channelmod.RenderBars(labels, values, "K"))
+}

@@ -1,0 +1,56 @@
+// Pressuresweep: the design-space trade-off the paper's Eq. 9 constraint
+// governs — how much thermal-gradient reduction each extra bar of pumping
+// budget buys on the Test A structure (ablation A2 of DESIGN.md).
+//
+// Run with:
+//
+//	go run ./examples/pressuresweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	channelmod "repro"
+	"repro/internal/units"
+)
+
+func main() {
+	budgetsBar := []float64{1, 2, 4, 10, 30}
+
+	// The uniform max-width reference: the design every budget competes
+	// against.
+	ref, err := channelmod.TestA()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref.Segments = 10
+	uniform, err := channelmod.Baseline(ref, ref.Bounds.Max)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uniform max-width design: ΔT = %.2f K at ΔP = %.2f bar\n\n",
+		uniform.GradientK, units.ToBar(uniform.MaxPressureDrop()))
+
+	fmt.Println("budget(bar)   ΔT(K)   reduction   ΔPused(bar)")
+	for _, bar := range budgetsBar {
+		spec, err := channelmod.TestA()
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Segments = 10
+		spec.OuterIterations = 4
+		spec.MaxPressure = units.Bar(bar)
+
+		res, err := channelmod.Optimize(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		red := (uniform.GradientK - res.GradientK) / uniform.GradientK * 100
+		fmt.Printf("%10.1f   %6.2f   %8.1f%%   %10.2f\n",
+			bar, res.GradientK, red, units.ToBar(res.MaxPressureDrop()))
+	}
+	fmt.Println("\nthe curve saturates once the profile can reach the minimum width")
+	fmt.Println("everywhere the cost function wants it — extra pumping budget past")
+	fmt.Println("that point buys nothing (the paper's 'well below safe limits' regime).")
+}

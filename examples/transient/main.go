@@ -1,0 +1,73 @@
+// Transient: the grid simulator's backward-Euler mode (the capability that
+// makes it a usable 3D-ICE stand-in) — apply a power step to the Test-A
+// structure and watch the thermal gradient build up toward the steady
+// state, for a uniform and a modulated channel design.
+//
+// Run with:
+//
+//	go run ./examples/transient
+package main
+
+import (
+	"fmt"
+	"log"
+
+	channelmod "repro"
+	"repro/internal/grid"
+	"repro/internal/units"
+)
+
+func main() {
+	p := channelmod.DefaultParams()
+
+	mkStack := func(width func(x, y float64) float64) *channelmod.GridStack {
+		return &channelmod.GridStack{
+			Cfg: channelmod.GridConfig{
+				Params:  p,
+				LengthX: p.Length,
+				WidthY:  p.ClusterWidth(),
+				NX:      40,
+				NY:      1,
+			},
+			PowerTop:    func(x, y float64) float64 { return units.WattsPerCm2(50) },
+			PowerBottom: func(x, y float64) float64 { return units.WattsPerCm2(50) },
+			Width:       width,
+		}
+	}
+
+	uniform := mkStack(func(x, y float64) float64 { return 50e-6 })
+	length := p.Length
+	modulated := mkStack(func(x, y float64) float64 {
+		// The Fig. 6(a)-style taper: hold 50 µm over the first half, then
+		// narrow linearly to 10 µm at the outlet.
+		if x < length/2 {
+			return 50e-6
+		}
+		t := (x - length/2) / (length / 2)
+		return 50e-6 - t*(50e-6-10e-6)
+	})
+
+	// Power step at t = 0 from an idle (coolant-temperature) stack.
+	pw := units.WattsPerCm2(50)
+	step := func(x, y, t float64) float64 { return pw }
+	cfg := grid.TransientConfig{Dt: 2e-3, Steps: 30, RecordEvery: 5}
+
+	fmt.Println("power step response (50 W/cm² per layer at t=0):")
+	fmt.Println("   t(ms)   uniform ΔT(K)   modulated ΔT(K)")
+	ru, err := uniform.SolveTransient(step, step, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rm, err := modulated.SolveTransient(step, step, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gu, gm := ru.GradientSeries(), rm.GradientSeries()
+	for i, t := range ru.Times {
+		fmt.Printf("  %6.1f   %13.2f   %15.2f\n", t*1e3, gu[i], gm[i])
+	}
+	fmt.Printf("\nsteady state: uniform %.2f K vs modulated %.2f K — the design-time\n",
+		gu[len(gu)-1], gm[len(gm)-1])
+	fmt.Println("width profile keeps the gradient lower at every instant, not just at")
+	fmt.Println("the operating point the optimization used.")
+}

@@ -1,0 +1,137 @@
+package channelmod
+
+import (
+	"testing"
+)
+
+// DESIGN.md §7 promises: invalid inputs return errors across the public
+// API — never panics. This test drives every public entry point with
+// malformed inputs and asserts the error contract.
+func TestPublicAPIFailureInjection(t *testing.T) {
+	valid, err := TestA()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	noPanic := func(name string, f func() error) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s panicked: %v", name, r)
+			}
+		}()
+		if err := f(); err == nil {
+			t.Errorf("%s accepted invalid input", name)
+		}
+	}
+
+	noPanic("Baseline/outside-bounds", func() error {
+		_, err := Baseline(valid, 1e-3)
+		return err
+	})
+	noPanic("Baseline/zero-width", func() error {
+		_, err := Baseline(valid, 0)
+		return err
+	})
+	noPanic("Optimize/no-channels", func() error {
+		bad := *valid
+		bad.Channels = nil
+		_, err := Optimize(&bad)
+		return err
+	})
+	noPanic("Optimize/bad-bounds", func() error {
+		bad := *valid
+		bad.Bounds = Bounds{Min: 0, Max: 0}
+		_, err := Optimize(&bad)
+		return err
+	})
+	noPanic("Optimize/bounds-above-pitch", func() error {
+		bad := *valid
+		bad.Bounds = Bounds{Min: 10e-6, Max: 2 * bad.Params.Pitch}
+		_, err := Optimize(&bad)
+		return err
+	})
+	noPanic("Optimize/bad-params", func() error {
+		bad := *valid
+		bad.Params.SiliconConductivity = -1
+		_, err := Optimize(&bad)
+		return err
+	})
+	noPanic("Evaluate/profile-count", func() error {
+		_, err := Evaluate(valid, nil)
+		return err
+	})
+	noPanic("Compare/corrupt-coolant", func() error {
+		bad := *valid
+		bad.Params.Coolant.Density = 0
+		_, err := Compare(&bad)
+		return err
+	})
+	noPanic("OptimizeMinPumping/zero-bound", func() error {
+		_, err := OptimizeMinPumping(valid, 0)
+		return err
+	})
+	noPanic("OptimizeFlowAllocation/bad-scales", func() error {
+		_, err := OptimizeFlowAllocation(valid, valid.Bounds.Max, 2, 1)
+		return err
+	})
+	noPanic("Architecture/unknown", func() error {
+		_, err := Architecture(99, Peak)
+		return err
+	})
+	noPanic("TestB/bad-config", func() error {
+		cfg := DefaultTestB()
+		cfg.MaxWcm2 = -1
+		_, err := TestB(cfg)
+		return err
+	})
+	noPanic("NewProfile/negative", func() error {
+		_, err := NewProfile([]float64{-1}, 0.01)
+		return err
+	})
+	noPanic("NewFlux/NaN-length", func() error {
+		_, err := NewFlux([]float64{1}, -1)
+		return err
+	})
+	noPanic("UniformLoad/zero-length", func() error {
+		_, err := UniformLoad(50, 1e-3, 0)
+		return err
+	})
+	noPanic("ThermalMap/nil-fields", func() error {
+		_, err := ThermalMap(&GridStack{Cfg: GridConfig{Params: DefaultParams(),
+			LengthX: 0.01, WidthY: 0.002, NX: 10, NY: 2}})
+		return err
+	})
+	noPanic("ThermalMap/bad-grid", func() error {
+		s, err := Fig1Uniform()
+		if err != nil {
+			return err
+		}
+		s.Cfg.NX = 0
+		_, err = ThermalMap(s)
+		return err
+	})
+	noPanic("ArchThermalMap/no-width", func() error {
+		_, err := ArchThermalMap(1, Peak, nil, 0)
+		return err
+	})
+	noPanic("PressureDrop/degenerate", func() error {
+		p := DefaultParams()
+		p.FlowRatePerChannel = 0
+		prof, err := NewUniformProfile(30e-6, p.Length, 1)
+		if err != nil {
+			return err
+		}
+		_, err = PressureDrop(p, prof)
+		return err
+	})
+	noPanic("Transient/bad-config", func() error {
+		s, err := Fig1Uniform()
+		if err != nil {
+			return err
+		}
+		pw := func(x, y, t float64) float64 { return 0 }
+		_, err = s.SolveTransient(pw, pw, TransientConfig{Dt: 0, Steps: 1})
+		return err
+	})
+}

@@ -1,0 +1,186 @@
+// Package ascii renders temperature maps and axial profiles as text — the
+// terminal stand-in for the paper's colour figures (Figs. 1, 5, 6, 9).
+package ascii
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ramp orders glyphs from cold to hot.
+const ramp = " .:-=+*#%@"
+
+// HeatmapOptions configures Heatmap.
+type HeatmapOptions struct {
+	// Lo and Hi fix the colour scale; when equal, the data range is used.
+	// Fixing the scale reproduces the paper's identical-scale Fig. 9.
+	Lo, Hi float64
+	// Title is printed above the map when non-empty.
+	Title string
+	// ShowScale appends a legend line when set.
+	ShowScale bool
+}
+
+// Heatmap renders a [y][x] scalar map, one character per cell, hottest
+// rows at the top (matching the paper's figures, where coolant flows from
+// the bottom edge to the top edge).
+func Heatmap(grid [][]float64, opts HeatmapOptions) string {
+	if len(grid) == 0 || len(grid[0]) == 0 {
+		return "(empty map)\n"
+	}
+	lo, hi := opts.Lo, opts.Hi
+	if lo == hi {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, row := range grid {
+			for _, v := range row {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	for j := len(grid) - 1; j >= 0; j-- {
+		for _, v := range grid[j] {
+			t := (v - lo) / span
+			if t < 0 {
+				t = 0
+			}
+			if t > 1 {
+				t = 1
+			}
+			idx := int(t * float64(len(ramp)-1))
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	if opts.ShowScale {
+		fmt.Fprintf(&b, "scale: '%c' = %.2f .. '%c' = %.2f\n", ramp[0], lo, ramp[len(ramp)-1], hi)
+	}
+	return b.String()
+}
+
+// LinePlot renders series of y-values over a shared x-grid as a fixed-size
+// character plot with one glyph per series. Series are drawn in order, so
+// later series overwrite earlier ones where they collide.
+func LinePlot(x []float64, series map[byte][]float64, width, height int, title string) string {
+	if width < 8 {
+		width = 60
+	}
+	if height < 4 {
+		height = 16
+	}
+	if len(x) < 2 || len(series) == 0 {
+		return "(empty plot)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ys := range series {
+		for _, v := range ys {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	x0, x1 := x[0], x[len(x)-1]
+	if !(x1 > x0) {
+		x1 = x0 + 1
+	}
+	// Deterministic order: sort glyph bytes.
+	var glyphs []byte
+	for g := range series {
+		glyphs = append(glyphs, g)
+	}
+	for i := 0; i < len(glyphs); i++ {
+		for j := i + 1; j < len(glyphs); j++ {
+			if glyphs[j] < glyphs[i] {
+				glyphs[i], glyphs[j] = glyphs[j], glyphs[i]
+			}
+		}
+	}
+	for _, g := range glyphs {
+		ys := series[g]
+		n := len(ys)
+		if n > len(x) {
+			n = len(x)
+		}
+		for i := 0; i < n; i++ {
+			c := int((x[i] - x0) / (x1 - x0) * float64(width-1))
+			r := int((ys[i] - lo) / (hi - lo) * float64(height-1))
+			if c < 0 || c >= width || r < 0 || r >= height {
+				continue
+			}
+			canvas[height-1-r][c] = g
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%8.2f ┤\n", hi)
+	for _, row := range canvas {
+		fmt.Fprintf(&b, "         │%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "%8.2f ┤%s\n", lo, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "          %-8.3g%s%8.3g\n", x0, strings.Repeat(" ", max(0, width-16)), x1)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Bars renders a labelled horizontal bar chart (the Fig. 8 stand-in).
+func Bars(labels []string, values []float64, unit string, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return "(empty chart)\n"
+	}
+	if width < 10 {
+		width = 40
+	}
+	maxV := math.Inf(-1)
+	maxL := 0
+	for i, l := range labels {
+		if values[i] > maxV {
+			maxV = values[i]
+		}
+		if len(l) > maxL {
+			maxL = len(l)
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		n := int(values[i] / maxV * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s │%s %.2f %s\n", maxL, l, strings.Repeat("█", n), values[i], unit)
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeatmapBasics(t *testing.T) {
+	grid := [][]float64{
+		{300, 310},
+		{320, 330},
+	}
+	out := Heatmap(grid, HeatmapOptions{Title: "map", ShowScale: true})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "map" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if len(lines) != 4 { // title + 2 rows + scale
+		t.Fatalf("%d lines: %q", len(lines), out)
+	}
+	// Row order: grid[1] (hotter) rendered first (top). Its last cell
+	// (330) is the data maximum → hottest glyph; grid[0][0] (300) is the
+	// minimum → coldest glyph.
+	if lines[1][1] != '@' {
+		t.Fatalf("top-right glyph %q should be hottest", string(lines[1][1]))
+	}
+	if lines[2][0] != ' ' {
+		t.Fatalf("bottom-left glyph %q should be coldest", string(lines[2][0]))
+	}
+	if !strings.Contains(lines[3], "scale") {
+		t.Fatal("scale legend missing")
+	}
+}
+
+func TestHeatmapFixedScale(t *testing.T) {
+	grid := [][]float64{{305}}
+	out := Heatmap(grid, HeatmapOptions{Lo: 300, Hi: 310})
+	// 305 in [300,310] → middle of the ramp.
+	mid := ramp[len(ramp)/2]
+	if out[0] != mid && out[0] != ramp[(len(ramp)-1)/2] {
+		t.Fatalf("glyph %q not mid-ramp", string(out[0]))
+	}
+	// Out-of-range values clamp.
+	outLo := Heatmap([][]float64{{250}}, HeatmapOptions{Lo: 300, Hi: 310})
+	if outLo[0] != ramp[0] {
+		t.Fatal("below-scale must clamp to coldest")
+	}
+	outHi := Heatmap([][]float64{{400}}, HeatmapOptions{Lo: 300, Hi: 310})
+	if outHi[0] != ramp[len(ramp)-1] {
+		t.Fatal("above-scale must clamp to hottest")
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	if !strings.Contains(Heatmap(nil, HeatmapOptions{}), "empty") {
+		t.Fatal("empty map")
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	series := map[byte][]float64{
+		'a': {0, 1, 2, 3},
+		'b': {3, 2, 1, 0},
+	}
+	out := LinePlot(x, series, 40, 10, "plot")
+	if !strings.Contains(out, "plot") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("series glyphs missing")
+	}
+	if LinePlot(nil, series, 40, 10, "") == "" {
+		t.Fatal("nil x must still return text")
+	}
+	if !strings.Contains(LinePlot([]float64{1}, series, 0, 0, ""), "empty") {
+		t.Fatal("degenerate input")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"min", "max", "opt"}, []float64{23, 22, 16}, "K", 30)
+	if !strings.Contains(out, "min") || !strings.Contains(out, "16.00 K") {
+		t.Fatalf("bars output: %q", out)
+	}
+	// Longest bar belongs to the largest value.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	countBlocks := func(s string) int { return strings.Count(s, "█") }
+	if countBlocks(lines[0]) <= countBlocks(lines[2]) {
+		t.Fatal("bar lengths not proportional")
+	}
+	if !strings.Contains(Bars(nil, nil, "", 0), "empty") {
+		t.Fatal("empty chart")
+	}
+	if !strings.Contains(Bars([]string{"a"}, []float64{1, 2}, "", 0), "empty") {
+		t.Fatal("mismatched chart")
+	}
+}

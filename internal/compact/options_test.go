@@ -1,0 +1,166 @@
+package compact
+
+import (
+	"testing"
+
+	"repro/internal/convection"
+	"repro/internal/fluids"
+	"repro/internal/microchannel"
+)
+
+// The thermal entrance option must increase the heat-transfer coefficient
+// near the inlet and leave the far field unchanged.
+func TestEntranceEffectLocalizedAtInlet(t *testing.T) {
+	pFD := DefaultParams()
+	pEnt := DefaultParams()
+	pEnt.IncludeEntrance = true
+
+	cFDIn, err := pFD.CoefficientsAt(50e-6, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cEntIn, err := pEnt.CoefficientsAt(50e-6, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cEntIn.HLayer <= cFDIn.HLayer {
+		t.Fatalf("entrance ĥ at inlet %v must exceed fully developed %v",
+			cEntIn.HLayer, cFDIn.HLayer)
+	}
+	// Far downstream the enhancement must have decayed (<2%).
+	cFDFar, err := pFD.CoefficientsAt(50e-6, 0.009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cEntFar, err := pEnt.CoefficientsAt(50e-6, 0.009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := (cEntFar.HLayer - cFDFar.HLayer) / cFDFar.HLayer; rel > 0.02 {
+		t.Fatalf("entrance enhancement persists downstream: +%.1f%%", rel*100)
+	}
+}
+
+// Entrance-enabled solves must cool the inlet region harder: the silicon
+// temperature offset above the coolant must be smaller near the inlet than
+// in the fully developed model.
+func TestEntranceEffectOnSolution(t *testing.T) {
+	build := func(entrance bool) *Model {
+		p := DefaultParams()
+		p.IncludeEntrance = entrance
+		w, err := microchannel.NewUniform(50e-6, p.Length, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewUniformFlux(arealToLinear(p, 50), p.Length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Model{Params: p, Channels: []Channel{{Width: w, FluxTop: f, FluxBottom: f}}}
+	}
+	fd, err := build(false).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, err := build(true).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset := func(r *Result, i int) float64 {
+		return r.Channels[0].T1[i] - r.Channels[0].TC[i]
+	}
+	// Compare the offset in the first tenth of the channel.
+	i := len(fd.Z) / 10
+	if offset(ent, i) >= offset(fd, i) {
+		t.Fatalf("entrance model must cool the inlet harder: %v vs %v",
+			offset(ent, i), offset(fd, i))
+	}
+}
+
+// Disabling the fin-efficiency correction must increase ĥ (perfect fins
+// transfer more) and therefore lower the silicon temperatures slightly.
+func TestDisableFins(t *testing.T) {
+	pFin := DefaultParams()
+	pNoFin := DefaultParams()
+	pNoFin.DisableFins = true
+	cFin, err := pFin.CoefficientsAt(20e-6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cNoFin, err := pNoFin.CoefficientsAt(20e-6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cNoFin.HLayer <= cFin.HLayer {
+		t.Fatalf("perfect fins must increase ĥ: %v vs %v", cNoFin.HLayer, cFin.HLayer)
+	}
+	// The correction must be modest for the paper geometry (<10%).
+	if rel := (cNoFin.HLayer - cFin.HLayer) / cFin.HLayer; rel > 0.10 {
+		t.Fatalf("fin correction suspiciously large: %.1f%%", rel*100)
+	}
+}
+
+// The model must run with an alternative coolant (water-glycol): higher
+// viscosity and lower conductivity mean higher temperatures than water.
+func TestGlycolCoolantRuns(t *testing.T) {
+	pW := DefaultParams()
+	pG := DefaultParams()
+	pG.Coolant = fluids.Glycol50()
+
+	build := func(p Params) *Model {
+		w, err := microchannel.NewUniform(50e-6, p.Length, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := NewUniformFlux(arealToLinear(p, 50), p.Length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Model{Params: p, Channels: []Channel{{Width: w, FluxTop: f, FluxBottom: f}}}
+	}
+	rw, err := build(pW).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := build(pG).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.PeakTemperature() <= rw.PeakTemperature() {
+		t.Fatalf("glycol peak %v must exceed water peak %v",
+			rg.PeakTemperature(), rw.PeakTemperature())
+	}
+	// Pressure drop with glycol must be higher (4-5x viscosity).
+	mw := build(pW)
+	mg := build(pG)
+	dpw, err := mw.PressureDrops(convection.PaperDarcy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpg, err := mg.PressureDrops(convection.PaperDarcy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dpg[0] <= 2*dpw[0] {
+		t.Fatalf("glycol ΔP %v should be several times water's %v", dpg[0], dpw[0])
+	}
+}
+
+// Boundary-condition choice: the constant-wall-temperature correlation (T)
+// gives lower Nu → lower ĥ than H1.
+func TestBoundaryConditionChoice(t *testing.T) {
+	pH1 := DefaultParams()
+	pT := DefaultParams()
+	pT.BC = convection.T
+	cH1, err := pH1.CoefficientsAt(30e-6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cT, err := pT.CoefficientsAt(30e-6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cT.HLayer >= cH1.HLayer {
+		t.Fatalf("Nu_T < Nu_H1 must give lower ĥ: %v vs %v", cT.HLayer, cH1.HLayer)
+	}
+}

@@ -1,0 +1,375 @@
+package control
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/compact"
+	"repro/internal/microchannel"
+	"repro/internal/units"
+)
+
+// testSpec builds a single-channel Test-A-like spec with reduced solver
+// budgets to keep the test suite fast; the full-budget runs live in the
+// benchmark harness and cmd/experiments.
+func testSpec(t testing.TB, fluxWcm2 float64) *Spec {
+	t.Helper()
+	p := compact.DefaultParams()
+	lin := units.WattsPerCm2(fluxWcm2) * p.ClusterWidth()
+	f, err := compact.NewUniformFlux(lin, p.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Spec{
+		Params:          p,
+		Channels:        []ChannelLoad{{FluxTop: f, FluxBottom: f}},
+		Bounds:          microchannel.Bounds{Min: units.Micrometers(10), Max: units.Micrometers(50)},
+		Segments:        10,
+		OuterIterations: 4,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	s := testSpec(t, 50)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *s
+	bad.Channels = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no channels must fail")
+	}
+	bad = *s
+	bad.Channels = []ChannelLoad{{}}
+	if err := bad.Validate(); err == nil {
+		t.Error("nil flux must fail")
+	}
+	bad = *s
+	bad.Bounds = microchannel.Bounds{Min: 0, Max: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad bounds must fail")
+	}
+	bad = *s
+	bad.Bounds = microchannel.Bounds{Min: 10e-6, Max: 200e-6}
+	if err := bad.Validate(); err == nil {
+		t.Error("bound above pitch must fail")
+	}
+	bad = *s
+	bad.Segments = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative segments must fail")
+	}
+	bad = *s
+	bad.MaxPressure = -5
+	if err := bad.Validate(); err == nil {
+		t.Error("negative pressure must fail")
+	}
+	bad = *s
+	bad.InitialWidth = 90e-6
+	if err := bad.Validate(); err == nil {
+		t.Error("initial width outside bounds must fail")
+	}
+}
+
+func TestSolverStrings(t *testing.T) {
+	if SolverLBFGSB.String() != "lbfgsb" ||
+		SolverProjGrad.String() != "projected-gradient" ||
+		SolverNelderMead.String() != "nelder-mead" {
+		t.Error("solver names")
+	}
+	if Solver(9).String() == "" {
+		t.Error("unknown solver name")
+	}
+}
+
+func TestBaselineUniform(t *testing.T) {
+	s := testSpec(t, 50)
+	res, err := Baseline(s, s.Bounds.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig. 5(a): ≈28 °C gradient for uniform width.
+	if res.GradientK < 24 || res.GradientK > 33 {
+		t.Fatalf("uniform gradient = %.1f K", res.GradientK)
+	}
+	if len(res.PressureDrops) != 1 {
+		t.Fatal("one pressure drop expected")
+	}
+	if units.ToBar(res.PressureDrops[0]) > 2 {
+		t.Fatalf("max-width ΔP = %v bar", units.ToBar(res.PressureDrops[0]))
+	}
+	if _, err := Baseline(s, 5e-6); err == nil {
+		t.Error("baseline outside bounds must fail")
+	}
+}
+
+func TestBaselineMinVsMaxSimilarGradient(t *testing.T) {
+	s := testSpec(t, 50)
+	rMin, err := Baseline(s, s.Bounds.Min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rMax, err := Baseline(s, s.Bounds.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: "very similar thermal gradients" for min and max widths.
+	if math.Abs(rMin.GradientK-rMax.GradientK) > 0.15*rMax.GradientK {
+		t.Fatalf("min/max gradients: %v vs %v", rMin.GradientK, rMax.GradientK)
+	}
+	// Min width cools better: lower peak.
+	if rMin.PeakK >= rMax.PeakK {
+		t.Fatalf("min-width peak %v must be below max-width %v", rMin.PeakK, rMax.PeakK)
+	}
+}
+
+// The headline single-channel experiment: optimal modulation must cut the
+// thermal gradient substantially versus the uniform designs while keeping
+// the pressure drop within budget (paper: −32% for Test A).
+func TestOptimizeTestAReducesGradient(t *testing.T) {
+	s := testSpec(t, 50)
+	uniform, err := Baseline(s, s.Bounds.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := (uniform.GradientK - opt.GradientK) / uniform.GradientK
+	t.Logf("uniform %.2f K → optimal %.2f K (−%.0f%%), ΔP %.2f bar, %d evals",
+		uniform.GradientK, opt.GradientK, red*100,
+		units.ToBar(opt.MaxPressureDrop()), opt.Evaluations)
+	if red < 0.15 {
+		t.Fatalf("optimal modulation reduced the gradient only %.1f%%", red*100)
+	}
+	if opt.MaxPressureDrop() > 1.01*s.maxPressure() {
+		t.Fatalf("pressure budget violated: %v bar", units.ToBar(opt.MaxPressureDrop()))
+	}
+	// Width profile must narrow from inlet to outlet overall.
+	w := opt.Profiles[0]
+	if w.Width(0) <= w.Width(w.Segments()-1) {
+		t.Fatalf("optimal profile should narrow toward the outlet: %v", w.Widths())
+	}
+	// Objective must improve.
+	if opt.Objective >= uniform.Objective {
+		t.Fatalf("objective did not improve: %v vs %v", opt.Objective, uniform.Objective)
+	}
+}
+
+// Non-uniform (hotspot) fluxes: the optimum must narrow the channel over
+// the hotspot region relative to its surroundings (paper Fig. 6b).
+func TestOptimizeHotspotNarrowsLocally(t *testing.T) {
+	p := compact.DefaultParams()
+	toLin := func(wcm2 float64) float64 { return units.WattsPerCm2(wcm2) * p.ClusterWidth() }
+	// Hotspot in segments 4-5 of 10.
+	vals := []float64{toLin(50), toLin(50), toLin(50), toLin(50), toLin(250),
+		toLin(250), toLin(50), toLin(50), toLin(50), toLin(50)}
+	f, err := compact.NewFlux(vals, p.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Spec{
+		Params:          p,
+		Channels:        []ChannelLoad{{FluxTop: f, FluxBottom: f}},
+		Bounds:          microchannel.Bounds{Min: 10e-6, Max: 50e-6},
+		Segments:        10,
+		OuterIterations: 4,
+	}
+	uniform, err := Baseline(s, s.Bounds.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.GradientK >= uniform.GradientK {
+		t.Fatalf("hotspot optimization failed: %v vs uniform %v", opt.GradientK, uniform.GradientK)
+	}
+	// The hotspot segments must be narrower than the immediately preceding
+	// region (extra cooling over the hotspot).
+	w := opt.Profiles[0]
+	hotspotMean := 0.5 * (w.Width(4) + w.Width(5))
+	beforeMean := 0.5 * (w.Width(2) + w.Width(3))
+	if hotspotMean >= beforeMean {
+		t.Fatalf("hotspot not narrowed: hotspot %.1f µm vs before %.1f µm (profile %v)",
+			hotspotMean*1e6, beforeMean*1e6, w.Widths())
+	}
+	t.Logf("uniform %.1f K → optimal %.1f K; widths %v", uniform.GradientK, opt.GradientK, w.Widths())
+}
+
+// Multi-channel: the decoupled two-phase optimizer must reduce the overall
+// gradient of an asymmetric two-channel stack and (with EqualPressure)
+// equalize the drops.
+func TestOptimizeMultiChannelEqualPressure(t *testing.T) {
+	p := compact.DefaultParams()
+	toLin := func(wcm2 float64) float64 { return units.WattsPerCm2(wcm2) * p.ClusterWidth() }
+	hot, err := compact.NewUniformFlux(toLin(100), p.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := compact.NewUniformFlux(toLin(20), p.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Spec{
+		Params:          p,
+		Channels:        []ChannelLoad{{FluxTop: hot, FluxBottom: hot}, {FluxTop: cold, FluxBottom: cold}},
+		Bounds:          microchannel.Bounds{Min: 10e-6, Max: 50e-6},
+		Segments:        8,
+		EqualPressure:   true,
+		OuterIterations: 3,
+	}
+	uniform, err := Baseline(s, s.Bounds.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.GradientK >= uniform.GradientK {
+		t.Fatalf("multi-channel optimization failed: %v vs %v", opt.GradientK, uniform.GradientK)
+	}
+	// Pressure drops equalized within tolerance.
+	d0, d1 := opt.PressureDrops[0], opt.PressureDrops[1]
+	if math.Abs(d0-d1) > 0.05*math.Max(d0, d1) {
+		t.Fatalf("pressure drops not equalized: %v vs %v bar", units.ToBar(d0), units.ToBar(d1))
+	}
+	t.Logf("uniform %.1f K → optimal %.1f K; ΔP = %.2f / %.2f bar",
+		uniform.GradientK, opt.GradientK, units.ToBar(d0), units.ToBar(d1))
+}
+
+// Decoupled and joint optimization must land close to each other on a
+// small stack — validating the decoupling approximation.
+func TestDecoupledMatchesJoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("joint optimization is slow")
+	}
+	p := compact.DefaultParams()
+	toLin := func(wcm2 float64) float64 { return units.WattsPerCm2(wcm2) * p.ClusterWidth() }
+	f1, _ := compact.NewUniformFlux(toLin(120), p.Length)
+	f2, _ := compact.NewUniformFlux(toLin(40), p.Length)
+	base := &Spec{
+		Params:          p,
+		Channels:        []ChannelLoad{{FluxTop: f1, FluxBottom: f1}, {FluxTop: f2, FluxBottom: f2}},
+		Bounds:          microchannel.Bounds{Min: 10e-6, Max: 50e-6},
+		Segments:        6,
+		OuterIterations: 3,
+	}
+	dec := *base
+	jnt := *base
+	jnt.Joint = true
+
+	rDec, err := Optimize(&dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rJnt, err := Optimize(&jnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rDec.GradientK-rJnt.GradientK) > 0.1*rJnt.GradientK+0.5 {
+		t.Fatalf("decoupled %.2f K vs joint %.2f K", rDec.GradientK, rJnt.GradientK)
+	}
+	t.Logf("decoupled %.2f K (%d evals) vs joint %.2f K (%d evals)",
+		rDec.GradientK, rDec.Evaluations, rJnt.GradientK, rJnt.Evaluations)
+}
+
+// A tight pressure budget must constrain how much the optimizer can narrow
+// the channel: gradient reduction shrinks but feasibility holds.
+func TestPressureBudgetBinds(t *testing.T) {
+	loose := testSpec(t, 50)
+	tight := testSpec(t, 50)
+	tight.MaxPressure = units.Bar(2)
+
+	rLoose, err := Optimize(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rTight, err := Optimize(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rTight.MaxPressureDrop() > 1.05*units.Bar(2) {
+		t.Fatalf("tight budget violated: %v bar", units.ToBar(rTight.MaxPressureDrop()))
+	}
+	// Looser budget can only do at least as well (within solver noise).
+	if rLoose.GradientK > rTight.GradientK*1.05 {
+		t.Fatalf("loose budget %.2f K worse than tight %.2f K", rLoose.GradientK, rTight.GradientK)
+	}
+	t.Logf("tight(2 bar): %.2f K @ %.2f bar; loose(10 bar): %.2f K @ %.2f bar",
+		rTight.GradientK, units.ToBar(rTight.MaxPressureDrop()),
+		rLoose.GradientK, units.ToBar(rLoose.MaxPressureDrop()))
+}
+
+// All solvers must produce a valid improving design (ablation A3 smoke).
+func TestSolverAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver sweep is slow")
+	}
+	uniformG := 0.0
+	for i, solver := range []Solver{SolverLBFGSB, SolverProjGrad, SolverNelderMead} {
+		s := testSpec(t, 50)
+		s.Segments = 6
+		s.OuterIterations = 2
+		s.Solver = solver
+		if i == 0 {
+			u, err := Baseline(s, s.Bounds.Max)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uniformG = u.GradientK
+		}
+		res, err := Optimize(s)
+		if err != nil {
+			t.Fatalf("%v: %v", solver, err)
+		}
+		if res.GradientK >= uniformG {
+			t.Errorf("%v did not improve: %.2f vs %.2f", solver, res.GradientK, uniformG)
+		}
+		t.Logf("%v: %.2f K (%d evals)", solver, res.GradientK, res.Evaluations)
+	}
+}
+
+// Evaluate must reject inconsistent inputs.
+func TestEvaluateValidation(t *testing.T) {
+	s := testSpec(t, 50)
+	if _, err := Evaluate(s, nil); err == nil {
+		t.Error("profile count mismatch must fail")
+	}
+	p, _ := microchannel.NewUniform(5e-6, s.Params.Length, 4) // below Min
+	if _, err := Evaluate(s, []*microchannel.Profile{p}); err == nil {
+		t.Error("out-of-bounds profile must fail")
+	}
+}
+
+// Randomized smoke: optimization from random feasible seeds never violates
+// bounds or pressure budget and never worsens the uniform design by more
+// than solver noise.
+func TestOptimizeRandomSeedsInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized optimization sweep is slow")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 2; trial++ {
+		s := testSpec(t, 30+120*rng.Float64())
+		s.Segments = 6
+		s.OuterIterations = 2
+		s.InitialWidth = 10e-6 + rng.Float64()*40e-6
+		res, err := Optimize(s)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, prof := range res.Profiles {
+			if err := prof.Validate(s.Bounds.Min, s.Bounds.Max); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		if res.MaxPressureDrop() > 1.05*s.maxPressure() {
+			t.Fatalf("trial %d: pressure violation %v bar", trial, units.ToBar(res.MaxPressureDrop()))
+		}
+	}
+}

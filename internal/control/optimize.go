@@ -1,0 +1,378 @@
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/compact"
+	"repro/internal/mat"
+	"repro/internal/microchannel"
+	"repro/internal/optimize"
+)
+
+// Optimize solves the channel-modulation optimal control problem of the
+// spec and returns the optimized design together with the joint model
+// solve at the optimum.
+func Optimize(spec *Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(spec.Channels)
+	if n == 1 || spec.Joint {
+		return jointOptimize(spec)
+	}
+	return decoupledOptimize(spec)
+}
+
+// innerSolver maps the Solver enum to an optimize inner solver.
+func innerSolver(spec *Spec) func(optimize.Objective, mat.Vec, optimize.Box, optimize.Options) (mat.Vec, float64, optimize.Stats, error) {
+	switch spec.Solver {
+	case SolverProjGrad:
+		return optimize.ProjectedGradient
+	case SolverNelderMead:
+		return func(f optimize.Objective, x0 mat.Vec, box optimize.Box, o optimize.Options) (mat.Vec, float64, optimize.Stats, error) {
+			budget := o.MaxIterations * (2*len(x0) + 8)
+			return optimize.NelderMead(f, x0, box, optimize.NelderMeadOptions{
+				MaxEvaluations: budget,
+				Tol:            o.Tol,
+			})
+		}
+	default:
+		return optimize.LBFGSB
+	}
+}
+
+func (s *Spec) innerOptions() optimize.Options {
+	o := s.Inner
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 60
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-5
+	}
+	if o.GradStep == 0 {
+		o.GradStep = 1e-4
+	}
+	return o
+}
+
+func (s *Spec) outerIterations() int {
+	if s.OuterIterations == 0 {
+		return 8
+	}
+	return s.OuterIterations
+}
+
+// widthsFromX maps normalized decision variables back to segment widths.
+func widthsFromX(x mat.Vec, b microchannel.Bounds) []float64 {
+	w := make([]float64, len(x))
+	span := b.Max - b.Min
+	for i, v := range x {
+		w[i] = b.Min + v*span
+	}
+	return w
+}
+
+// xFromWidth maps a width to its normalized decision value.
+func xFromWidth(w float64, b microchannel.Bounds) float64 {
+	span := b.Max - b.Min
+	if span <= 0 {
+		return 0
+	}
+	return (w - b.Min) / span
+}
+
+// jointOptimize solves the fully coupled problem over all channels: the
+// decision vector stacks K normalized widths per channel.
+func jointOptimize(spec *Spec) (*Result, error) {
+	n := len(spec.Channels)
+	k := spec.segments()
+	dim := n * k
+
+	evals := 0
+	buildProfiles := func(x mat.Vec) ([]*microchannel.Profile, error) {
+		profiles := make([]*microchannel.Profile, n)
+		for c := 0; c < n; c++ {
+			ws := widthsFromX(x[c*k:(c+1)*k], spec.Bounds)
+			p, err := microchannel.NewProfile(ws, spec.Params.Length)
+			if err != nil {
+				return nil, err
+			}
+			profiles[c] = p
+		}
+		return profiles, nil
+	}
+
+	// Objective normalization: J at the initial design.
+	x0 := make(mat.Vec, dim)
+	for i := range x0 {
+		x0[i] = xFromWidth(spec.initialWidth(), spec.Bounds)
+	}
+	profiles0, err := buildProfiles(x0)
+	if err != nil {
+		return nil, err
+	}
+	model0 := buildModel(spec, profiles0)
+	sol0, err := solveModel(model0)
+	if err != nil {
+		return nil, fmt.Errorf("control: initial solve: %w", err)
+	}
+	j0 := sol0.ObjectiveQ2()
+	if j0 <= 0 {
+		// Degenerate (zero heat): the initial design is already optimal.
+		return Evaluate(spec, profiles0)
+	}
+
+	objective := func(x mat.Vec) (float64, error) {
+		profiles, err := buildProfiles(x)
+		if err != nil {
+			return 0, err
+		}
+		evals++
+		sol, err := solveModel(buildModel(spec, profiles))
+		if err != nil {
+			return 0, err
+		}
+		return sol.ObjectiveQ2() / j0, nil
+	}
+
+	cons := pressureConstraints(spec, buildProfiles)
+
+	box, err := optimize.UniformBox(dim, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	res, err := optimize.AugmentedLagrangian(objective, cons, x0, box, optimize.AugLagOptions{
+		OuterIterations: spec.outerIterations(),
+		Inner:           spec.innerOptions(),
+		InnerSolver:     innerSolver(spec),
+		FeasTol:         1e-3,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("control: %w", err)
+	}
+	profiles, err := buildProfiles(res.X)
+	if err != nil {
+		return nil, err
+	}
+	out, err := Evaluate(spec, profiles)
+	if err != nil {
+		return nil, err
+	}
+	out.Evaluations = evals + 1
+	out.MaxConstraintViolation = res.MaxViolation
+	return out, nil
+}
+
+// solveModel picks the cheaper eliminated form for single-channel models.
+func solveModel(m *compact.Model) (*compact.Result, error) {
+	if len(m.Channels) == 1 {
+		return m.SolveEliminated()
+	}
+	return m.Solve()
+}
+
+// pressureConstraints builds the ΔP constraint set of Eq. 9/10 for the
+// joint problem: one inequality per channel, plus equalities tying every
+// channel's drop to the first channel's when EqualPressure is set.
+func pressureConstraints(spec *Spec, buildProfiles func(mat.Vec) ([]*microchannel.Profile, error)) []optimize.ConstraintSpec {
+	n := len(spec.Channels)
+	k := spec.segments()
+	dpMax := spec.maxPressure()
+
+	dropOf := func(x mat.Vec, c int) (float64, error) {
+		ws := widthsFromX(x[c*k:(c+1)*k], spec.Bounds)
+		return pressureDropWidths(spec, ws)
+	}
+
+	var cons []optimize.ConstraintSpec
+	for c := 0; c < n; c++ {
+		c := c
+		cons = append(cons, optimize.ConstraintSpec{
+			Name:  fmt.Sprintf("dp-max-%d", c),
+			Kind:  optimize.LessEqual,
+			Scale: dpMax,
+			F: func(x mat.Vec) (float64, error) {
+				dp, err := dropOf(x, c)
+				if err != nil {
+					return 0, err
+				}
+				return dp - dpMax, nil
+			},
+		})
+	}
+	if spec.EqualPressure && n > 1 {
+		for c := 1; c < n; c++ {
+			c := c
+			cons = append(cons, optimize.ConstraintSpec{
+				Name:  fmt.Sprintf("dp-equal-%d", c),
+				Kind:  optimize.Equal,
+				Scale: dpMax,
+				F: func(x mat.Vec) (float64, error) {
+					dp0, err := dropOf(x, 0)
+					if err != nil {
+						return 0, err
+					}
+					dpc, err := dropOf(x, c)
+					if err != nil {
+						return 0, err
+					}
+					return dpc - dp0, nil
+				},
+			})
+		}
+	}
+	return cons
+}
+
+// pressureDropWidths evaluates the paper's Eq. 9 integral for a sampled
+// width vector (per physical channel).
+func pressureDropWidths(spec *Spec, widths []float64) (float64, error) {
+	return pressureDrop(spec, widths)
+}
+
+// decoupledOptimize exploits the negligible lateral coupling: each channel
+// is optimized independently against its own heat load (phase 1), then the
+// equal-pressure constraint is restored by re-optimizing every channel to
+// the common drop of the most demanding one (phase 2). The returned result
+// always comes from one joint solve with lateral conduction included.
+func decoupledOptimize(spec *Spec) (*Result, error) {
+	n := len(spec.Channels)
+	profiles := make([]*microchannel.Profile, n)
+	totalEvals := 0
+
+	singleSpec := func(k int) *Spec {
+		s := *spec
+		s.Channels = []ChannelLoad{spec.Channels[k]}
+		s.EqualPressure = false
+		s.Joint = false
+		return &s
+	}
+
+	// Phase 1: independent per-channel optimization with ΔP ≤ ΔPmax.
+	drops := make([]float64, n)
+	for k := 0; k < n; k++ {
+		res, err := jointOptimize(singleSpec(k))
+		if err != nil {
+			return nil, fmt.Errorf("control: channel %d: %w", k, err)
+		}
+		profiles[k] = res.Profiles[0]
+		drops[k] = res.PressureDrops[0]
+		totalEvals += res.Evaluations
+	}
+
+	// Phase 2: equalize the pressure drops at the level of the most
+	// demanding channel (narrowing helps cooling, so the binding channel
+	// sets the shared drop; the others gain cooling margin for free).
+	if spec.EqualPressure && n > 1 {
+		target := 0.0
+		for _, d := range drops {
+			if d > target {
+				target = d
+			}
+		}
+		for k := 0; k < n; k++ {
+			if math.Abs(drops[k]-target) <= 1e-3*target {
+				continue
+			}
+			s := singleSpec(k)
+			res, err := equalPressureOptimize(s, target, profiles[k])
+			if err != nil {
+				return nil, fmt.Errorf("control: channel %d equalization: %w", k, err)
+			}
+			profiles[k] = res.Profiles[0]
+			totalEvals += res.Evaluations
+		}
+	}
+
+	out, err := Evaluate(spec, profiles)
+	if err != nil {
+		return nil, err
+	}
+	out.Evaluations = totalEvals + 1
+	return out, nil
+}
+
+// equalPressureOptimize re-optimizes a single channel subject to an
+// equality constraint ΔP = target, warm-started from a previous profile.
+func equalPressureOptimize(spec *Spec, target float64, warm *microchannel.Profile) (*Result, error) {
+	k := spec.segments()
+	evals := 0
+
+	buildProfile := func(x mat.Vec) (*microchannel.Profile, error) {
+		return microchannel.NewProfile(widthsFromX(x, spec.Bounds), spec.Params.Length)
+	}
+
+	x0 := make(mat.Vec, k)
+	warmR, err := warm.Resample(k)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		x0[i] = xFromWidth(warmR.Width(i), spec.Bounds)
+	}
+
+	p0, err := buildProfile(x0)
+	if err != nil {
+		return nil, err
+	}
+	model0 := buildModel(spec, []*microchannel.Profile{p0})
+	sol0, err := solveModel(model0)
+	if err != nil {
+		return nil, err
+	}
+	j0 := sol0.ObjectiveQ2()
+	if j0 <= 0 {
+		j0 = 1
+	}
+
+	objective := func(x mat.Vec) (float64, error) {
+		p, err := buildProfile(x)
+		if err != nil {
+			return 0, err
+		}
+		evals++
+		sol, err := solveModel(buildModel(spec, []*microchannel.Profile{p}))
+		if err != nil {
+			return 0, err
+		}
+		return sol.ObjectiveQ2() / j0, nil
+	}
+	cons := []optimize.ConstraintSpec{{
+		Name:  "dp-equal-target",
+		Kind:  optimize.Equal,
+		Scale: target,
+		F: func(x mat.Vec) (float64, error) {
+			dp, err := pressureDrop(spec, widthsFromX(x, spec.Bounds))
+			if err != nil {
+				return 0, err
+			}
+			return dp - target, nil
+		},
+	}}
+
+	box, err := optimize.UniformBox(k, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	res, err := optimize.AugmentedLagrangian(objective, cons, x0, box, optimize.AugLagOptions{
+		OuterIterations: spec.outerIterations(),
+		Inner:           spec.innerOptions(),
+		InnerSolver:     innerSolver(spec),
+		FeasTol:         1e-3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p, err := buildProfile(res.X)
+	if err != nil {
+		return nil, err
+	}
+	out, err := Evaluate(spec, []*microchannel.Profile{p})
+	if err != nil {
+		return nil, err
+	}
+	out.Evaluations = evals + 1
+	out.MaxConstraintViolation = res.MaxViolation
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compact"
+	"repro/internal/microchannel"
+	"repro/internal/units"
+)
+
+func TestOptimizeMinPumpingMeetsGradientBound(t *testing.T) {
+	s := testSpec(t, 50)
+	s.Segments = 8
+	// A bound between the uniform gradient (~28 K) and the achievable
+	// optimum (~22 K): the solver must spend some pumping effort, but far
+	// less than the full 10-bar budget.
+	const bound = 25.0
+	res, err := OptimizeMinPumping(s, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GradientK > bound*1.05 {
+		t.Fatalf("gradient bound violated: %.2f K > %.2f K", res.GradientK, bound)
+	}
+	// Cheaper than the gradient-minimizing design, which binds 10 bar.
+	if units.ToBar(res.MaxPressureDrop()) > 9 {
+		t.Fatalf("min-pumping design spends %.2f bar — not minimizing pumping",
+			units.ToBar(res.MaxPressureDrop()))
+	}
+	t.Logf("ΔT %.2f K (bound %.0f K) at ΔP %.2f bar",
+		res.GradientK, bound, units.ToBar(res.MaxPressureDrop()))
+}
+
+func TestOptimizeMinPumpingLooseBoundIsFree(t *testing.T) {
+	s := testSpec(t, 50)
+	s.Segments = 6
+	// A bound above the uniform max-width gradient: the cheapest design
+	// (max width everywhere) is already feasible.
+	res, err := OptimizeMinPumping(s, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := pressureDrop(s, []float64{s.Bounds.Max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxPressureDrop() > 1.2*wide {
+		t.Fatalf("loose bound should cost ≈ the max-width drop: %v vs %v",
+			res.MaxPressureDrop(), wide)
+	}
+}
+
+func TestOptimizeMinPumpingValidation(t *testing.T) {
+	s := testSpec(t, 50)
+	if _, err := OptimizeMinPumping(s, 0); err == nil {
+		t.Error("zero bound must fail")
+	}
+	s2 := testSpec(t, 50)
+	s2.Channels = append(s2.Channels, s2.Channels[0])
+	if _, err := OptimizeMinPumping(s2, 25); err == nil {
+		t.Error("multi-channel must fail")
+	}
+}
+
+func multiChannelSpec(t *testing.T, fluxes []float64) *Spec {
+	t.Helper()
+	p := compact.DefaultParams()
+	loads := make([]ChannelLoad, len(fluxes))
+	for k, f := range fluxes {
+		lin := units.WattsPerCm2(f) * p.ClusterWidth()
+		fl, err := compact.NewUniformFlux(lin, p.Length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads[k] = ChannelLoad{FluxTop: fl, FluxBottom: fl}
+	}
+	return &Spec{
+		Params:          p,
+		Channels:        loads,
+		Bounds:          microchannel.Bounds{Min: 10e-6, Max: 50e-6},
+		Segments:        6,
+		OuterIterations: 3,
+	}
+}
+
+func TestFlowAllocationShiftsFlowToHotChannel(t *testing.T) {
+	s := multiChannelSpec(t, []float64{120, 30, 30})
+	res, err := OptimizeFlowAllocation(s, s.Bounds.Max, 0.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hot channel must receive more than nominal flow.
+	if res.FlowScales[0] <= 1.0 {
+		t.Fatalf("hot channel flow scale %.2f, want > 1", res.FlowScales[0])
+	}
+	// Total flow preserved.
+	var sum float64
+	for _, v := range res.FlowScales {
+		sum += v
+	}
+	if math.Abs(sum-3) > 0.05 {
+		t.Fatalf("total flow drifted: Σ = %v", sum)
+	}
+	// Must improve on the uniform-flow uniform-width design.
+	uniform, err := Baseline(s, s.Bounds.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GradientK >= uniform.GradientK {
+		t.Fatalf("flow allocation did not improve: %.2f vs %.2f",
+			res.GradientK, uniform.GradientK)
+	}
+	t.Logf("uniform %.2f K → flow-clustered %.2f K (scales %v)",
+		uniform.GradientK, res.GradientK, res.FlowScales)
+}
+
+// The paper's argument against flow clustering: it cannot counter the
+// along-channel heat-up. On a SINGLE hot channel (where there is nothing
+// to rebalance across), width modulation must beat flow allocation.
+func TestModulationBeatsFlowAllocationAlongChannel(t *testing.T) {
+	s := testSpec(t, 50)
+	s.Segments = 8
+	flowRes, err := OptimizeFlowAllocation(s, s.Bounds.Max, 0.5, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modRes, err := Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modRes.GradientK >= flowRes.GradientK {
+		t.Fatalf("modulation %.2f K must beat single-channel flow allocation %.2f K",
+			modRes.GradientK, flowRes.GradientK)
+	}
+}
+
+func TestFlowAllocationValidation(t *testing.T) {
+	s := multiChannelSpec(t, []float64{50, 50})
+	if _, err := OptimizeFlowAllocation(s, 5e-6, 0.5, 2); err == nil {
+		t.Error("width outside bounds must fail")
+	}
+	if _, err := OptimizeFlowAllocation(s, 50e-6, 0, 2); err == nil {
+		t.Error("zero min scale must fail")
+	}
+	if _, err := OptimizeFlowAllocation(s, 50e-6, 2, 1); err == nil {
+		t.Error("inverted scale range must fail")
+	}
+}
+
+func TestCompactFlowScaleAffectsCoolantRise(t *testing.T) {
+	p := compact.DefaultParams()
+	w, err := microchannel.NewUniform(50e-6, p.Length, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := units.WattsPerCm2(50) * p.ClusterWidth()
+	fl, err := compact.NewUniformFlux(lin, p.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(scale float64) *compact.Model {
+		return &compact.Model{Params: p, Channels: []compact.Channel{{
+			Width: w, FluxTop: fl, FluxBottom: fl, FlowScale: scale,
+		}}}
+	}
+	nominal, err := mk(1).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := mk(2).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Twice the flow → half the coolant rise.
+	r1, r2 := nominal.CoolantRise(0), doubled.CoolantRise(0)
+	if math.Abs(r2-r1/2)/r1 > 0.02 {
+		t.Fatalf("coolant rise: nominal %.2f K, doubled flow %.2f K (want ≈ %.2f)",
+			r1, r2, r1/2)
+	}
+	// The eliminated form must agree with the full model under scaling.
+	elim, err := mk(2).SolveEliminated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(elim.Gradient()-doubled.Gradient()) > 0.02*doubled.Gradient() {
+		t.Fatalf("eliminated vs full under flow scale: %.3f vs %.3f",
+			elim.Gradient(), doubled.Gradient())
+	}
+}

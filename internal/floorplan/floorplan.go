@@ -1,0 +1,298 @@
+// Package floorplan models the 3D-MPSoC dies of the paper's experiments:
+// rectangular functional blocks with peak and average power, composed into
+// two-die stacks (the paper's Fig. 7 architectures, built from the 90 nm
+// UltraSPARC T1 "Niagara-1" processor).
+//
+// The exact measured Niagara block powers of the paper's references are
+// not public, so the layouts here are reconstructed to match everything
+// the paper states: dies of 1 cm × 1.1 cm, combined (two-die) heat flux
+// densities spanning 8–64 W/cm², SPARC cores as the dominant hotspots, and
+// L2 cache / crossbar / other regions at low density (see DESIGN.md,
+// substitutions table).
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Kind classifies functional blocks.
+type Kind int
+
+const (
+	// Core is a SPARC processor core (hotspot).
+	Core Kind = iota
+	// L2 is an L2 cache bank (cool).
+	L2
+	// Crossbar is the core-cache interconnect (warm).
+	Crossbar
+	// IO is the I/O and SerDes region (warm).
+	IO
+	// Other covers remaining logic (cool).
+	Other
+)
+
+// String names the block kind.
+func (k Kind) String() string {
+	switch k {
+	case Core:
+		return "core"
+	case L2:
+		return "l2"
+	case Crossbar:
+		return "crossbar"
+	case IO:
+		return "io"
+	case Other:
+		return "other"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Mode selects between the worst-case and time-averaged power maps of the
+// paper's Sec. V-B.
+type Mode int
+
+const (
+	// Peak is the worst-case dissipation used for the optimization.
+	Peak Mode = iota
+	// Average is the life-time average dissipation.
+	Average
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Peak {
+		return "peak"
+	}
+	return "average"
+}
+
+// Block is an axis-aligned rectangular functional unit. Coordinates are in
+// metres with x along the coolant flow and y across; the origin is the die
+// corner at the coolant inlet.
+type Block struct {
+	Name string
+	Kind Kind
+	// X, Y locate the lower-left corner; W, H are the extents along x, y.
+	X, Y, W, H float64
+	// PeakPower and AvgPower are the block's total dissipation in W.
+	PeakPower, AvgPower float64
+}
+
+// Area returns the block footprint in m².
+func (b Block) Area() float64 { return b.W * b.H }
+
+// Density returns the areal power density in W/m² for the mode.
+func (b Block) Density(m Mode) float64 {
+	a := b.Area()
+	if a <= 0 {
+		return 0
+	}
+	if m == Peak {
+		return b.PeakPower / a
+	}
+	return b.AvgPower / a
+}
+
+// Contains reports whether die point (x, y) lies inside the block
+// (half-open on the upper edges so adjacent blocks do not double count).
+func (b Block) Contains(x, y float64) bool {
+	return x >= b.X && x < b.X+b.W && y >= b.Y && y < b.Y+b.H
+}
+
+// Die is a floorplanned silicon die.
+type Die struct {
+	Name string
+	// LengthX is the die extent along the coolant flow, WidthY across.
+	LengthX, WidthY float64
+	// Blocks tile (part of) the die; uncovered regions dissipate the
+	// Background density.
+	Blocks []Block
+	// BackgroundPeak and BackgroundAvg are areal densities (W/m²) of the
+	// uncovered die area.
+	BackgroundPeak, BackgroundAvg float64
+}
+
+// Validate checks geometric consistency: positive dims, blocks within the
+// die and pairwise non-overlapping.
+func (d *Die) Validate() error {
+	if err := units.CheckPositive("die LengthX", d.LengthX); err != nil {
+		return err
+	}
+	if err := units.CheckPositive("die WidthY", d.WidthY); err != nil {
+		return err
+	}
+	const tol = 1e-12
+	for i, b := range d.Blocks {
+		if b.W <= 0 || b.H <= 0 {
+			return fmt.Errorf("floorplan: %s: block %q has non-positive size", d.Name, b.Name)
+		}
+		if b.X < -tol || b.Y < -tol || b.X+b.W > d.LengthX+tol || b.Y+b.H > d.WidthY+tol {
+			return fmt.Errorf("floorplan: %s: block %q exceeds the die", d.Name, b.Name)
+		}
+		if b.PeakPower < 0 || b.AvgPower < 0 {
+			return fmt.Errorf("floorplan: %s: block %q has negative power", d.Name, b.Name)
+		}
+		if b.AvgPower > b.PeakPower {
+			return fmt.Errorf("floorplan: %s: block %q average exceeds peak", d.Name, b.Name)
+		}
+		for j := i + 1; j < len(d.Blocks); j++ {
+			o := d.Blocks[j]
+			if b.X < o.X+o.W-tol && o.X < b.X+b.W-tol &&
+				b.Y < o.Y+o.H-tol && o.Y < b.Y+b.H-tol {
+				return fmt.Errorf("floorplan: %s: blocks %q and %q overlap", d.Name, b.Name, o.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// DensityAt returns the areal power density (W/m²) at die point (x, y).
+// Points outside the die return 0.
+func (d *Die) DensityAt(x, y float64, m Mode) float64 {
+	if x < 0 || x >= d.LengthX || y < 0 || y >= d.WidthY {
+		return 0
+	}
+	for _, b := range d.Blocks {
+		if b.Contains(x, y) {
+			return b.Density(m)
+		}
+	}
+	if m == Peak {
+		return d.BackgroundPeak
+	}
+	return d.BackgroundAvg
+}
+
+// TotalPower integrates the die power in W for the mode.
+func (d *Die) TotalPower(m Mode) float64 {
+	var blocks, blockArea float64
+	for _, b := range d.Blocks {
+		if m == Peak {
+			blocks += b.PeakPower
+		} else {
+			blocks += b.AvgPower
+		}
+		blockArea += b.Area()
+	}
+	bg := d.BackgroundPeak
+	if m == Average {
+		bg = d.BackgroundAvg
+	}
+	free := d.LengthX*d.WidthY - blockArea
+	if free < 0 {
+		free = 0
+	}
+	return blocks + bg*free
+}
+
+// MeanDensity returns the die-average areal power density (W/m²).
+func (d *Die) MeanDensity(m Mode) float64 {
+	return d.TotalPower(m) / (d.LengthX * d.WidthY)
+}
+
+// MaxDensity returns the highest block (or background) density (W/m²).
+func (d *Die) MaxDensity(m Mode) float64 {
+	bg := d.BackgroundPeak
+	if m == Average {
+		bg = d.BackgroundAvg
+	}
+	maxD := bg
+	for _, b := range d.Blocks {
+		if v := b.Density(m); v > maxD {
+			maxD = v
+		}
+	}
+	return maxD
+}
+
+// Rotate180 returns a copy of the die rotated by 180° in the plane — the
+// standard face-to-face stacking transform used to build Arch. 2/3
+// variants (hotspots of one die land over cool regions of the other).
+func (d *Die) Rotate180() *Die {
+	out := &Die{
+		Name:           d.Name + "-rot180",
+		LengthX:        d.LengthX,
+		WidthY:         d.WidthY,
+		BackgroundPeak: d.BackgroundPeak,
+		BackgroundAvg:  d.BackgroundAvg,
+	}
+	for _, b := range d.Blocks {
+		nb := b
+		nb.X = d.LengthX - b.X - b.W
+		nb.Y = d.WidthY - b.Y - b.H
+		out.Blocks = append(out.Blocks, nb)
+	}
+	return out
+}
+
+// MirrorX returns a copy mirrored along the flow axis (inlet ↔ outlet).
+func (d *Die) MirrorX() *Die {
+	out := &Die{
+		Name:           d.Name + "-mirrorx",
+		LengthX:        d.LengthX,
+		WidthY:         d.WidthY,
+		BackgroundPeak: d.BackgroundPeak,
+		BackgroundAvg:  d.BackgroundAvg,
+	}
+	for _, b := range d.Blocks {
+		nb := b
+		nb.X = d.LengthX - b.X - b.W
+		out.Blocks = append(out.Blocks, nb)
+	}
+	return out
+}
+
+// SampleGrid rasterizes the density map onto an ny×nx grid (row-major
+// [y][x]) of cell-centre samples in W/m².
+func (d *Die) SampleGrid(nx, ny int, m Mode) ([][]float64, error) {
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("floorplan: invalid grid %dx%d", nx, ny)
+	}
+	dx := d.LengthX / float64(nx)
+	dy := d.WidthY / float64(ny)
+	out := make([][]float64, ny)
+	for j := 0; j < ny; j++ {
+		out[j] = make([]float64, nx)
+		for i := 0; i < nx; i++ {
+			out[j][i] = d.DensityAt((float64(i)+0.5)*dx, (float64(j)+0.5)*dy, m)
+		}
+	}
+	return out, nil
+}
+
+// StripPower integrates the die power over the strip
+// x ∈ [x0, x1), y ∈ [y0, y1) in W, by decomposing the strip against the
+// block rectangles (exact, no rasterization error).
+func (d *Die) StripPower(x0, x1, y0, y1 float64, m Mode) float64 {
+	x0 = math.Max(x0, 0)
+	y0 = math.Max(y0, 0)
+	x1 = math.Min(x1, d.LengthX)
+	y1 = math.Min(y1, d.WidthY)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	total := 0.0
+	covered := 0.0
+	for _, b := range d.Blocks {
+		ox0 := math.Max(x0, b.X)
+		ox1 := math.Min(x1, b.X+b.W)
+		oy0 := math.Max(y0, b.Y)
+		oy1 := math.Min(y1, b.Y+b.H)
+		if ox1 > ox0 && oy1 > oy0 {
+			a := (ox1 - ox0) * (oy1 - oy0)
+			total += b.Density(m) * a
+			covered += a
+		}
+	}
+	bg := d.BackgroundPeak
+	if m == Average {
+		bg = d.BackgroundAvg
+	}
+	total += bg * ((x1-x0)*(y1-y0) - covered)
+	return total
+}

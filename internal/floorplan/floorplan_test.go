@@ -1,0 +1,271 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestKindModeStrings(t *testing.T) {
+	for k, want := range map[Kind]string{Core: "core", L2: "l2", Crossbar: "crossbar", IO: "io", Other: "other"} {
+		if k.String() != want {
+			t.Errorf("%v != %s", k, want)
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind")
+	}
+	if Peak.String() != "peak" || Average.String() != "average" {
+		t.Error("mode strings")
+	}
+}
+
+func TestBlockBasics(t *testing.T) {
+	b := Block{Name: "x", X: 0.001, Y: 0.002, W: 0.002, H: 0.003, PeakPower: 3, AvgPower: 1}
+	if math.Abs(b.Area()-6e-6) > 1e-18 {
+		t.Errorf("area = %v", b.Area())
+	}
+	if math.Abs(b.Density(Peak)-3/6e-6) > 1e-6 {
+		t.Errorf("peak density = %v", b.Density(Peak))
+	}
+	if math.Abs(b.Density(Average)-1/6e-6) > 1e-6 {
+		t.Errorf("avg density = %v", b.Density(Average))
+	}
+	if !b.Contains(0.002, 0.003) || b.Contains(0.0005, 0.003) || b.Contains(0.003, 0.0051) {
+		t.Error("Contains wrong")
+	}
+	if (Block{}).Density(Peak) != 0 {
+		t.Error("degenerate density")
+	}
+}
+
+func TestDieValidate(t *testing.T) {
+	d := &Die{Name: "d", LengthX: 0.01, WidthY: 0.011}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *d
+	bad.LengthX = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero length must fail")
+	}
+	d2 := &Die{Name: "d2", LengthX: 0.01, WidthY: 0.01, Blocks: []Block{
+		{Name: "a", X: 0, Y: 0, W: 0.005, H: 0.005, PeakPower: 1, AvgPower: 0.5},
+		{Name: "b", X: 0.004, Y: 0.004, W: 0.004, H: 0.004, PeakPower: 1, AvgPower: 0.5},
+	}}
+	if err := d2.Validate(); err == nil {
+		t.Error("overlap must fail")
+	}
+	d3 := &Die{Name: "d3", LengthX: 0.01, WidthY: 0.01, Blocks: []Block{
+		{Name: "a", X: 0.008, Y: 0, W: 0.005, H: 0.005, PeakPower: 1, AvgPower: 0.5},
+	}}
+	if err := d3.Validate(); err == nil {
+		t.Error("out-of-die block must fail")
+	}
+	d4 := &Die{Name: "d4", LengthX: 0.01, WidthY: 0.01, Blocks: []Block{
+		{Name: "a", X: 0, Y: 0, W: 0.005, H: 0.005, PeakPower: 1, AvgPower: 2},
+	}}
+	if err := d4.Validate(); err == nil {
+		t.Error("avg > peak must fail")
+	}
+}
+
+func TestDensityAtAndTotals(t *testing.T) {
+	d := &Die{
+		Name: "d", LengthX: 0.01, WidthY: 0.01,
+		BackgroundPeak: 1000, BackgroundAvg: 400,
+		Blocks: []Block{{Name: "hot", X: 0, Y: 0, W: 0.005, H: 0.005,
+			PeakPower: 2.5, AvgPower: 1.0}},
+	}
+	// Inside the block: 2.5 W / 25 mm² = 1e5 W/m².
+	if got := d.DensityAt(0.001, 0.001, Peak); math.Abs(got-1e5) > 1 {
+		t.Errorf("block density = %v", got)
+	}
+	if got := d.DensityAt(0.008, 0.008, Peak); got != 1000 {
+		t.Errorf("background density = %v", got)
+	}
+	if got := d.DensityAt(-1, 0, Peak); got != 0 {
+		t.Errorf("outside density = %v", got)
+	}
+	// Total: 2.5 + 1000·(1e-4 − 2.5e-5) = 2.5 + 0.075.
+	if got := d.TotalPower(Peak); math.Abs(got-2.575) > 1e-9 {
+		t.Errorf("total = %v", got)
+	}
+	if got := d.TotalPower(Average); math.Abs(got-(1.0+400*7.5e-5)) > 1e-9 {
+		t.Errorf("avg total = %v", got)
+	}
+	if d.MeanDensity(Peak) <= 0 || d.MaxDensity(Peak) != 1e5 {
+		t.Error("mean/max density")
+	}
+}
+
+func TestStripPowerExactness(t *testing.T) {
+	d := &Die{
+		Name: "d", LengthX: 0.01, WidthY: 0.01,
+		BackgroundPeak: 500, BackgroundAvg: 200,
+		Blocks: []Block{{Name: "b", X: 0.002, Y: 0.002, W: 0.004, H: 0.004,
+			PeakPower: 4, AvgPower: 2}},
+	}
+	// Whole die strip = total power.
+	if got, want := d.StripPower(0, 0.01, 0, 0.01, Peak), d.TotalPower(Peak); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("whole-die strip %v vs total %v", got, want)
+	}
+	// Strip fully inside the block.
+	den := 4 / (0.004 * 0.004)
+	if got, want := d.StripPower(0.003, 0.004, 0.003, 0.004, Peak), den*1e-6; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("inner strip %v vs %v", got, want)
+	}
+	// Degenerate strip.
+	if d.StripPower(0.5, 0.4, 0, 1, Peak) != 0 {
+		t.Error("inverted strip must be 0")
+	}
+	// Sum of slices equals the whole.
+	var sum float64
+	for i := 0; i < 10; i++ {
+		sum += d.StripPower(float64(i)*0.001, float64(i+1)*0.001, 0, 0.01, Peak)
+	}
+	if math.Abs(sum-d.TotalPower(Peak)) > 1e-9 {
+		t.Fatalf("slice sum %v vs total %v", sum, d.TotalPower(Peak))
+	}
+}
+
+func TestTransformsPreservePower(t *testing.T) {
+	d := NiagaraProcessorDie()
+	for _, tr := range []*Die{d.Rotate180(), d.MirrorX()} {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", tr.Name, err)
+		}
+		if math.Abs(tr.TotalPower(Peak)-d.TotalPower(Peak)) > 1e-9 {
+			t.Fatalf("%s changed total power", tr.Name)
+		}
+	}
+	// Rotation must move an asymmetric feature.
+	if d.DensityAt(0.001, 0.001, Peak) == d.Rotate180().DensityAt(0.001, 0.001, Peak) &&
+		d.DensityAt(0.0015, 0.0015, Peak) == d.Rotate180().DensityAt(0.0015, 0.0015, Peak) &&
+		d.DensityAt(0.005, 0.0002, Peak) == d.Rotate180().DensityAt(0.005, 0.0002, Peak) {
+		t.Log("note: rotation fixed points coincide; acceptable for symmetric plans")
+	}
+}
+
+func TestNiagaraDiesValid(t *testing.T) {
+	p := NiagaraProcessorDie()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := NiagaraCacheDie()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Eight cores on the processor die.
+	cores := 0
+	for _, b := range p.Blocks {
+		if b.Kind == Core {
+			cores++
+		}
+	}
+	if cores != 8 {
+		t.Fatalf("processor die has %d cores, want 8", cores)
+	}
+	// Dimensions per the paper.
+	if p.LengthX != units.Centimeters(1) || p.WidthY != units.Millimeters(11) {
+		t.Fatal("die dimensions")
+	}
+	// Cache die cooler than processor die.
+	if c.TotalPower(Peak) >= p.TotalPower(Peak) {
+		t.Fatal("cache die must dissipate less than processor die")
+	}
+	// Average below peak.
+	if p.TotalPower(Average) >= p.TotalPower(Peak) {
+		t.Fatal("average must be below peak")
+	}
+}
+
+func TestArchitectures(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		s, err := Arch(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("arch %d: %v", n, err)
+		}
+	}
+	if _, err := Arch(0); err == nil {
+		t.Error("arch 0 must fail")
+	}
+	if _, err := Arch(4); err == nil {
+		t.Error("arch 4 must fail")
+	}
+}
+
+// The paper quotes combined flux densities of 8–64 W/cm² for the two dies.
+// Arch 3 (core-on-core) must reach the 64 W/cm² ceiling; every arch must
+// have a floor near 8 W/cm².
+func TestCombinedDensityRange(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		s, _ := Arch(n)
+		maxD, minD := 0.0, math.Inf(1)
+		for i := 0; i < 100; i++ {
+			for j := 0; j < 110; j++ {
+				x := (float64(i) + 0.5) * s.Top.LengthX / 100
+				y := (float64(j) + 0.5) * s.Top.WidthY / 110
+				d := s.CombinedDensityAt(x, y, Peak)
+				if d > maxD {
+					maxD = d
+				}
+				if d < minD {
+					minD = d
+				}
+			}
+		}
+		maxW := units.ToWattsPerCm2(maxD)
+		minW := units.ToWattsPerCm2(minD)
+		if minW < 6 || minW > 14 {
+			t.Errorf("arch %d combined floor %.1f W/cm², want ≈8", n, minW)
+		}
+		if n == 3 && math.Abs(maxW-64) > 2 {
+			t.Errorf("arch 3 combined ceiling %.1f W/cm², want ≈64", maxW)
+		}
+		if maxW > 66 {
+			t.Errorf("arch %d exceeds the 64 W/cm² ceiling: %.1f", n, maxW)
+		}
+	}
+}
+
+func TestSampleGrid(t *testing.T) {
+	d := NiagaraProcessorDie()
+	g, err := d.SampleGrid(20, 22, Peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 22 || len(g[0]) != 20 {
+		t.Fatal("grid shape")
+	}
+	if _, err := d.SampleGrid(0, 1, Peak); err == nil {
+		t.Error("invalid grid must fail")
+	}
+	// Grid max must equal the core density.
+	maxV := 0.0
+	for _, row := range g {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if math.Abs(maxV-d.MaxDensity(Peak)) > 1 {
+		t.Fatalf("grid max %v vs die max %v", maxV, d.MaxDensity(Peak))
+	}
+}
+
+func TestStackValidate(t *testing.T) {
+	s := &Stack{Name: "s", Top: NiagaraProcessorDie()}
+	if err := s.Validate(); err == nil {
+		t.Error("missing die must fail")
+	}
+	s.Bottom = &Die{Name: "small", LengthX: 0.005, WidthY: 0.011}
+	if err := s.Validate(); err == nil {
+		t.Error("dimension mismatch must fail")
+	}
+}

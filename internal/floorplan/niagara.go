@@ -1,0 +1,172 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Die and stack dimensions of the paper's Sec. V-B experiments: dies of
+// 1 cm × 1.1 cm, coolant flowing along the 1 cm edge.
+var (
+	// DieLengthX is the die extent along the coolant flow.
+	DieLengthX = units.Centimeters(1)
+	// DieWidthY is the die extent across the channels.
+	DieWidthY = units.Millimeters(11)
+)
+
+// Power calibration. The paper states combined (two-die) flux densities of
+// 8–64 W/cm². With two processor dies stacked core-on-core the combined
+// core flux is 2 × 32 = 64 W/cm²; cache and background regions give a
+// combined floor of about 2 × 4 = 8 W/cm². Average power runs at ~45 % of
+// peak, a typical ratio for the Niagara-class workloads of the paper's
+// references.
+const (
+	coreDensityPeakWcm2 = 32.0
+	xbarDensityPeakWcm2 = 12.0
+	ioDensityPeakWcm2   = 8.0
+	l2DensityPeakWcm2   = 5.0
+	bgDensityPeakWcm2   = 4.0
+	avgFraction         = 0.45
+)
+
+// NiagaraProcessorDie builds the processor die of the stack. The layout is
+// deliberately ASYMMETRIC along the coolant flow, mirroring the Niagara
+// organization of cores along one die edge: I/O near the inlet, the L2
+// tag/background region next, the crossbar band past mid-die, and the
+// eight SPARC cores in one row of eight near the OUTLET edge — the worst
+// placement for liquid cooling, since the hotspots sit where the coolant
+// is already hot. This asymmetry is what makes the Fig. 7 stacking
+// variants (Arch 1–3) genuinely different.
+func NiagaraProcessorDie() *Die {
+	d := &Die{
+		Name:           "niagara-proc",
+		LengthX:        DieLengthX,
+		WidthY:         DieWidthY,
+		BackgroundPeak: units.WattsPerCm2(bgDensityPeakWcm2),
+		BackgroundAvg:  units.WattsPerCm2(bgDensityPeakWcm2) * avgFraction,
+	}
+	// Eight cores in one row across the die, near the outlet.
+	coreW := units.Millimeters(2.2) // along flow
+	coreH := units.Millimeters(1.2) // across flow
+	gapY := (DieWidthY - 8*coreH) / 9
+	xCore := DieLengthX - units.Millimeters(0.6) - coreW
+	for i := 0; i < 8; i++ {
+		y := gapY + float64(i)*(coreH+gapY)
+		peak := units.WattsPerCm2(coreDensityPeakWcm2) * coreW * coreH
+		d.Blocks = append(d.Blocks, Block{
+			Name: fmt.Sprintf("sparc%d", i), Kind: Core,
+			X: xCore, Y: y, W: coreW, H: coreH,
+			PeakPower: peak, AvgPower: peak * avgFraction,
+		})
+	}
+
+	// Crossbar band between the L2 region and the cores.
+	xbarW := units.Millimeters(1.2)
+	xbarX := xCore - units.Millimeters(0.4) - xbarW
+	xbarPeak := units.WattsPerCm2(xbarDensityPeakWcm2) * xbarW * DieWidthY
+	d.Blocks = append(d.Blocks, Block{
+		Name: "crossbar", Kind: Crossbar, X: xbarX, Y: 0, W: xbarW, H: DieWidthY,
+		PeakPower: xbarPeak, AvgPower: xbarPeak * avgFraction,
+	})
+
+	// IO strip near the inlet.
+	ioW := units.Millimeters(0.8)
+	ioPeak := units.WattsPerCm2(ioDensityPeakWcm2) * ioW * DieWidthY
+	d.Blocks = append(d.Blocks, Block{
+		Name: "io", Kind: IO, X: units.Millimeters(0.4), Y: 0, W: ioW, H: DieWidthY,
+		PeakPower: ioPeak, AvgPower: ioPeak * avgFraction,
+	})
+
+	// L2 tag region between IO and crossbar.
+	l2X := units.Millimeters(0.4) + ioW + units.Millimeters(0.3)
+	l2W := xbarX - units.Millimeters(0.3) - l2X
+	l2Peak := units.WattsPerCm2(l2DensityPeakWcm2) * l2W * DieWidthY
+	d.Blocks = append(d.Blocks, Block{
+		Name: "l2tags", Kind: L2, X: l2X, Y: 0, W: l2W, H: DieWidthY,
+		PeakPower: l2Peak, AvgPower: l2Peak * avgFraction,
+	})
+	return d
+}
+
+// NiagaraCacheDie builds the companion cache die: four large L2 banks
+// covering most of the die with a low, nearly uniform density.
+func NiagaraCacheDie() *Die {
+	d := &Die{
+		Name:           "niagara-l2",
+		LengthX:        DieLengthX,
+		WidthY:         DieWidthY,
+		BackgroundPeak: units.WattsPerCm2(bgDensityPeakWcm2),
+		BackgroundAvg:  units.WattsPerCm2(bgDensityPeakWcm2) * avgFraction,
+	}
+	bankW := DieLengthX/2 - units.Millimeters(0.5)
+	bankH := DieWidthY/2 - units.Millimeters(0.5)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			x := units.Millimeters(0.25) + float64(i)*(bankW+units.Millimeters(0.5))
+			y := units.Millimeters(0.25) + float64(j)*(bankH+units.Millimeters(0.5))
+			peak := units.WattsPerCm2(l2DensityPeakWcm2) * bankW * bankH
+			d.Blocks = append(d.Blocks, Block{
+				Name: fmt.Sprintf("l2bank%d", 2*i+j), Kind: L2,
+				X: x, Y: y, W: bankW, H: bankH,
+				PeakPower: peak, AvgPower: peak * avgFraction,
+			})
+		}
+	}
+	return d
+}
+
+// Stack is a two-die 3D-MPSoC: the top and bottom active layers around the
+// microchannel cavity.
+type Stack struct {
+	Name        string
+	Top, Bottom *Die
+}
+
+// Arch builds the paper's Fig. 7 architectures (1, 2 or 3): three
+// different stackings of the same functional blocks, exactly the kind of
+// floorplan-level exploration the paper combines channel modulation with.
+//
+//	Arch 1 — processor die over cache die: logic-on-memory; core hotspots
+//	         on one layer only, near the outlet.
+//	Arch 2 — two processor dies, the second mirrored along the flow axis:
+//	         one die's cores sit near the inlet, the other's near the
+//	         outlet — the heat load is staggered along the channel.
+//	Arch 3 — two identical processor dies stacked core-on-core: both core
+//	         rows coincide at the outlet, combined core flux 64 W/cm² —
+//	         the worst case.
+func Arch(n int) (*Stack, error) {
+	switch n {
+	case 1:
+		return &Stack{Name: "arch1", Top: NiagaraProcessorDie(), Bottom: NiagaraCacheDie()}, nil
+	case 2:
+		return &Stack{Name: "arch2", Top: NiagaraProcessorDie(), Bottom: NiagaraProcessorDie().MirrorX()}, nil
+	case 3:
+		return &Stack{Name: "arch3", Top: NiagaraProcessorDie(), Bottom: NiagaraProcessorDie()}, nil
+	default:
+		return nil, fmt.Errorf("floorplan: unknown architecture %d (want 1..3)", n)
+	}
+}
+
+// Validate checks both dies and their dimensional agreement.
+func (s *Stack) Validate() error {
+	if s.Top == nil || s.Bottom == nil {
+		return fmt.Errorf("floorplan: stack %q missing a die", s.Name)
+	}
+	if err := s.Top.Validate(); err != nil {
+		return err
+	}
+	if err := s.Bottom.Validate(); err != nil {
+		return err
+	}
+	if s.Top.LengthX != s.Bottom.LengthX || s.Top.WidthY != s.Bottom.WidthY {
+		return fmt.Errorf("floorplan: stack %q die dimensions disagree", s.Name)
+	}
+	return nil
+}
+
+// CombinedDensityAt returns the summed areal density of both dies at a
+// point (the quantity whose 8–64 W/cm² range the paper quotes).
+func (s *Stack) CombinedDensityAt(x, y float64, m Mode) float64 {
+	return s.Top.DensityAt(x, y, m) + s.Bottom.DensityAt(x, y, m)
+}

@@ -1,0 +1,110 @@
+package fluids
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWaterAt300K(t *testing.T) {
+	w, err := Water(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference values near 27 °C.
+	if w.Density < 990 || w.Density > 1000 {
+		t.Errorf("density = %v", w.Density)
+	}
+	if w.DynamicViscosity < 7e-4 || w.DynamicViscosity > 10e-4 {
+		t.Errorf("viscosity = %v", w.DynamicViscosity)
+	}
+	if w.ThermalConductivity < 0.58 || w.ThermalConductivity > 0.64 {
+		t.Errorf("conductivity = %v", w.ThermalConductivity)
+	}
+	if w.SpecificHeat < 4150 || w.SpecificHeat > 4230 {
+		t.Errorf("cp = %v", w.SpecificHeat)
+	}
+	if pr := w.Prandtl(); pr < 5 || pr > 7 {
+		t.Errorf("Pr = %v, want ≈5.8", pr)
+	}
+}
+
+func TestDefaultWaterMatchesTableI(t *testing.T) {
+	w := DefaultWater()
+	cv := w.VolumetricHeatCapacity()
+	if math.Abs(cv-4.17e6)/4.17e6 > 1e-12 {
+		t.Fatalf("cv = %v, want 4.17e6 (Table I)", cv)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaterViscosityDecreasesWithTemperature(t *testing.T) {
+	prev := math.Inf(1)
+	for tk := 280.0; tk <= 355; tk += 5 {
+		w, err := Water(tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.DynamicViscosity >= prev {
+			t.Fatalf("viscosity not monotone decreasing at %g K", tk)
+		}
+		prev = w.DynamicViscosity
+	}
+}
+
+func TestWaterRangeErrors(t *testing.T) {
+	if _, err := Water(250); err == nil {
+		t.Error("sub-range temperature must fail")
+	}
+	if _, err := Water(400); err == nil {
+		t.Error("super-range temperature must fail")
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	f := Fluid{Name: "x", Density: 1000, DynamicViscosity: 1e-3,
+		ThermalConductivity: 0.6, SpecificHeat: 4200}
+	if nu := f.KinematicViscosity(); math.Abs(nu-1e-6) > 1e-12 {
+		t.Errorf("nu = %v", nu)
+	}
+	if cv := f.VolumetricHeatCapacity(); cv != 4.2e6 {
+		t.Errorf("cv = %v", cv)
+	}
+	if pr := f.Prandtl(); math.Abs(pr-7) > 1e-12 {
+		t.Errorf("Pr = %v", pr)
+	}
+}
+
+func TestValidateCatchesBadFields(t *testing.T) {
+	good := Glycol50()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Density = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero density must fail")
+	}
+	bad = good
+	bad.SpecificHeat = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cp must fail")
+	}
+	bad = good
+	bad.ThermalConductivity = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN conductivity must fail")
+	}
+}
+
+func TestGlycolDenserAndMoreViscousThanWater(t *testing.T) {
+	w := DefaultWater()
+	g := Glycol50()
+	if g.Density <= w.Density {
+		t.Error("glycol mixture should be denser than water")
+	}
+	if g.DynamicViscosity <= w.DynamicViscosity {
+		t.Error("glycol mixture should be more viscous than water")
+	}
+}

@@ -1,0 +1,288 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compact"
+	"repro/internal/microchannel"
+	"repro/internal/units"
+)
+
+func baseConfig() Config {
+	p := compact.DefaultParams()
+	return Config{
+		Params:  p,
+		LengthX: p.Length, // 1 cm along flow
+		WidthY:  units.Millimeters(2),
+		NX:      40,
+		NY:      4,
+	}
+}
+
+func uniformStack(powerWcm2, width float64) *Stack {
+	cfg := baseConfig()
+	pw := units.WattsPerCm2(powerWcm2)
+	return &Stack{
+		Cfg:         cfg,
+		PowerTop:    func(x, y float64) float64 { return pw },
+		PowerBottom: func(x, y float64) float64 { return pw },
+		Width:       func(x, y float64) float64 { return width },
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := baseConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.LengthX = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero length must fail")
+	}
+	bad = cfg
+	bad.NX = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny NX must fail")
+	}
+	bad = cfg
+	bad.NY = 40 // cells narrower than the pitch
+	if err := bad.Validate(); err == nil {
+		t.Error("cell below pitch must fail")
+	}
+	bad = cfg
+	bad.Params.Pitch = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("bad params must fail")
+	}
+}
+
+func TestSolveRequiresFields(t *testing.T) {
+	s := &Stack{Cfg: baseConfig()}
+	if _, err := s.Solve(); err == nil {
+		t.Fatal("nil fields must fail")
+	}
+}
+
+func TestUniformStackBasics(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	f, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coolant rises monotonically along the flow.
+	for j := 0; j < f.NY; j++ {
+		for i := 0; i+1 < f.NX; i++ {
+			if f.Coolant[j][i+1] < f.Coolant[j][i]-1e-9 {
+				t.Fatalf("coolant fell at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Silicon is above the coolant everywhere (heat flows into coolant).
+	for j := 0; j < f.NY; j++ {
+		for i := 0; i < f.NX; i++ {
+			if f.Top[j][i] < f.Coolant[j][i] {
+				t.Fatalf("silicon below coolant at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Symmetry: top and bottom identical under symmetric power.
+	for j := 0; j < f.NY; j++ {
+		for i := 0; i < f.NX; i++ {
+			if math.Abs(f.Top[j][i]-f.Bottom[j][i]) > 1e-6 {
+				t.Fatalf("top/bottom asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Lateral uniformity: all y rows identical for uniform power.
+	for j := 1; j < f.NY; j++ {
+		for i := 0; i < f.NX; i++ {
+			if math.Abs(f.Top[j][i]-f.Top[0][i]) > 1e-6 {
+				t.Fatalf("lateral nonuniformity at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	f, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := s.Cfg.LengthX * s.Cfg.WidthY
+	injected := 2 * units.WattsPerCm2(50) * area
+	absorbed := f.HeatAbsorbed(s)
+	if math.Abs(absorbed-injected)/injected > 1e-6 {
+		t.Fatalf("energy balance: injected %v W, absorbed %v W", injected, absorbed)
+	}
+}
+
+// The grid simulator must agree with the compact analytical model on the
+// single-channel test structure — this is the reproduction of the paper's
+// Sec. III validation against 3D-ICE.
+func TestGridMatchesCompactModel(t *testing.T) {
+	p := compact.DefaultParams()
+	const fluxWcm2 = 50.0
+
+	// Compact model: one cluster-wide column.
+	w, err := microchannel.NewUniform(50e-6, p.Length, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := units.WattsPerCm2(fluxWcm2) * p.ClusterWidth()
+	fl, err := compact.NewUniformFlux(lin, p.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := &compact.Model{Params: p, Channels: []compact.Channel{{Width: w, FluxTop: fl, FluxBottom: fl}}}
+	cres, err := cm.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Grid: same footprint (one cluster width across).
+	cfg := Config{Params: p, LengthX: p.Length, WidthY: p.ClusterWidth(), NX: 50, NY: 1}
+	pw := units.WattsPerCm2(fluxWcm2)
+	gs := &Stack{
+		Cfg:         cfg,
+		PowerTop:    func(x, y float64) float64 { return pw },
+		PowerBottom: func(x, y float64) float64 { return pw },
+		Width:       func(x, y float64) float64 { return 50e-6 },
+	}
+	gres, err := gs.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compare thermal gradients and peaks (different discretizations, so a
+	// few percent tolerance).
+	cg, gg := cres.Gradient(), gres.Gradient()
+	if math.Abs(cg-gg) > 0.08*cg {
+		t.Fatalf("gradient mismatch: compact %.2f K vs grid %.2f K", cg, gg)
+	}
+	cp, gp := cres.PeakTemperature(), gres.PeakTemperature()
+	if math.Abs(cp-gp) > 1.5 {
+		t.Fatalf("peak mismatch: compact %.2f K vs grid %.2f K", cp, gp)
+	}
+	// Coolant outlet temperatures must agree closely (pure energy balance).
+	cOut := cres.Channels[0].TC[len(cres.Z)-1]
+	gOut := gres.CoolantOutletMax()
+	if math.Abs(cOut-gOut) > 0.5 {
+		t.Fatalf("coolant outlet mismatch: %.2f vs %.2f", cOut, gOut)
+	}
+}
+
+// Narrower channels must cool better in the grid model too.
+func TestGridNarrowChannelCoolsBetter(t *testing.T) {
+	fNarrow, err := uniformStack(50, 10e-6).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fWide, err := uniformStack(50, 50e-6).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fNarrow.PeakTemperature() >= fWide.PeakTemperature() {
+		t.Fatalf("narrow peak %v must be below wide peak %v",
+			fNarrow.PeakTemperature(), fWide.PeakTemperature())
+	}
+}
+
+// A hotspot in the power map must appear as a localized maximum.
+func TestGridHotspotLocalized(t *testing.T) {
+	cfg := baseConfig()
+	cfg.NY = 8
+	cfg.WidthY = units.Millimeters(4)
+	bg := units.WattsPerCm2(10)
+	hot := units.WattsPerCm2(150)
+	s := &Stack{
+		Cfg: cfg,
+		PowerTop: func(x, y float64) float64 {
+			// Hotspot in the middle third along x, middle half in y.
+			if x > cfg.LengthX/3 && x < 2*cfg.LengthX/3 &&
+				y > cfg.WidthY/4 && y < 3*cfg.WidthY/4 {
+				return hot
+			}
+			return bg
+		},
+		PowerBottom: func(x, y float64) float64 { return bg },
+		Width:       func(x, y float64) float64 { return 50e-6 },
+	}
+	f, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the hottest cell on the top layer: must lie inside or just
+	// downstream of the hotspot region.
+	bi, bj, bv := 0, 0, math.Inf(-1)
+	for j := 0; j < f.NY; j++ {
+		for i := 0; i < f.NX; i++ {
+			if f.Top[j][i] > bv {
+				bv, bi, bj = f.Top[j][i], i, j
+			}
+		}
+	}
+	x := (float64(bi) + 0.5) * f.DX
+	y := (float64(bj) + 0.5) * f.DY
+	if x < cfg.LengthX/3 || x > 0.9*cfg.LengthX {
+		t.Fatalf("hotspot peak at x=%v, expected inside/downstream of the heated band", x)
+	}
+	if y < cfg.WidthY/4 || y > 3*cfg.WidthY/4 {
+		t.Fatalf("hotspot peak at y=%v, expected within the heated band", y)
+	}
+	// The top layer must be hotter than the bottom at the hotspot.
+	if f.Top[bj][bi] <= f.Bottom[bj][bi] {
+		t.Fatal("top layer must be hotter at a top-layer hotspot")
+	}
+}
+
+// Channel modulation in the grid: narrowing toward the outlet must reduce
+// the axial gradient exactly as in the compact model (Fig. 9 mechanism).
+func TestGridModulationReducesGradient(t *testing.T) {
+	uniform := uniformStack(50, 50e-6)
+	fu, err := uniform.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := uniformStack(50, 50e-6)
+	lengthX := mod.Cfg.LengthX
+	mod.Width = func(x, y float64) float64 {
+		// Linear 50 → 12 µm narrowing along the flow.
+		return 50e-6 - (50e-6-12e-6)*x/lengthX
+	}
+	fm, err := mod.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Gradient() >= fu.Gradient() {
+		t.Fatalf("modulated gradient %.2f K must beat uniform %.2f K",
+			fm.Gradient(), fu.Gradient())
+	}
+}
+
+func TestAxialProfile(t *testing.T) {
+	f, err := uniformStack(50, 50e-6).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := f.AxialProfile("coolant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != f.NX {
+		t.Fatal("profile length")
+	}
+	if prof[f.NX-1] <= prof[0] {
+		t.Fatal("coolant profile must rise")
+	}
+	if _, err := f.AxialProfile("nope"); err == nil {
+		t.Fatal("unknown layer must fail")
+	}
+	for _, layer := range []string{"top", "bottom"} {
+		if _, err := f.AxialProfile(layer); err != nil {
+			t.Fatalf("%s: %v", layer, err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// TimeFieldFunc samples a quantity at die coordinates (x, y) and time t.
+type TimeFieldFunc func(x, y, t float64) float64
+
+// ConstantInTime lifts a static field into a TimeFieldFunc.
+func ConstantInTime(f FieldFunc) TimeFieldFunc {
+	return func(x, y, _ float64) float64 { return f(x, y) }
+}
+
+// StepInTime switches from the before field to the after field at time
+// tSwitch — the classic power-step workload for transient studies.
+func StepInTime(before, after FieldFunc, tSwitch float64) TimeFieldFunc {
+	return func(x, y, t float64) float64 {
+		if t < tSwitch {
+			return before(x, y)
+		}
+		return after(x, y)
+	}
+}
+
+// TransientConfig parameterizes a backward-Euler transient run.
+type TransientConfig struct {
+	// Dt is the time step in seconds.
+	Dt float64
+	// Steps is the number of time steps.
+	Steps int
+	// InitialTemp is the uniform initial temperature (0 → coolant inlet
+	// temperature, i.e. a stack that has been idle long enough to reach
+	// coolant temperature).
+	InitialTemp float64
+	// RecordEvery stores a snapshot every n-th step (0 → every step).
+	RecordEvery int
+	// SolveTol overrides the per-step linear tolerance (0 → 1e-8).
+	SolveTol float64
+}
+
+// Validate reports the first invalid configuration entry.
+func (c TransientConfig) Validate() error {
+	if !(c.Dt > 0) {
+		return fmt.Errorf("grid: transient Dt %g must be positive", c.Dt)
+	}
+	if c.Steps < 1 {
+		return fmt.Errorf("grid: transient needs at least 1 step, got %d", c.Steps)
+	}
+	if c.RecordEvery < 0 {
+		return fmt.Errorf("grid: negative RecordEvery %d", c.RecordEvery)
+	}
+	return nil
+}
+
+// TransientResult carries the recorded snapshots of a transient run.
+type TransientResult struct {
+	// Times are the snapshot instants in seconds.
+	Times []float64
+	// Fields are the temperature fields at those instants.
+	Fields []*Field
+}
+
+// Final returns the last recorded field.
+func (r *TransientResult) Final() *Field { return r.Fields[len(r.Fields)-1] }
+
+// GradientSeries returns the silicon thermal gradient at every snapshot.
+func (r *TransientResult) GradientSeries() mat.Vec {
+	out := make(mat.Vec, len(r.Fields))
+	for i, f := range r.Fields {
+		out[i] = f.Gradient()
+	}
+	return out
+}
+
+// PeakSeries returns the peak silicon temperature at every snapshot.
+func (r *TransientResult) PeakSeries() mat.Vec {
+	out := make(mat.Vec, len(r.Fields))
+	for i, f := range r.Fields {
+		out[i] = f.PeakTemperature()
+	}
+	return out
+}
+
+// SolveTransient integrates the stack's thermal response under the
+// time-varying power inputs with the unconditionally stable backward-Euler
+// scheme:
+//
+//	(C/Δt + G)·T^{n+1} = (C/Δt)·T^n + P(t^{n+1}) + b
+//
+// where C holds the silicon and coolant cell capacitances and G is the
+// same conductance matrix the steady solver uses — the transient solution
+// therefore converges to Solve's fixed point for constant inputs (verified
+// by the tests). This is the capability that makes the package a usable
+// stand-in for the 3D-ICE transient simulator the paper validates against.
+func (s *Stack) SolveTransient(pTop, pBottom TimeFieldFunc, cfg TransientConfig) (*TransientResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pTop == nil || pBottom == nil {
+		return nil, errors.New("grid: transient power inputs must be set")
+	}
+	sys, err := s.assemble()
+	if err != nil {
+		return nil, err
+	}
+	nTot := 3 * sys.nx * sys.ny
+
+	// Assemble A = C/Δt + G once (time-invariant geometry).
+	b := sparse.NewBuilder(nTot, nTot)
+	for i := 0; i < nTot; i++ {
+		b.Add(i, i, sys.caps[i]/cfg.Dt)
+	}
+	sys.g.EachEntry(func(i, j int, v float64) {
+		b.Add(i, j, v)
+	})
+	a := b.Build()
+
+	t0 := cfg.InitialTemp
+	if t0 == 0 {
+		t0 = s.Cfg.Params.InletTemp
+	}
+	x := make(mat.Vec, nTot)
+	for i := range x {
+		x[i] = t0
+	}
+
+	tol := cfg.SolveTol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	every := cfg.RecordEvery
+	if every <= 0 {
+		every = 1
+	}
+
+	res := &TransientResult{}
+	record := func(t float64, vec mat.Vec, iters int, resid float64) {
+		res.Times = append(res.Times, t)
+		res.Fields = append(res.Fields, sys.unpack(vec, iters, resid))
+	}
+	record(0, x, 0, 0)
+
+	rhs := make(mat.Vec, nTot)
+	for n := 1; n <= cfg.Steps; n++ {
+		t := float64(n) * cfg.Dt
+		copy(rhs, sys.rhsConst)
+		s.powerRHS(sys, rhs, pTop, pBottom, t)
+		for i := range rhs {
+			rhs[i] += sys.caps[i] / cfg.Dt * x[i]
+		}
+		sol, err := sparse.BiCGSTAB(a, rhs, sparse.SolveOptions{
+			Tol:     tol,
+			MaxIter: 40 * nTot,
+			X0:      x, // warm start from the previous step
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w at t=%g s: %v", ErrSolver, t, err)
+		}
+		copy(x, sol.X)
+		if n%every == 0 || n == cfg.Steps {
+			record(t, x, sol.Iterations, sol.Residual)
+		}
+	}
+	return res, nil
+}

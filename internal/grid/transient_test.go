@@ -1,0 +1,146 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestTransientConfigValidate(t *testing.T) {
+	if err := (TransientConfig{Dt: 1e-3, Steps: 5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (TransientConfig{Dt: 0, Steps: 5}).Validate(); err == nil {
+		t.Error("zero Dt must fail")
+	}
+	if err := (TransientConfig{Dt: 1e-3, Steps: 0}).Validate(); err == nil {
+		t.Error("zero steps must fail")
+	}
+	if err := (TransientConfig{Dt: 1e-3, Steps: 5, RecordEvery: -1}).Validate(); err == nil {
+		t.Error("negative RecordEvery must fail")
+	}
+}
+
+func TestTransientRequiresInputs(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	if _, err := s.SolveTransient(nil, nil, TransientConfig{Dt: 1e-3, Steps: 1}); err == nil {
+		t.Fatal("nil inputs must fail")
+	}
+}
+
+// A constant power input must relax to the steady-state solution.
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	steady, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := units.WattsPerCm2(50)
+	constP := func(x, y, t float64) float64 { return pw }
+	// Thermal time constant ≈ C/G: silicon cell C ≈ 1.63e6·50e-6 ≈ 82 J/m²K
+	// against gv-dominated coupling — a few ms. Integrate 50 ms.
+	res, err := s.SolveTransient(constP, constP, TransientConfig{
+		Dt: 2e-3, Steps: 25, RecordEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := res.Final()
+	if math.Abs(fin.PeakTemperature()-steady.PeakTemperature()) > 0.2 {
+		t.Fatalf("transient fixed point %.3f K vs steady %.3f K",
+			fin.PeakTemperature(), steady.PeakTemperature())
+	}
+	if math.Abs(fin.Gradient()-steady.Gradient()) > 0.2 {
+		t.Fatalf("transient gradient %.3f K vs steady %.3f K",
+			fin.Gradient(), steady.Gradient())
+	}
+	// Peak temperature must rise monotonically from the cold start.
+	peaks := res.PeakSeries()
+	for i := 0; i+1 < len(peaks); i++ {
+		if peaks[i+1] < peaks[i]-1e-9 {
+			t.Fatalf("peak fell at snapshot %d", i)
+		}
+	}
+	if res.Times[0] != 0 {
+		t.Fatal("first snapshot must be t=0")
+	}
+}
+
+// A power step at t=0 from zero: early snapshots must be colder than late
+// ones, and the t=0 snapshot must be at the initial temperature.
+func TestTransientStepResponse(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	pw := units.WattsPerCm2(50)
+	zero := func(x, y float64) float64 { return 0 }
+	hot := func(x, y float64) float64 { return pw }
+	p := StepInTime(zero, hot, 0.004)
+	pt := func(x, y, tt float64) float64 { return p(x, y, tt) }
+	res, err := s.SolveTransient(pt, pt, TransientConfig{Dt: 2e-3, Steps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the step: stays at inlet temperature.
+	if math.Abs(res.Fields[1].PeakTemperature()-300) > 1e-6 {
+		t.Fatalf("pre-step temperature %.3f K, want 300", res.Fields[1].PeakTemperature())
+	}
+	// After the step: heats up.
+	if res.Final().PeakTemperature() < 301 {
+		t.Fatalf("post-step temperature %.3f K did not rise", res.Final().PeakTemperature())
+	}
+}
+
+// Doubling the silicon capacitance time constant: with a smaller Dt the
+// trajectory must still be stable (backward Euler is unconditionally
+// stable) and end at the same fixed point.
+func TestTransientStepSizeIndependentFixedPoint(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	pw := units.WattsPerCm2(50)
+	constP := func(x, y, t float64) float64 { return pw }
+	coarse, err := s.SolveTransient(constP, constP, TransientConfig{Dt: 10e-3, Steps: 10, RecordEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := s.SolveTransient(constP, constP, TransientConfig{Dt: 2e-3, Steps: 50, RecordEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coarse.Final().PeakTemperature()-fine.Final().PeakTemperature()) > 0.1 {
+		t.Fatalf("fixed points differ: %.3f vs %.3f",
+			coarse.Final().PeakTemperature(), fine.Final().PeakTemperature())
+	}
+}
+
+func TestConstantInTime(t *testing.T) {
+	f := ConstantInTime(func(x, y float64) float64 { return x + y })
+	if f(1, 2, 99) != 3 {
+		t.Fatal("ConstantInTime")
+	}
+	st := StepInTime(func(x, y float64) float64 { return 1 },
+		func(x, y float64) float64 { return 2 }, 5)
+	if st(0, 0, 1) != 1 || st(0, 0, 6) != 2 {
+		t.Fatal("StepInTime")
+	}
+}
+
+func TestTransientInitialTemp(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	pw := units.WattsPerCm2(50)
+	constP := func(x, y, t float64) float64 { return pw }
+	res, err := s.SolveTransient(constP, constP, TransientConfig{
+		Dt: 1e-3, Steps: 2, InitialTemp: 310,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fields[0].Top[0][0] != 310 {
+		t.Fatalf("initial temp = %v, want 310", res.Fields[0].Top[0][0])
+	}
+	g := res.GradientSeries()
+	if len(g) != len(res.Times) {
+		t.Fatal("series length")
+	}
+	if g[0] != 0 {
+		t.Fatal("uniform initial field must have zero gradient")
+	}
+}

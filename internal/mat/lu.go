@@ -1,0 +1,210 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports a numerically singular matrix in a factorization or
+// solve.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting of a square matrix:
+// P·A = L·U with unit-diagonal L stored below the diagonal of lu and U on
+// and above it.
+type LU struct {
+	lu   *Dense
+	piv  []int
+	sign int // +1 or -1 depending on the permutation parity
+}
+
+// Factorize computes the LU decomposition of a. The input is not modified.
+// It returns ErrSingular when a pivot underflows the tolerance derived from
+// the matrix magnitude.
+func Factorize(a *Dense) (*LU, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("%w: LU of %dx%d matrix", ErrDimension, a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+
+	// Tolerance scaled by the largest magnitude in the matrix so that
+	// uniformly tiny but well-conditioned systems still factorize.
+	scale := lu.NormInf()
+	tol := scale * 1e-300
+	if tol == 0 {
+		tol = math.SmallestNonzeroFloat64
+	}
+
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest magnitude in column k.
+		p := k
+		best := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > best {
+				best, p = v, i
+			}
+		}
+		if best <= tol || math.IsNaN(best) {
+			return nil, fmt.Errorf("%w (pivot %d, magnitude %g)", ErrSingular, k, best)
+		}
+		if p != k {
+			rp, rk := lu.Row(p), lu.Row(k)
+			for j := range rp {
+				rp[j], rk[j] = rk[j], rp[j]
+			}
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivVal := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivVal
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri := lu.Row(i)
+			rk := lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve computes x such that A·x = b using the factorization.
+// dst may be nil, in which case a new vector is allocated; it may alias b.
+func (f *LU) Solve(dst Vec, b Vec) (Vec, error) {
+	n := f.lu.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: LU solve rhs length %d, want %d", ErrDimension, len(b), n)
+	}
+	x := dst
+	if x == nil {
+		x = make(Vec, n)
+	}
+	if len(x) != n {
+		return nil, fmt.Errorf("%w: LU solve dst length %d, want %d", ErrDimension, len(x), n)
+	}
+	// Apply permutation into a temporary to allow aliasing dst == b.
+	tmp := make(Vec, n)
+	for i, p := range f.piv {
+		tmp[i] = b[p]
+	}
+	// Forward substitution (L has implicit unit diagonal).
+	for i := 0; i < n; i++ {
+		s := tmp[i]
+		row := f.lu.Row(i)
+		for j := 0; j < i; j++ {
+			s -= row[j] * tmp[j]
+		}
+		tmp[i] = s
+	}
+	// Backward substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := tmp[i]
+		row := f.lu.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * tmp[j]
+		}
+		tmp[i] = s / row[i]
+	}
+	copy(x, tmp)
+	return x, nil
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows(); i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveDense solves A·X = B column by column, returning X.
+func (f *LU) SolveDense(b *Dense) (*Dense, error) {
+	n := f.lu.Rows()
+	if b.Rows() != n {
+		return nil, fmt.Errorf("%w: SolveDense rhs has %d rows, want %d", ErrDimension, b.Rows(), n)
+	}
+	x := NewDense(n, b.Cols())
+	col := make(Vec, n)
+	for j := 0; j < b.Cols(); j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		sol, err := f.Solve(nil, col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			x.Set(i, j, sol[i])
+		}
+	}
+	return x, nil
+}
+
+// Solve is a convenience wrapper that factorizes a and solves A·x = b in one
+// call. Prefer Factorize + LU.Solve when solving with many right-hand sides.
+func Solve(a *Dense, b Vec) (Vec, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(nil, b)
+}
+
+// Inverse returns A⁻¹ computed column-wise from the LU factorization.
+// It is intended for small matrices (Jacobians of shooting systems).
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveDense(Identity(a.Rows()))
+}
+
+// SolveTridiag solves a tridiagonal system with sub-diagonal a, diagonal b,
+// super-diagonal c and right-hand side d using the Thomas algorithm.
+// len(b) == len(d) == n, len(a) == len(c) == n-1. The inputs are not
+// modified. It returns ErrSingular when elimination encounters a zero pivot.
+func SolveTridiag(a, b, c, d Vec) (Vec, error) {
+	n := len(b)
+	if len(d) != n || len(a) != n-1 || len(c) != n-1 {
+		return nil, fmt.Errorf("%w: tridiagonal solve with inconsistent lengths", ErrDimension)
+	}
+	cp := make(Vec, n)
+	dp := make(Vec, n)
+	if b[0] == 0 {
+		return nil, ErrSingular
+	}
+	cp[0] = 0
+	if n > 1 {
+		cp[0] = c[0] / b[0]
+	}
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		den := b[i] - a[i-1]*cp[i-1]
+		if den == 0 || math.IsNaN(den) {
+			return nil, ErrSingular
+		}
+		if i < n-1 {
+			cp[i] = c[i] / den
+		}
+		dp[i] = (d[i] - a[i-1]*dp[i-1]) / den
+	}
+	x := make(Vec, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}

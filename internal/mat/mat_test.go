@@ -1,0 +1,333 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasics(t *testing.T) {
+	v := NewVec(3)
+	v.Fill(2)
+	if v.Sum() != 6 {
+		t.Fatalf("Sum = %v", v.Sum())
+	}
+	v.Scale(0.5)
+	if v.Mean() != 1 {
+		t.Fatalf("Mean = %v", v.Mean())
+	}
+	w := v.Clone()
+	w[0] = 10
+	if v[0] == 10 {
+		t.Fatal("Clone aliases storage")
+	}
+	v.AddScaled(2, Vec{1, 1, 1})
+	for _, x := range v {
+		if x != 3 {
+			t.Fatalf("AddScaled result %v", v)
+		}
+	}
+}
+
+func TestVecNorms(t *testing.T) {
+	v := Vec{3, -4}
+	if v.Norm2() != 5 {
+		t.Errorf("Norm2 = %v", v.Norm2())
+	}
+	if v.NormInf() != 4 {
+		t.Errorf("NormInf = %v", v.NormInf())
+	}
+	if d := v.Dot(Vec{1, 1}); d != -1 {
+		t.Errorf("Dot = %v", d)
+	}
+	// Norm2 must not overflow for huge entries.
+	h := Vec{1e200, 1e200}
+	if got, want := h.Norm2(), 1e200*math.Sqrt2; math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Norm2 overflow guard: got %v want %v", got, want)
+	}
+	var empty Vec
+	if empty.Norm2() != 0 || empty.NormInf() != 0 {
+		t.Error("empty norms must be 0")
+	}
+}
+
+func TestVecMinMax(t *testing.T) {
+	v := Vec{2, 9, -3, 9}
+	maxV, maxI := v.Max()
+	if maxV != 9 || maxI != 1 {
+		t.Errorf("Max = %v@%d", maxV, maxI)
+	}
+	minV, minI := v.Min()
+	if minV != -3 || minI != 2 {
+		t.Errorf("Min = %v@%d", minV, minI)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !(Vec{1, 2}).IsFinite() {
+		t.Error("finite vector misreported")
+	}
+	if (Vec{1, math.NaN()}).IsFinite() {
+		t.Error("NaN vector misreported")
+	}
+	if (Vec{math.Inf(-1)}).IsFinite() {
+		t.Error("Inf vector misreported")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	v := Linspace(0, 1, 5)
+	want := Vec{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(v[i]-want[i]) > 1e-15 {
+			t.Fatalf("Linspace[%d] = %v", i, v[i])
+		}
+	}
+	if v[len(v)-1] != 1 {
+		t.Fatal("Linspace must hit endpoint exactly")
+	}
+}
+
+func TestAxpySub(t *testing.T) {
+	x, y := Vec{1, 2}, Vec{10, 20}
+	if got := Axpy(nil, 3, x, y); got[0] != 13 || got[1] != 26 {
+		t.Errorf("Axpy = %v", got)
+	}
+	if got := Sub(nil, y, x); got[0] != 9 || got[1] != 18 {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	if m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatal("shape")
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatal("At")
+	}
+	m.Add(1, 0, 1)
+	if m.At(1, 0) != 4 {
+		t.Fatal("Add")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone aliases")
+	}
+	tr := m.Transpose()
+	if tr.At(0, 1) != 4 {
+		t.Fatalf("Transpose: %v", tr)
+	}
+	m.Zero()
+	if m.NormInf() != 0 {
+		t.Fatal("Zero")
+	}
+}
+
+func TestMulVecAndMul(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFrom([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul(%d,%d) = %v", i, j, c.At(i, j))
+			}
+		}
+	}
+	y := a.MulVec(nil, Vec{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestIdentityString(t *testing.T) {
+	id := Identity(2)
+	if id.At(0, 0) != 1 || id.At(0, 1) != 0 {
+		t.Fatal("Identity content")
+	}
+	if s := id.String(); s == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := NewDenseFrom([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := Vec{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vec{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x[%d] = %v want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factorize(a); err == nil {
+		t.Fatal("singular matrix must fail to factorize")
+	}
+	// Dimension errors.
+	rect := NewDense(2, 3)
+	if _, err := Factorize(rect); err == nil {
+		t.Fatal("non-square LU must fail")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewDenseFrom([][]float64{{4, 3}, {6, 3}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got-(-6)) > 1e-12 {
+		t.Fatalf("Det = %v want -6", got)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 5}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := Mul(a, inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-12 {
+				t.Fatalf("A·A⁻¹[%d,%d] = %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+// Property: LU solves random diagonally-dominant systems to high accuracy.
+func TestLUSolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := 0; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			a.Add(i, i, rowSum+1) // ensure diagonal dominance
+		}
+		xTrue := make(Vec, n)
+		for i := range xTrue {
+			xTrue[i] = r.NormFloat64()
+		}
+		b := a.MulVec(nil, xTrue)
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		diff := Sub(nil, x, xTrue)
+		return diff.NormInf() < 1e-8*(1+xTrue.NormInf())
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveTridiag(t *testing.T) {
+	// System: [[2,1,0],[1,3,1],[0,1,2]] x = b with known x.
+	sub := Vec{1, 1}
+	diag := Vec{2, 3, 2}
+	sup := Vec{1, 1}
+	xTrue := Vec{1, -2, 3}
+	b := Vec{2*1 + 1*(-2), 1*1 + 3*(-2) + 1*3, 1*(-2) + 2*3}
+	x, err := SolveTridiag(sub, diag, sup, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xTrue {
+		if math.Abs(x[i]-xTrue[i]) > 1e-12 {
+			t.Fatalf("x[%d] = %v want %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestSolveTridiagErrors(t *testing.T) {
+	if _, err := SolveTridiag(Vec{1}, Vec{0, 1}, Vec{1}, Vec{1, 1}); err == nil {
+		t.Error("zero leading pivot should fail")
+	}
+	if _, err := SolveTridiag(Vec{1, 2}, Vec{1, 2}, Vec{1}, Vec{1, 2}); err == nil {
+		t.Error("bad lengths should fail")
+	}
+}
+
+func TestSolveTridiagMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(20)
+		sub := make(Vec, n-1)
+		diag := make(Vec, n)
+		sup := make(Vec, n-1)
+		b := make(Vec, n)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			diag[i] = 4 + rng.Float64()
+			b[i] = rng.NormFloat64()
+			a.Set(i, i, diag[i])
+			if i < n-1 {
+				sup[i] = rng.NormFloat64()
+				sub[i] = rng.NormFloat64()
+				a.Set(i, i+1, sup[i])
+				a.Set(i+1, i, sub[i])
+			}
+		}
+		xT, err := SolveTridiag(sub, diag, sup, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xD, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Sub(nil, xT, xD).NormInf() > 1e-9 {
+			t.Fatalf("trial %d: Thomas and LU disagree", trial)
+		}
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("Dot", func() { (Vec{1}).Dot(Vec{1, 2}) })
+	assertPanics("AddScaled", func() { (Vec{1}).AddScaled(1, Vec{1, 2}) })
+	assertPanics("MaxEmpty", func() { (Vec{}).Max() })
+	assertPanics("MinEmpty", func() { (Vec{}).Min() })
+	assertPanics("Linspace", func() { Linspace(0, 1, 1) })
+	assertPanics("NewDense", func() { NewDense(0, 3) })
+	assertPanics("Ragged", func() { NewDenseFrom([][]float64{{1}, {1, 2}}) })
+	assertPanics("MulShape", func() { Mul(NewDense(2, 3), NewDense(2, 3)) })
+	assertPanics("MulVecShape", func() { NewDense(2, 3).MulVec(nil, Vec{1}) })
+}

@@ -1,0 +1,162 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zero matrix with the given shape.
+func NewDense(rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: NewDense invalid shape %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewDenseFrom builds a matrix from a slice of rows, copying the data.
+func NewDenseFrom(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: NewDenseFrom empty input")
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic("mat: NewDenseFrom ragged rows")
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Row returns row i as a mutable slice view into the matrix storage.
+func (m *Dense) Row(i int) Vec { return Vec(m.data[i*m.cols : (i+1)*m.cols]) }
+
+// Clone returns an independent deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Zero resets every element to 0, retaining storage.
+func (m *Dense) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// MulVec computes dst = M·x, allocating when dst is nil.
+func (m *Dense) MulVec(dst Vec, x Vec) Vec {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("mat: MulVec wants %d elements, got %d", m.cols, len(x)))
+	}
+	if dst == nil {
+		dst = make(Vec, m.rows)
+	}
+	if len(dst) != m.rows {
+		panic("mat: MulVec dst length mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, a := range row {
+			s += a * x[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// Mul computes the matrix product a·b into a freshly allocated matrix.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	c := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		crow := c.data[i*c.cols : (i+1)*c.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Dense) Transpose() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// NormInf returns the maximum absolute row sum of the matrix.
+func (m *Dense) NormInf() float64 {
+	best := 0.0
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += math.Abs(v)
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			fmt.Fprintf(&b, "% .6g", m.At(i, j))
+			if j != m.cols-1 {
+				b.WriteByte('\t')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,201 @@
+// Package mat implements the small dense linear-algebra kernel used by the
+// thermal model and the optimizers: vectors, row-major matrices, LU
+// factorization with partial pivoting, and the handful of norms and
+// element-wise operations the rest of the library needs.
+//
+// The package deliberately stays minimal and allocation-conscious: the
+// compact thermal model solves many small (4N×4N) systems inside
+// optimization loops, so the hot paths accept destination slices.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension reports incompatible operand dimensions.
+var ErrDimension = errors.New("mat: dimension mismatch")
+
+// Vec is a dense float64 vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns an independent copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// Fill sets every element of v to x.
+func (v Vec) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// AddScaled sets v[i] += s*w[i]. It panics if lengths differ, as this is a
+// programming error on internal hot paths.
+func (v Vec) AddScaled(s float64, w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: AddScaled length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += s * w[i]
+	}
+}
+
+// Scale multiplies every element of v by s.
+func (v Vec) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow for
+// large magnitudes by scaling with the max element.
+func (v Vec) Norm2() float64 {
+	maxAbs := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 || math.IsInf(maxAbs, 0) || math.IsNaN(maxAbs) {
+		return maxAbs
+	}
+	var s float64
+	for _, x := range v {
+		r := x / maxAbs
+		s += r * r
+	}
+	return maxAbs * math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute element of v (0 for empty vectors).
+func (v Vec) NormInf() float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Max returns the maximum element and its index. It panics on empty input.
+func (v Vec) Max() (float64, int) {
+	if len(v) == 0 {
+		panic("mat: Max of empty vector")
+	}
+	best, at := v[0], 0
+	for i, x := range v {
+		if x > best {
+			best, at = x, i
+		}
+	}
+	return best, at
+}
+
+// Min returns the minimum element and its index. It panics on empty input.
+func (v Vec) Min() (float64, int) {
+	if len(v) == 0 {
+		panic("mat: Min of empty vector")
+	}
+	best, at := v[0], 0
+	for i, x := range v {
+		if x < best {
+			best, at = x, i
+		}
+	}
+	return best, at
+}
+
+// Sum returns the sum of all elements.
+func (v Vec) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean (0 for an empty vector).
+func (v Vec) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v))
+}
+
+// IsFinite reports whether every element is neither NaN nor infinite.
+func (v Vec) IsFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Axpy computes dst = a*x + y element-wise, allocating when dst is nil.
+// All vectors must share the same length.
+func Axpy(dst Vec, a float64, x, y Vec) Vec {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	if dst == nil {
+		dst = make(Vec, len(x))
+	}
+	if len(dst) != len(x) {
+		panic("mat: Axpy dst length mismatch")
+	}
+	for i := range x {
+		dst[i] = a*x[i] + y[i]
+	}
+	return dst
+}
+
+// Sub computes dst = x - y element-wise, allocating when dst is nil.
+func Sub(dst Vec, x, y Vec) Vec {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: Sub length mismatch %d vs %d", len(x), len(y)))
+	}
+	if dst == nil {
+		dst = make(Vec, len(x))
+	}
+	for i := range x {
+		dst[i] = x[i] - y[i]
+	}
+	return dst
+}
+
+// Linspace returns n points uniformly spaced over [a, b], inclusive.
+// n must be at least 2.
+func Linspace(a, b float64, n int) Vec {
+	if n < 2 {
+		panic("mat: Linspace needs n >= 2")
+	}
+	v := make(Vec, n)
+	step := (b - a) / float64(n-1)
+	for i := range v {
+		v[i] = a + float64(i)*step
+	}
+	v[n-1] = b
+	return v
+}

@@ -1,0 +1,86 @@
+// Package metrics computes the thermal summary statistics reported in the
+// paper's evaluation: gradients, peaks, reduction percentages, and simple
+// distribution statistics over temperature maps and profiles.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary holds distribution statistics of a temperature set in kelvin.
+type Summary struct {
+	Min, Max, Mean, StdDev float64
+	// Gradient is Max − Min, the paper's thermal-gradient metric.
+	Gradient float64
+	// Count is the number of samples aggregated.
+	Count int
+}
+
+// Summarize computes a Summary over a flat sample set. Empty input yields
+// a zero Summary.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1), Count: len(samples)}
+	var sum float64
+	for _, v := range samples {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	s.Mean = sum / float64(len(samples))
+	var ss float64
+	for _, v := range samples {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.StdDev = math.Sqrt(ss / float64(len(samples)))
+	s.Gradient = s.Max - s.Min
+	return s
+}
+
+// SummarizeGrid flattens a [y][x] map and summarizes it.
+func SummarizeGrid(grid [][]float64) Summary {
+	var flat []float64
+	for _, row := range grid {
+		flat = append(flat, row...)
+	}
+	return Summarize(flat)
+}
+
+// Reduction returns the relative improvement (base−new)/base, guarding
+// against a zero base.
+func Reduction(base, improved float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - improved) / base
+}
+
+// ReductionPercent formats a Reduction as a percentage string, e.g. "-31%".
+func ReductionPercent(base, improved float64) string {
+	r := Reduction(base, improved)
+	return fmt.Sprintf("%+.0f%%", -r*100)
+}
+
+// WithinFactor reports whether got is within [want/f, want·f] for f ≥ 1 —
+// the "same shape" check used when comparing against paper numbers.
+func WithinFactor(got, want, f float64) bool {
+	if f < 1 {
+		f = 1 / f
+	}
+	if want == 0 {
+		return got == 0
+	}
+	lo, hi := want/f, want*f
+	if want < 0 {
+		lo, hi = want*f, want/f
+	}
+	return got >= lo && got <= hi
+}

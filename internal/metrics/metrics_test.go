@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{300, 310, 320, 330})
+	if s.Min != 300 || s.Max != 330 || s.Gradient != 30 || s.Count != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-315) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	want := math.Sqrt((225 + 25 + 25 + 225) / 4.0)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", s.StdDev, want)
+	}
+	if z := Summarize(nil); z.Count != 0 || z.Gradient != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestSummarizeGrid(t *testing.T) {
+	s := SummarizeGrid([][]float64{{1, 2}, {3, 4}})
+	if s.Min != 1 || s.Max != 4 || s.Count != 4 {
+		t.Fatalf("grid summary = %+v", s)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if r := Reduction(23, 16); math.Abs(r-7.0/23) > 1e-12 {
+		t.Fatalf("reduction = %v", r)
+	}
+	if Reduction(0, 5) != 0 {
+		t.Fatal("zero base")
+	}
+	if s := ReductionPercent(100, 69); s != "-31%" {
+		t.Fatalf("percent = %q", s)
+	}
+	if s := ReductionPercent(100, 120); s != "+20%" {
+		t.Fatalf("percent = %q", s)
+	}
+}
+
+func TestWithinFactor(t *testing.T) {
+	if !WithinFactor(31, 22, 1.5) {
+		t.Error("31 vs 22 within 1.5x")
+	}
+	if WithinFactor(31, 10, 1.5) {
+		t.Error("31 vs 10 not within 1.5x")
+	}
+	if !WithinFactor(10, 10, 1) {
+		t.Error("equal values")
+	}
+	if !WithinFactor(5, 10, 0.5) { // factor below 1 is inverted
+		t.Error("inverted factor")
+	}
+	if !WithinFactor(0, 0, 2) || WithinFactor(1, 0, 2) {
+		t.Error("zero want")
+	}
+	if !WithinFactor(-20, -15, 1.5) {
+		t.Error("negative values")
+	}
+}

@@ -1,0 +1,226 @@
+// Package microchannel represents the geometry of modulated microchannels:
+// piecewise-constant width profiles over the channel length, the
+// fabrication bounds of the paper's Eq. (8), and cluster-lumping helpers.
+//
+// A Profile is the direct data structure behind the paper's control
+// variable wC(z): the direct sequential solving method enforces
+// piecewise-constant functions on wC (Sec. IV-C), so the profile stores one
+// width per equal-length segment.
+package microchannel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// ErrBounds reports a width outside the fabrication bounds.
+var ErrBounds = errors.New("microchannel: width outside bounds")
+
+// Profile is a piecewise-constant channel width function over [0, Length]:
+// segment i of length Length/len(widths) carries widths[i].
+type Profile struct {
+	widths []float64
+	length float64
+}
+
+// NewProfile builds a profile from explicit per-segment widths. The widths
+// slice is copied.
+func NewProfile(widths []float64, length float64) (*Profile, error) {
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("microchannel: empty width list")
+	}
+	if err := units.CheckPositive("channel length", length); err != nil {
+		return nil, err
+	}
+	for i, w := range widths {
+		if err := units.CheckPositive(fmt.Sprintf("width[%d]", i), w); err != nil {
+			return nil, err
+		}
+	}
+	cp := make([]float64, len(widths))
+	copy(cp, widths)
+	return &Profile{widths: cp, length: length}, nil
+}
+
+// NewUniform builds a profile with a constant width over segments segments.
+func NewUniform(width, length float64, segments int) (*Profile, error) {
+	if segments < 1 {
+		return nil, fmt.Errorf("microchannel: segments must be >= 1, got %d", segments)
+	}
+	w := make([]float64, segments)
+	for i := range w {
+		w[i] = width
+	}
+	return NewProfile(w, length)
+}
+
+// NewLinear builds a profile whose segment widths interpolate linearly from
+// wIn at the inlet to wOut at the outlet (sampled at segment midpoints).
+func NewLinear(wIn, wOut, length float64, segments int) (*Profile, error) {
+	if segments < 1 {
+		return nil, fmt.Errorf("microchannel: segments must be >= 1, got %d", segments)
+	}
+	w := make([]float64, segments)
+	for i := range w {
+		t := (float64(i) + 0.5) / float64(segments)
+		w[i] = wIn + t*(wOut-wIn)
+	}
+	return NewProfile(w, length)
+}
+
+// Segments returns the number of piecewise-constant segments.
+func (p *Profile) Segments() int { return len(p.widths) }
+
+// Length returns the channel length in metres.
+func (p *Profile) Length() float64 { return p.length }
+
+// SegmentLength returns the length of one segment.
+func (p *Profile) SegmentLength() float64 { return p.length / float64(len(p.widths)) }
+
+// Width returns the width of segment i.
+func (p *Profile) Width(i int) float64 { return p.widths[i] }
+
+// SetWidth assigns the width of segment i.
+func (p *Profile) SetWidth(i int, w float64) { p.widths[i] = w }
+
+// Widths returns a copy of the per-segment widths.
+func (p *Profile) Widths() []float64 {
+	cp := make([]float64, len(p.widths))
+	copy(cp, p.widths)
+	return cp
+}
+
+// At returns the width at position z. Positions are clamped to [0, Length];
+// an exact segment boundary belongs to the right (downstream) segment, and
+// z = Length belongs to the last segment.
+func (p *Profile) At(z float64) float64 {
+	if z <= 0 {
+		return p.widths[0]
+	}
+	n := len(p.widths)
+	idx := int(z / p.length * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return p.widths[idx]
+}
+
+// SegmentIndex returns the segment containing position z under the same
+// convention as At.
+func (p *Profile) SegmentIndex(z float64) int {
+	if z <= 0 {
+		return 0
+	}
+	n := len(p.widths)
+	idx := int(z / p.length * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// Boundaries returns the n+1 segment boundary positions including 0 and
+// Length.
+func (p *Profile) Boundaries() []float64 {
+	n := len(p.widths)
+	b := make([]float64, n+1)
+	seg := p.SegmentLength()
+	for i := 0; i <= n; i++ {
+		b[i] = float64(i) * seg
+	}
+	b[n] = p.length
+	return b
+}
+
+// Clone returns an independent copy of the profile.
+func (p *Profile) Clone() *Profile {
+	return &Profile{widths: p.Widths(), length: p.length}
+}
+
+// Clamp limits every segment width to [lo, hi] in place.
+func (p *Profile) Clamp(lo, hi float64) {
+	for i, w := range p.widths {
+		if w < lo {
+			p.widths[i] = lo
+		} else if w > hi {
+			p.widths[i] = hi
+		}
+	}
+}
+
+// Validate checks every width against the bounds [lo, hi] (Eq. 8).
+func (p *Profile) Validate(lo, hi float64) error {
+	if !(lo > 0) || !(hi >= lo) {
+		return fmt.Errorf("microchannel: invalid bounds [%g, %g]", lo, hi)
+	}
+	for i, w := range p.widths {
+		if w < lo || w > hi || math.IsNaN(w) {
+			return fmt.Errorf("%w: segment %d width %s outside [%s, %s]",
+				ErrBounds, i, units.Length(w), units.Length(lo), units.Length(hi))
+		}
+	}
+	return nil
+}
+
+// MeanWidth returns the length-weighted mean width (segments are equal
+// length, so this is the arithmetic mean).
+func (p *Profile) MeanWidth() float64 {
+	var s float64
+	for _, w := range p.widths {
+		s += w
+	}
+	return s / float64(len(p.widths))
+}
+
+// Resample returns a new profile with the given segment count whose widths
+// sample this profile at the new segment midpoints.
+func (p *Profile) Resample(segments int) (*Profile, error) {
+	if segments < 1 {
+		return nil, fmt.Errorf("microchannel: segments must be >= 1, got %d", segments)
+	}
+	w := make([]float64, segments)
+	for i := range w {
+		zMid := (float64(i) + 0.5) / float64(segments) * p.length
+		w[i] = p.At(zMid)
+	}
+	return NewProfile(w, p.length)
+}
+
+// String renders the profile compactly for logs.
+func (p *Profile) String() string {
+	return fmt.Sprintf("Profile{%d segments over %s, mean %s}",
+		len(p.widths), units.Length(p.length), units.Length(p.MeanWidth()))
+}
+
+// Bounds captures the fabrication limits of the paper's Eq. (8).
+type Bounds struct {
+	// Min is wCmin (Table I: 10 µm).
+	Min float64
+	// Max is wCmax (Table I: 50 µm).
+	Max float64
+}
+
+// Validate checks the bound ordering.
+func (b Bounds) Validate() error {
+	if !(b.Min > 0) || !(b.Max >= b.Min) {
+		return fmt.Errorf("microchannel: invalid bounds [%g, %g]", b.Min, b.Max)
+	}
+	return nil
+}
+
+// Contains reports whether w lies within the bounds.
+func (b Bounds) Contains(w float64) bool { return w >= b.Min && w <= b.Max }
+
+// Project returns w clamped into the bounds.
+func (b Bounds) Project(w float64) float64 {
+	if w < b.Min {
+		return b.Min
+	}
+	if w > b.Max {
+		return b.Max
+	}
+	return w
+}

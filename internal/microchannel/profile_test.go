@@ -1,0 +1,210 @@
+package microchannel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewProfileValidation(t *testing.T) {
+	if _, err := NewProfile(nil, 0.01); err == nil {
+		t.Error("empty widths must fail")
+	}
+	if _, err := NewProfile([]float64{1e-5}, 0); err == nil {
+		t.Error("zero length must fail")
+	}
+	if _, err := NewProfile([]float64{1e-5, -1}, 0.01); err == nil {
+		t.Error("negative width must fail")
+	}
+	p, err := NewProfile([]float64{1e-5, 2e-5}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Segments() != 2 || p.Length() != 0.01 {
+		t.Error("basic accessors")
+	}
+}
+
+func TestProfileCopySemantics(t *testing.T) {
+	src := []float64{1e-5, 2e-5}
+	p, err := NewProfile(src, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	if p.Width(0) == 99 {
+		t.Error("NewProfile must copy input")
+	}
+	ws := p.Widths()
+	ws[1] = 99
+	if p.Width(1) == 99 {
+		t.Error("Widths must return a copy")
+	}
+	c := p.Clone()
+	c.SetWidth(0, 5e-5)
+	if p.Width(0) == 5e-5 {
+		t.Error("Clone must be independent")
+	}
+}
+
+func TestProfileAt(t *testing.T) {
+	p, err := NewProfile([]float64{1e-5, 2e-5, 3e-5, 4e-5}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		z    float64
+		want float64
+	}{
+		{-1, 1e-5},
+		{0, 1e-5},
+		{0.0024, 1e-5},
+		{0.0025, 2e-5}, // boundary belongs downstream
+		{0.005, 3e-5},
+		{0.009, 4e-5},
+		{0.01, 4e-5}, // end belongs to last
+		{5, 4e-5},    // clamped
+	}
+	for _, c := range cases {
+		if got := p.At(c.z); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.z, got, c.want)
+		}
+		if got := p.SegmentIndex(c.z); p.Width(got) != c.want {
+			t.Errorf("SegmentIndex(%v) inconsistent with At", c.z)
+		}
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	p, _ := NewUniform(2e-5, 0.01, 4)
+	b := p.Boundaries()
+	if len(b) != 5 || b[0] != 0 || b[4] != 0.01 {
+		t.Fatalf("boundaries = %v", b)
+	}
+	if math.Abs(b[1]-0.0025) > 1e-15 {
+		t.Fatalf("boundary[1] = %v", b[1])
+	}
+	if math.Abs(p.SegmentLength()-0.0025) > 1e-15 {
+		t.Fatalf("segment length = %v", p.SegmentLength())
+	}
+}
+
+func TestNewLinear(t *testing.T) {
+	p, err := NewLinear(50e-6, 10e-6, 0.01, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Midpoint samples: 45, 35, 25, 15 µm.
+	want := []float64{45e-6, 35e-6, 25e-6, 15e-6}
+	for i, w := range want {
+		if math.Abs(p.Width(i)-w) > 1e-12 {
+			t.Errorf("segment %d = %v, want %v", i, p.Width(i), w)
+		}
+	}
+	if _, err := NewLinear(1e-5, 2e-5, 0.01, 0); err == nil {
+		t.Error("zero segments must fail")
+	}
+}
+
+func TestClampValidate(t *testing.T) {
+	p, _ := NewProfile([]float64{5e-6, 20e-6, 80e-6}, 0.01)
+	if err := p.Validate(10e-6, 50e-6); !errors.Is(err, ErrBounds) {
+		t.Fatalf("want ErrBounds, got %v", err)
+	}
+	p.Clamp(10e-6, 50e-6)
+	if err := p.Validate(10e-6, 50e-6); err != nil {
+		t.Fatalf("post-clamp validate: %v", err)
+	}
+	if p.Width(0) != 10e-6 || p.Width(2) != 50e-6 {
+		t.Error("clamp values wrong")
+	}
+	if err := p.Validate(0, 1); err == nil {
+		t.Error("invalid bounds must fail")
+	}
+}
+
+func TestMeanWidthAndString(t *testing.T) {
+	p, _ := NewProfile([]float64{10e-6, 30e-6}, 0.01)
+	if got := p.MeanWidth(); math.Abs(got-20e-6) > 1e-15 {
+		t.Errorf("mean = %v", got)
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestResample(t *testing.T) {
+	p, _ := NewProfile([]float64{10e-6, 30e-6}, 0.01)
+	up, err := p.Resample(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10e-6, 10e-6, 30e-6, 30e-6}
+	for i, w := range want {
+		if up.Width(i) != w {
+			t.Errorf("resampled[%d] = %v, want %v", i, up.Width(i), w)
+		}
+	}
+	if _, err := p.Resample(0); err == nil {
+		t.Error("zero segments must fail")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	b := Bounds{Min: 10e-6, Max: 50e-6}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Contains(30e-6) || b.Contains(5e-6) || b.Contains(60e-6) {
+		t.Error("Contains wrong")
+	}
+	if b.Project(5e-6) != 10e-6 || b.Project(60e-6) != 50e-6 || b.Project(30e-6) != 30e-6 {
+		t.Error("Project wrong")
+	}
+	if err := (Bounds{Min: 0, Max: 1}).Validate(); err == nil {
+		t.Error("zero min must fail")
+	}
+	if err := (Bounds{Min: 2, Max: 1}).Validate(); err == nil {
+		t.Error("inverted bounds must fail")
+	}
+}
+
+// Property: At(z) always returns one of the stored widths, and the mean of
+// a clamped profile stays within the clamp bounds.
+func TestProfileProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = 1e-6 + r.Float64()*99e-6
+		}
+		p, err := NewProfile(ws, 0.005+r.Float64()*0.02)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			z := (r.Float64()*1.2 - 0.1) * p.Length()
+			w := p.At(z)
+			found := false
+			for _, x := range ws {
+				if x == w {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		p.Clamp(10e-6, 50e-6)
+		m := p.MeanWidth()
+		return m >= 10e-6-1e-18 && m <= 50e-6+1e-18
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

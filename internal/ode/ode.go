@@ -1,0 +1,284 @@
+// Package ode provides the ordinary-differential-equation integrators used
+// by the compact thermal model: a fixed-step classical Runge–Kutta (RK4)
+// scheme, an adaptive Dormand–Prince RK45 scheme, and a specialized
+// propagator for linear time-varying systems dx/dz = A(z)x + b(z).
+//
+// The independent variable is called z throughout because the thermal model
+// integrates along the channel axis, not in time.
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Func is the right-hand side of a first-order ODE system: it writes
+// dx/dz into dst given position z and state x. dst and x never alias.
+type Func func(dst mat.Vec, z float64, x mat.Vec)
+
+// ErrInvalidInput reports malformed integration requests.
+var ErrInvalidInput = errors.New("ode: invalid input")
+
+// ErrStepUnderflow reports that the adaptive integrator's step shrank below
+// the representable minimum without meeting the error tolerance.
+var ErrStepUnderflow = errors.New("ode: step size underflow")
+
+// ErrNonFinite reports a NaN or infinity in the state during integration,
+// which usually means the model is ill-posed for the given inputs.
+var ErrNonFinite = errors.New("ode: non-finite state encountered")
+
+// Solution is a dense record of an integration: states X[i] at grid Z[i].
+type Solution struct {
+	Z mat.Vec   // grid positions, ascending
+	X []mat.Vec // state at each grid position
+}
+
+// Final returns the state at the last grid point.
+func (s *Solution) Final() mat.Vec { return s.X[len(s.X)-1] }
+
+// At linearly interpolates the state at position z, clamping to the grid
+// range. The returned vector is freshly allocated.
+func (s *Solution) At(z float64) mat.Vec {
+	n := len(s.Z)
+	if n == 0 {
+		return nil
+	}
+	if z <= s.Z[0] {
+		return s.X[0].Clone()
+	}
+	if z >= s.Z[n-1] {
+		return s.X[n-1].Clone()
+	}
+	// Binary search for the enclosing interval.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.Z[mid] <= z {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (z - s.Z[lo]) / (s.Z[hi] - s.Z[lo])
+	out := make(mat.Vec, len(s.X[lo]))
+	for i := range out {
+		out[i] = (1-t)*s.X[lo][i] + t*s.X[hi][i]
+	}
+	return out
+}
+
+// RK4 integrates dx/dz = f(z, x) from z0 to z1 with n uniform steps,
+// recording every intermediate state. x0 is not modified. n must be >= 1
+// and z1 > z0.
+func RK4(f Func, z0, z1 float64, x0 mat.Vec, n int) (*Solution, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: RK4 needs n >= 1, got %d", ErrInvalidInput, n)
+	}
+	if !(z1 > z0) {
+		return nil, fmt.Errorf("%w: RK4 needs z1 > z0 (%g vs %g)", ErrInvalidInput, z1, z0)
+	}
+	dim := len(x0)
+	h := (z1 - z0) / float64(n)
+	sol := &Solution{
+		Z: make(mat.Vec, n+1),
+		X: make([]mat.Vec, n+1),
+	}
+	x := x0.Clone()
+	sol.Z[0] = z0
+	sol.X[0] = x.Clone()
+
+	k1 := make(mat.Vec, dim)
+	k2 := make(mat.Vec, dim)
+	k3 := make(mat.Vec, dim)
+	k4 := make(mat.Vec, dim)
+	tmp := make(mat.Vec, dim)
+
+	for i := 0; i < n; i++ {
+		z := z0 + float64(i)*h
+		f(k1, z, x)
+		for j := range tmp {
+			tmp[j] = x[j] + 0.5*h*k1[j]
+		}
+		f(k2, z+0.5*h, tmp)
+		for j := range tmp {
+			tmp[j] = x[j] + 0.5*h*k2[j]
+		}
+		f(k3, z+0.5*h, tmp)
+		for j := range tmp {
+			tmp[j] = x[j] + h*k3[j]
+		}
+		f(k4, z+h, tmp)
+		for j := range x {
+			x[j] += h / 6 * (k1[j] + 2*k2[j] + 2*k3[j] + k4[j])
+		}
+		if !x.IsFinite() {
+			return nil, fmt.Errorf("%w at z=%g (step %d)", ErrNonFinite, z+h, i)
+		}
+		sol.Z[i+1] = z0 + float64(i+1)*h
+		sol.X[i+1] = x.Clone()
+	}
+	sol.Z[n] = z1
+	return sol, nil
+}
+
+// Dormand–Prince 5(4) Butcher tableau.
+var (
+	dpC = [7]float64{0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1, 1}
+	dpA = [7][6]float64{
+		{},
+		{1.0 / 5},
+		{3.0 / 40, 9.0 / 40},
+		{44.0 / 45, -56.0 / 15, 32.0 / 9},
+		{19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+		{9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+		{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+	}
+	dpB5 = [7]float64{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84, 0}
+	dpB4 = [7]float64{5179.0 / 57600, 0, 7571.0 / 16695, 393.0 / 640, -92097.0 / 339200, 187.0 / 2100, 1.0 / 40}
+)
+
+// AdaptiveOptions configures the Dormand–Prince integrator.
+type AdaptiveOptions struct {
+	// RelTol and AbsTol are the per-component error tolerances.
+	// Zero selects 1e-8 and 1e-10 respectively.
+	RelTol, AbsTol float64
+	// InitialStep suggests the first step size; zero selects (z1-z0)/100.
+	InitialStep float64
+	// MaxSteps bounds the number of accepted steps; zero selects 100000.
+	MaxSteps int
+}
+
+// DormandPrince integrates dx/dz = f(z, x) adaptively from z0 to z1 and
+// returns the dense solution at every accepted step.
+func DormandPrince(f Func, z0, z1 float64, x0 mat.Vec, opts AdaptiveOptions) (*Solution, error) {
+	if !(z1 > z0) {
+		return nil, fmt.Errorf("%w: DormandPrince needs z1 > z0", ErrInvalidInput)
+	}
+	rel := opts.RelTol
+	if rel <= 0 {
+		rel = 1e-8
+	}
+	abs := opts.AbsTol
+	if abs <= 0 {
+		abs = 1e-10
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	h := opts.InitialStep
+	if h <= 0 {
+		h = (z1 - z0) / 100
+	}
+
+	dim := len(x0)
+	x := x0.Clone()
+	z := z0
+	sol := &Solution{Z: mat.Vec{z0}, X: []mat.Vec{x0.Clone()}}
+
+	var k [7]mat.Vec
+	for i := range k {
+		k[i] = make(mat.Vec, dim)
+	}
+	tmp := make(mat.Vec, dim)
+	x5 := make(mat.Vec, dim)
+	x4 := make(mat.Vec, dim)
+
+	hMin := (z1 - z0) * 1e-14
+
+	for steps := 0; z < z1; steps++ {
+		if steps >= maxSteps {
+			return nil, fmt.Errorf("%w: more than %d steps", ErrInvalidInput, maxSteps)
+		}
+		if z+h > z1 {
+			h = z1 - z
+		}
+		// Evaluate the seven stages.
+		f(k[0], z, x)
+		for s := 1; s < 7; s++ {
+			for j := range tmp {
+				acc := x[j]
+				for p := 0; p < s; p++ {
+					acc += h * dpA[s][p] * k[p][j]
+				}
+				tmp[j] = acc
+			}
+			f(k[s], z+dpC[s]*h, tmp)
+		}
+		// 5th and 4th order candidates.
+		errNorm := 0.0
+		for j := range x {
+			v5 := x[j]
+			v4 := x[j]
+			for s := 0; s < 7; s++ {
+				v5 += h * dpB5[s] * k[s][j]
+				v4 += h * dpB4[s] * k[s][j]
+			}
+			x5[j], x4[j] = v5, v4
+			sc := abs + rel*math.Max(math.Abs(x[j]), math.Abs(v5))
+			e := (v5 - v4) / sc
+			errNorm += e * e
+		}
+		errNorm = math.Sqrt(errNorm / float64(dim))
+
+		if math.IsNaN(errNorm) || math.IsInf(errNorm, 0) {
+			h *= 0.25
+			if h < hMin {
+				return nil, fmt.Errorf("%w near z=%g", ErrNonFinite, z)
+			}
+			continue
+		}
+		if errNorm <= 1 {
+			// Accept.
+			z += h
+			copy(x, x5)
+			sol.Z = append(sol.Z, z)
+			sol.X = append(sol.X, x.Clone())
+		}
+		// PI-free simple step control.
+		factor := 0.9 * math.Pow(math.Max(errNorm, 1e-10), -0.2)
+		if factor > 5 {
+			factor = 5
+		}
+		if factor < 0.1 {
+			factor = 0.1
+		}
+		h *= factor
+		if h < hMin && z < z1 {
+			return nil, fmt.Errorf("%w at z=%g (h=%g)", ErrStepUnderflow, z, h)
+		}
+	}
+	return sol, nil
+}
+
+// LinearSystem describes a linear time-varying ODE dx/dz = A(z)x + b(z).
+// Coeffs must fill a (pre-zeroed) dense matrix a and vector b at position z.
+type LinearSystem struct {
+	Dim    int
+	Coeffs func(a *mat.Dense, b mat.Vec, z float64)
+}
+
+// Propagate integrates the linear system with RK4 over n steps from z0 to
+// z1 starting at x0. It is equivalent to RK4 but avoids closure overhead by
+// reusing the coefficient storage.
+func (ls *LinearSystem) Propagate(z0, z1 float64, x0 mat.Vec, n int) (*Solution, error) {
+	if ls.Dim != len(x0) {
+		return nil, fmt.Errorf("%w: state length %d, want %d", ErrInvalidInput, len(x0), ls.Dim)
+	}
+	a := mat.NewDense(ls.Dim, ls.Dim)
+	b := make(mat.Vec, ls.Dim)
+	ax := make(mat.Vec, ls.Dim)
+	f := func(dst mat.Vec, z float64, x mat.Vec) {
+		a.Zero()
+		b.Fill(0)
+		ls.Coeffs(a, b, z)
+		a.MulVec(ax, x)
+		for i := range dst {
+			dst[i] = ax[i] + b[i]
+		}
+	}
+	return RK4(f, z0, z1, x0, n)
+}

@@ -1,0 +1,216 @@
+package ode
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+// exponential decay dx/dz = -x, x(0) = 1 → x(z) = e^{-z}.
+func decay(dst mat.Vec, _ float64, x mat.Vec) { dst[0] = -x[0] }
+
+func TestRK4Exponential(t *testing.T) {
+	sol, err := RK4(decay, 0, 2, mat.Vec{1}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-2)
+	if got := sol.Final()[0]; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("x(2) = %v, want %v", got, want)
+	}
+	if len(sol.Z) != 201 {
+		t.Fatalf("grid size %d", len(sol.Z))
+	}
+}
+
+func TestRK4FourthOrderConvergence(t *testing.T) {
+	// Error should fall by ~16x when the step halves.
+	errAt := func(n int) float64 {
+		sol, err := RK4(decay, 0, 1, mat.Vec{1}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(sol.Final()[0] - math.Exp(-1))
+	}
+	e1, e2 := errAt(20), errAt(40)
+	ratio := e1 / e2
+	if ratio < 12 || ratio > 20 {
+		t.Fatalf("convergence ratio %v, want ≈16", ratio)
+	}
+}
+
+func TestRK4Harmonic(t *testing.T) {
+	// x'' = -x as a system; energy x² + v² is conserved to O(h⁴).
+	f := func(dst mat.Vec, _ float64, x mat.Vec) {
+		dst[0] = x[1]
+		dst[1] = -x[0]
+	}
+	sol, err := RK4(f, 0, 2*math.Pi, mat.Vec{1, 0}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := sol.Final()
+	if math.Abs(fin[0]-1) > 1e-8 || math.Abs(fin[1]) > 1e-8 {
+		t.Fatalf("period return: %v", fin)
+	}
+}
+
+func TestRK4InvalidInputs(t *testing.T) {
+	if _, err := RK4(decay, 0, 1, mat.Vec{1}, 0); !errors.Is(err, ErrInvalidInput) {
+		t.Error("n=0 must fail")
+	}
+	if _, err := RK4(decay, 1, 0, mat.Vec{1}, 10); !errors.Is(err, ErrInvalidInput) {
+		t.Error("reversed interval must fail")
+	}
+}
+
+func TestRK4NonFiniteDetected(t *testing.T) {
+	blow := func(dst mat.Vec, _ float64, x mat.Vec) { dst[0] = x[0] * x[0] * 1e30 }
+	_, err := RK4(blow, 0, 10, mat.Vec{1}, 50)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("want ErrNonFinite, got %v", err)
+	}
+}
+
+func TestSolutionAtInterpolation(t *testing.T) {
+	sol, err := RK4(decay, 0, 1, mat.Vec{1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := sol.At(0.5)
+	if math.Abs(mid[0]-math.Exp(-0.5)) > 1e-4 {
+		t.Fatalf("At(0.5) = %v", mid[0])
+	}
+	if got := sol.At(-1)[0]; got != sol.X[0][0] {
+		t.Fatal("At must clamp left")
+	}
+	if got := sol.At(99)[0]; got != sol.Final()[0] {
+		t.Fatal("At must clamp right")
+	}
+	var empty Solution
+	if empty.At(0) != nil {
+		t.Fatal("empty solution At must be nil")
+	}
+}
+
+func TestDormandPrinceExponential(t *testing.T) {
+	sol, err := DormandPrince(decay, 0, 3, mat.Vec{1}, AdaptiveOptions{RelTol: 1e-10, AbsTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sol.Final()[0], math.Exp(-3); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("x(3) = %v, want %v", got, want)
+	}
+}
+
+func TestDormandPrinceStiffish(t *testing.T) {
+	// dx/dz = -50(x - cos z): moderately stiff, adaptive must handle it.
+	f := func(dst mat.Vec, z float64, x mat.Vec) { dst[0] = -50 * (x[0] - math.Cos(z)) }
+	sol, err := DormandPrince(f, 0, 1, mat.Vec{0}, AdaptiveOptions{RelTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference from a fine RK4 run.
+	ref, err := RK4(f, 0, 1, mat.Vec{0}, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(sol.Final()[0] - ref.Final()[0]); diff > 1e-6 {
+		t.Fatalf("adaptive vs reference differ by %g", diff)
+	}
+}
+
+func TestDormandPrinceInvalid(t *testing.T) {
+	if _, err := DormandPrince(decay, 1, 1, mat.Vec{1}, AdaptiveOptions{}); !errors.Is(err, ErrInvalidInput) {
+		t.Error("empty interval must fail")
+	}
+	blow := func(dst mat.Vec, _ float64, x mat.Vec) { dst[0] = math.NaN() }
+	if _, err := DormandPrince(blow, 0, 1, mat.Vec{1}, AdaptiveOptions{}); err == nil {
+		t.Error("NaN RHS must fail")
+	}
+}
+
+func TestDormandPrinceMaxSteps(t *testing.T) {
+	f := func(dst mat.Vec, z float64, x mat.Vec) { dst[0] = math.Sin(100 * z) }
+	_, err := DormandPrince(f, 0, 10, mat.Vec{0}, AdaptiveOptions{MaxSteps: 3, RelTol: 1e-12, AbsTol: 1e-14})
+	if err == nil {
+		t.Fatal("step budget must be enforced")
+	}
+}
+
+func TestLinearSystemPropagate(t *testing.T) {
+	// dx/dz = [[0,1],[-1,0]]x, rotation; x(π/2) = (0,-1) from (1,0).
+	ls := &LinearSystem{
+		Dim: 2,
+		Coeffs: func(a *mat.Dense, b mat.Vec, z float64) {
+			a.Set(0, 1, 1)
+			a.Set(1, 0, -1)
+		},
+	}
+	sol, err := ls.Propagate(0, math.Pi/2, mat.Vec{1, 0}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := sol.Final()
+	if math.Abs(fin[0]) > 1e-8 || math.Abs(fin[1]+1) > 1e-8 {
+		t.Fatalf("rotation result %v", fin)
+	}
+	if _, err := ls.Propagate(0, 1, mat.Vec{1}, 10); !errors.Is(err, ErrInvalidInput) {
+		t.Error("dimension mismatch must fail")
+	}
+}
+
+func TestLinearSystemForcing(t *testing.T) {
+	// dx/dz = -x + 1 → x(z) = 1 - e^{-z} from x(0)=0.
+	ls := &LinearSystem{
+		Dim: 1,
+		Coeffs: func(a *mat.Dense, b mat.Vec, z float64) {
+			a.Set(0, 0, -1)
+			b[0] = 1
+		},
+	}
+	sol, err := ls.Propagate(0, 2, mat.Vec{0}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Exp(-2)
+	if math.Abs(sol.Final()[0]-want) > 1e-9 {
+		t.Fatalf("forced linear result %v, want %v", sol.Final()[0], want)
+	}
+}
+
+// Property: for random stable linear scalar ODEs, RK4 and Dormand–Prince
+// agree with the closed form x(z) = x0·e^{a z} + (b/a)(e^{a z} − 1).
+func TestIntegratorsMatchClosedFormProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := -3 * r.Float64()
+		if a == 0 {
+			a = -0.5
+		}
+		b := 2 * r.NormFloat64()
+		x0 := r.NormFloat64()
+		rhs := func(dst mat.Vec, _ float64, x mat.Vec) { dst[0] = a*x[0] + b }
+		zEnd := 0.5 + r.Float64()
+		want := x0*math.Exp(a*zEnd) + b/a*(math.Exp(a*zEnd)-1)
+
+		solRK, err := RK4(rhs, 0, zEnd, mat.Vec{x0}, 400)
+		if err != nil {
+			return false
+		}
+		solDP, err := DormandPrince(rhs, 0, zEnd, mat.Vec{x0}, AdaptiveOptions{RelTol: 1e-10})
+		if err != nil {
+			return false
+		}
+		return math.Abs(solRK.Final()[0]-want) < 1e-7 &&
+			math.Abs(solDP.Final()[0]-want) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Constraint is a scalar constraint function evaluated at x.
+type Constraint func(x mat.Vec) (float64, error)
+
+// ConstraintKind distinguishes inequality (g(x) ≤ 0) from equality
+// (h(x) = 0) constraints.
+type ConstraintKind int
+
+const (
+	// LessEqual means the constraint value must satisfy g(x) ≤ 0.
+	LessEqual ConstraintKind = iota
+	// Equal means the constraint value must satisfy h(x) = 0.
+	Equal
+)
+
+// ConstraintSpec couples a constraint function with its kind and a scale
+// used to normalize its magnitude (e.g. ΔPmax for pressure constraints so
+// that multiplier updates are well conditioned).
+type ConstraintSpec struct {
+	F     Constraint
+	Kind  ConstraintKind
+	Scale float64 // 0 selects 1
+	Name  string  // for diagnostics
+}
+
+// AugLagOptions configures the augmented-Lagrangian outer loop.
+type AugLagOptions struct {
+	// OuterIterations bounds the multiplier updates (0 selects 12).
+	OuterIterations int
+	// InitialPenalty is the starting quadratic penalty weight (0 → 10).
+	InitialPenalty float64
+	// PenaltyGrowth multiplies the penalty when infeasibility does not
+	// shrink enough (0 → 5).
+	PenaltyGrowth float64
+	// FeasTol is the relative constraint-violation tolerance (0 → 1e-4).
+	FeasTol float64
+	// Inner configures the inner box-constrained solves.
+	Inner Options
+	// InnerSolver selects the inner solver; nil selects LBFGSB.
+	InnerSolver func(Objective, mat.Vec, Box, Options) (mat.Vec, float64, Stats, error)
+}
+
+// AugLagResult carries the outcome of a constrained solve.
+type AugLagResult struct {
+	X            mat.Vec // best feasible-ish point
+	F            float64 // objective value at X (without penalty)
+	MaxViolation float64 // worst relative constraint violation at X
+	Outer        int     // outer iterations performed
+	Evaluations  int     // total objective evaluations
+	Multipliers  mat.Vec // final Lagrange multiplier estimates
+}
+
+// AugmentedLagrangian minimizes f subject to box bounds and the given
+// nonlinear constraints with the classic multiplier method (Hestenes–
+// Powell for equalities, Rockafellar for inequalities):
+//
+//	L(x; λ, µ) = f(x) + Σ_eq [λ_i h_i + (µ/2) h_i²]
+//	           + Σ_ineq (µ/2)[max(0, λ_i/µ + g_i)² − (λ_i/µ)²]
+//
+// Each outer iteration solves the box-constrained subproblem with the
+// inner solver, then updates the multipliers and, when feasibility stalls,
+// grows the penalty.
+func AugmentedLagrangian(f Objective, cons []ConstraintSpec, x0 mat.Vec, box Box, opts AugLagOptions) (AugLagResult, error) {
+	outer := opts.OuterIterations
+	if outer <= 0 {
+		outer = 12
+	}
+	mu := opts.InitialPenalty
+	if mu <= 0 {
+		mu = 10
+	}
+	growth := opts.PenaltyGrowth
+	if growth <= 0 {
+		growth = 5
+	}
+	feasTol := opts.FeasTol
+	if feasTol <= 0 {
+		feasTol = 1e-4
+	}
+	inner := opts.InnerSolver
+	if inner == nil {
+		inner = LBFGSB
+	}
+
+	scales := make([]float64, len(cons))
+	for i, c := range cons {
+		if c.F == nil {
+			return AugLagResult{}, fmt.Errorf("optimize: constraint %d (%s) has nil function", i, c.Name)
+		}
+		scales[i] = c.Scale
+		if scales[i] <= 0 {
+			scales[i] = 1
+		}
+	}
+
+	lambda := make(mat.Vec, len(cons))
+	x := x0.Clone()
+	box.Project(x)
+	res := AugLagResult{}
+	prevViolation := math.Inf(1)
+
+	// evalCons evaluates the scaled constraint values at x.
+	evalCons := func(x mat.Vec, dst mat.Vec) error {
+		for i, c := range cons {
+			v, err := c.F(x)
+			if err != nil {
+				return fmt.Errorf("%w: constraint %q: %v", ErrEvaluation, c.Name, err)
+			}
+			dst[i] = v / scales[i]
+		}
+		return nil
+	}
+	cvals := make(mat.Vec, len(cons))
+
+	for it := 0; it < outer; it++ {
+		res.Outer = it + 1
+		muNow, lamNow := mu, lambda.Clone()
+		lagrangian := func(x mat.Vec) (float64, error) {
+			fv, err := f(x)
+			if err != nil {
+				return 0, err
+			}
+			cv := make(mat.Vec, len(cons))
+			if err := evalCons(x, cv); err != nil {
+				return 0, err
+			}
+			l := fv
+			for i, c := range cons {
+				switch c.Kind {
+				case Equal:
+					l += lamNow[i]*cv[i] + 0.5*muNow*cv[i]*cv[i]
+				case LessEqual:
+					t := math.Max(0, lamNow[i]/muNow+cv[i])
+					l += 0.5 * muNow * (t*t - (lamNow[i]/muNow)*(lamNow[i]/muNow))
+				}
+			}
+			return l, nil
+		}
+
+		xNew, _, stats, err := inner(lagrangian, x, box, opts.Inner)
+		res.Evaluations += stats.Evaluations
+		if err != nil && xNew == nil {
+			return res, err
+		}
+		if xNew != nil {
+			x = xNew
+		}
+
+		if err := evalCons(x, cvals); err != nil {
+			return res, err
+		}
+		viol := 0.0
+		for i, c := range cons {
+			var v float64
+			switch c.Kind {
+			case Equal:
+				v = math.Abs(cvals[i])
+			case LessEqual:
+				v = math.Max(0, cvals[i])
+			}
+			if v > viol {
+				viol = v
+			}
+			// Multiplier update.
+			switch c.Kind {
+			case Equal:
+				lambda[i] += mu * cvals[i]
+			case LessEqual:
+				lambda[i] = math.Max(0, lambda[i]+mu*cvals[i])
+			}
+		}
+		res.MaxViolation = viol
+		if viol <= feasTol {
+			break
+		}
+		if viol > 0.5*prevViolation {
+			mu *= growth
+		}
+		prevViolation = viol
+	}
+
+	fv, err := f(x)
+	if err != nil {
+		return res, fmt.Errorf("%w: final objective: %v", ErrEvaluation, err)
+	}
+	res.X = x
+	res.F = fv
+	res.Multipliers = lambda
+	if res.MaxViolation > 10*feasTol {
+		return res, fmt.Errorf("optimize: augmented Lagrangian ended infeasible (violation %.3g)",
+			res.MaxViolation)
+	}
+	return res, nil
+}

@@ -1,0 +1,196 @@
+// Package optimize implements the nonlinear-programming kernel used by the
+// channel-modulation optimal control problem (paper Sec. IV-C): bound-
+// constrained first-order methods (projected gradient with Armijo line
+// search and a projected limited-memory BFGS), a derivative-free
+// Nelder–Mead simplex, scalar minimization (golden section), finite-
+// difference gradients, and an augmented-Lagrangian wrapper for the
+// nonlinear pressure-drop constraints (Eq. 9/10).
+//
+// The paper's direct sequential method reduces the optimal control problem
+// to a finite-dimensional NLP over piecewise-constant control values; it is
+// explicitly solver-agnostic, so this package provides several
+// interchangeable solvers plus ablation hooks.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Objective evaluates a scalar cost at x. Implementations must be
+// deterministic for reproducible optimization runs.
+type Objective func(x mat.Vec) (float64, error)
+
+// ErrEvaluation wraps objective-evaluation failures.
+var ErrEvaluation = errors.New("optimize: objective evaluation failed")
+
+// ErrMaxIterations reports that an iteration budget was exhausted before the
+// convergence criterion held. The best point found is still returned.
+var ErrMaxIterations = errors.New("optimize: iteration budget exhausted")
+
+// Gradient estimates ∇f(x) by central finite differences with per-component
+// step h·max(1, |x_i|). dst may be nil. The base value f(x) is not needed
+// for central differences, keeping the estimate second-order accurate.
+func Gradient(f Objective, x mat.Vec, h float64, dst mat.Vec) (mat.Vec, error) {
+	if h <= 0 {
+		h = 1e-6
+	}
+	if dst == nil {
+		dst = make(mat.Vec, len(x))
+	}
+	xx := x.Clone()
+	for i := range x {
+		step := h * math.Max(1, math.Abs(x[i]))
+		orig := xx[i]
+		xx[i] = orig + step
+		fp, err := f(xx)
+		if err != nil {
+			return nil, fmt.Errorf("%w: +h at %d: %v", ErrEvaluation, i, err)
+		}
+		xx[i] = orig - step
+		fm, err := f(xx)
+		if err != nil {
+			return nil, fmt.Errorf("%w: -h at %d: %v", ErrEvaluation, i, err)
+		}
+		xx[i] = orig
+		dst[i] = (fp - fm) / (2 * step)
+	}
+	return dst, nil
+}
+
+// ForwardGradient estimates ∇f(x) by forward differences reusing a known
+// base value f0 = f(x); it halves the evaluation count versus Gradient at
+// the cost of first-order accuracy. Used inside line-search loops where
+// f(x) is already available.
+func ForwardGradient(f Objective, x mat.Vec, f0, h float64, dst mat.Vec) (mat.Vec, error) {
+	if h <= 0 {
+		h = 1e-7
+	}
+	if dst == nil {
+		dst = make(mat.Vec, len(x))
+	}
+	xx := x.Clone()
+	for i := range x {
+		step := h * math.Max(1, math.Abs(x[i]))
+		orig := xx[i]
+		xx[i] = orig + step
+		fp, err := f(xx)
+		if err != nil {
+			return nil, fmt.Errorf("%w: +h at %d: %v", ErrEvaluation, i, err)
+		}
+		xx[i] = orig
+		dst[i] = (fp - f0) / step
+	}
+	return dst, nil
+}
+
+// Box holds element-wise bounds lo ≤ x ≤ hi.
+type Box struct {
+	Lo, Hi mat.Vec
+}
+
+// NewBox builds a box from bounds; both slices are referenced, not copied.
+func NewBox(lo, hi mat.Vec) (Box, error) {
+	if len(lo) != len(hi) {
+		return Box{}, fmt.Errorf("optimize: box bounds length mismatch %d vs %d", len(lo), len(hi))
+	}
+	for i := range lo {
+		if !(lo[i] <= hi[i]) {
+			return Box{}, fmt.Errorf("optimize: box bound %d inverted: [%g, %g]", i, lo[i], hi[i])
+		}
+	}
+	return Box{Lo: lo, Hi: hi}, nil
+}
+
+// UniformBox builds an n-dimensional box with identical bounds per element.
+func UniformBox(n int, lo, hi float64) (Box, error) {
+	l := make(mat.Vec, n)
+	h := make(mat.Vec, n)
+	for i := 0; i < n; i++ {
+		l[i], h[i] = lo, hi
+	}
+	return NewBox(l, h)
+}
+
+// Project clamps x into the box in place.
+func (b Box) Project(x mat.Vec) {
+	for i := range x {
+		if x[i] < b.Lo[i] {
+			x[i] = b.Lo[i]
+		} else if x[i] > b.Hi[i] {
+			x[i] = b.Hi[i]
+		}
+	}
+}
+
+// Contains reports whether x satisfies the bounds (with slack tol).
+func (b Box) Contains(x mat.Vec, tol float64) bool {
+	for i := range x {
+		if x[i] < b.Lo[i]-tol || x[i] > b.Hi[i]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// BoxGradient estimates ∇f(x) by finite differences that never leave the
+// box: central differences where both perturbations fit, one-sided
+// otherwise. This keeps model-backed objectives (which may reject
+// infeasible geometry outright) safe to differentiate at active bounds.
+func BoxGradient(f Objective, x mat.Vec, box Box, h float64, dst mat.Vec) (mat.Vec, error) {
+	if h <= 0 {
+		h = 1e-6
+	}
+	if dst == nil {
+		dst = make(mat.Vec, len(x))
+	}
+	xx := x.Clone()
+	for i := range x {
+		step := h * math.Max(1, math.Abs(x[i]))
+		span := box.Hi[i] - box.Lo[i]
+		if span > 0 && step > 0.25*span {
+			step = 0.25 * span
+		}
+		orig := xx[i]
+		up := math.Min(orig+step, box.Hi[i])
+		dn := math.Max(orig-step, box.Lo[i])
+		if up == dn {
+			dst[i] = 0
+			continue
+		}
+		xx[i] = up
+		fp, err := f(xx)
+		if err != nil {
+			return nil, fmt.Errorf("%w: +h at %d: %v", ErrEvaluation, i, err)
+		}
+		xx[i] = dn
+		fm, err := f(xx)
+		if err != nil {
+			return nil, fmt.Errorf("%w: -h at %d: %v", ErrEvaluation, i, err)
+		}
+		xx[i] = orig
+		dst[i] = (fp - fm) / (up - dn)
+	}
+	return dst, nil
+}
+
+// ProjectedGradientNorm returns ‖P(x − g) − x‖∞, the standard first-order
+// stationarity measure for box-constrained problems.
+func (b Box) ProjectedGradientNorm(x, g mat.Vec) float64 {
+	var n float64
+	for i := range x {
+		v := x[i] - g[i]
+		if v < b.Lo[i] {
+			v = b.Lo[i]
+		} else if v > b.Hi[i] {
+			v = b.Hi[i]
+		}
+		if d := math.Abs(v - x[i]); d > n {
+			n = d
+		}
+	}
+	return n
+}

@@ -1,0 +1,214 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// NelderMeadOptions configures the derivative-free simplex solver.
+type NelderMeadOptions struct {
+	// MaxEvaluations bounds objective calls (0 selects 200·n²).
+	MaxEvaluations int
+	// Tol is the simplex spread stopping tolerance (0 selects 1e-8).
+	Tol float64
+	// InitialStep sets the initial simplex edge length per coordinate as a
+	// fraction of the box span (0 selects 0.1).
+	InitialStep float64
+}
+
+// NelderMead minimizes f over the box with the downhill-simplex method.
+// Infeasible trial points are projected into the box. It is the
+// derivative-free baseline of the solver ablation: slower than LBFGSB on
+// smooth problems but immune to finite-difference noise.
+func NelderMead(f Objective, x0 mat.Vec, box Box, opts NelderMeadOptions) (mat.Vec, float64, Stats, error) {
+	n := len(x0)
+	if n != len(box.Lo) {
+		return nil, 0, Stats{}, fmt.Errorf("optimize: x0 length %d vs box %d", n, len(box.Lo))
+	}
+	maxEval := opts.MaxEvaluations
+	if maxEval <= 0 {
+		maxEval = 200 * n * n
+		if maxEval < 2000 {
+			maxEval = 2000
+		}
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	frac := opts.InitialStep
+	if frac <= 0 {
+		frac = 0.1
+	}
+
+	cf := &countingObjective{f: f}
+	evalAt := func(x mat.Vec) (float64, error) {
+		box.Project(x)
+		return cf.eval(x)
+	}
+
+	// Initial simplex: x0 plus axis steps scaled to the box span.
+	simplex := make([]mat.Vec, n+1)
+	fvals := make(mat.Vec, n+1)
+	simplex[0] = x0.Clone()
+	box.Project(simplex[0])
+	v, err := evalAt(simplex[0])
+	if err != nil {
+		return nil, 0, Stats{}, fmt.Errorf("%w: %v", ErrEvaluation, err)
+	}
+	fvals[0] = v
+	for i := 0; i < n; i++ {
+		p := simplex[0].Clone()
+		span := box.Hi[i] - box.Lo[i]
+		step := frac * span
+		if step == 0 {
+			step = frac * math.Max(1, math.Abs(p[i]))
+		}
+		if p[i]+step > box.Hi[i] {
+			step = -step
+		}
+		p[i] += step
+		fv, err := evalAt(p)
+		if err != nil {
+			return nil, 0, Stats{}, fmt.Errorf("%w: %v", ErrEvaluation, err)
+		}
+		simplex[i+1] = p
+		fvals[i+1] = fv
+	}
+
+	order := make([]int, n+1)
+	stats := Stats{}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	for cf.n < maxEval {
+		stats.Iterations++
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return fvals[order[a]] < fvals[order[b]] })
+		best, worst, second := order[0], order[n], order[n-1]
+
+		// Convergence: function spread and simplex diameter.
+		spread := math.Abs(fvals[worst] - fvals[best])
+		var diam float64
+		for i := 1; i <= n; i++ {
+			d := mat.Sub(nil, simplex[order[i]], simplex[best]).NormInf()
+			if d > diam {
+				diam = d
+			}
+		}
+		if spread <= tol*(1+math.Abs(fvals[best])) && diam <= tol*(1+simplex[best].NormInf()) {
+			stats.Converged = true
+			break
+		}
+
+		// Centroid of all but the worst.
+		centroid := make(mat.Vec, n)
+		for _, idx := range order[:n] {
+			centroid.AddScaled(1, simplex[idx])
+		}
+		centroid.Scale(1 / float64(n))
+
+		reflect := mat.Axpy(nil, alpha, mat.Sub(nil, centroid, simplex[worst]), centroid)
+		fr, err := evalAt(reflect)
+		if err != nil {
+			return simplex[best], fvals[best], stats, err
+		}
+		switch {
+		case fr < fvals[best]:
+			// Try expansion.
+			expand := mat.Axpy(nil, gamma, mat.Sub(nil, centroid, simplex[worst]), centroid)
+			fe, err := evalAt(expand)
+			if err != nil {
+				return simplex[best], fvals[best], stats, err
+			}
+			if fe < fr {
+				simplex[worst], fvals[worst] = expand, fe
+			} else {
+				simplex[worst], fvals[worst] = reflect, fr
+			}
+		case fr < fvals[second]:
+			simplex[worst], fvals[worst] = reflect, fr
+		default:
+			// Contraction.
+			contract := mat.Axpy(nil, -rho, mat.Sub(nil, centroid, simplex[worst]), centroid)
+			fc, err := evalAt(contract)
+			if err != nil {
+				return simplex[best], fvals[best], stats, err
+			}
+			if fc < fvals[worst] {
+				simplex[worst], fvals[worst] = contract, fc
+			} else {
+				// Shrink toward the best vertex.
+				for _, idx := range order[1:] {
+					for j := range simplex[idx] {
+						simplex[idx][j] = simplex[best][j] + sigma*(simplex[idx][j]-simplex[best][j])
+					}
+					fv, err := evalAt(simplex[idx])
+					if err != nil {
+						return simplex[best], fvals[best], stats, err
+					}
+					fvals[idx] = fv
+				}
+			}
+		}
+	}
+	bestIdx := 0
+	for i := range fvals {
+		if fvals[i] < fvals[bestIdx] {
+			bestIdx = i
+		}
+	}
+	stats.Evaluations = cf.n
+	if !stats.Converged {
+		return simplex[bestIdx], fvals[bestIdx], stats,
+			fmt.Errorf("%w after %d evaluations", ErrMaxIterations, cf.n)
+	}
+	return simplex[bestIdx], fvals[bestIdx], stats, nil
+}
+
+// GoldenSection minimizes a scalar function on [a, b] to the given absolute
+// tolerance and returns the minimizing point. It needs no derivatives and
+// is used for one-dimensional parameter sweeps.
+func GoldenSection(f func(float64) (float64, error), a, b, tol float64) (float64, error) {
+	if !(b > a) {
+		return 0, fmt.Errorf("optimize: golden section needs b > a")
+	}
+	if tol <= 0 {
+		tol = 1e-8 * (b - a)
+	}
+	const invPhi = 0.6180339887498949
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, err := f(x1)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrEvaluation, err)
+	}
+	f2, err := f(x2)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrEvaluation, err)
+	}
+	for b-a > tol {
+		if f1 <= f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1, err = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2, err = f(x2)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrEvaluation, err)
+		}
+	}
+	return 0.5 * (a + b), nil
+}

@@ -1,0 +1,380 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func quadratic(center mat.Vec) Objective {
+	return func(x mat.Vec) (float64, error) {
+		var s float64
+		for i := range x {
+			d := x[i] - center[i]
+			s += d * d
+		}
+		return s, nil
+	}
+}
+
+func rosenbrock(x mat.Vec) (float64, error) {
+	var s float64
+	for i := 0; i+1 < len(x); i++ {
+		a := x[i+1] - x[i]*x[i]
+		b := 1 - x[i]
+		s += 100*a*a + b*b
+	}
+	return s, nil
+}
+
+func TestGradientCentral(t *testing.T) {
+	f := quadratic(mat.Vec{1, -2})
+	g, err := Gradient(f, mat.Vec{3, 3}, 1e-6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ∇f = 2(x−c) = (4, 10).
+	if math.Abs(g[0]-4) > 1e-6 || math.Abs(g[1]-10) > 1e-6 {
+		t.Fatalf("gradient = %v", g)
+	}
+}
+
+func TestForwardGradient(t *testing.T) {
+	f := quadratic(mat.Vec{0, 0})
+	x := mat.Vec{2, -1}
+	f0, _ := f(x)
+	g, err := ForwardGradient(f, x, f0, 1e-8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g[0]-4) > 1e-5 || math.Abs(g[1]+2) > 1e-5 {
+		t.Fatalf("gradient = %v", g)
+	}
+}
+
+func TestGradientPropagatesErrors(t *testing.T) {
+	bad := func(x mat.Vec) (float64, error) { return 0, errors.New("boom") }
+	if _, err := Gradient(bad, mat.Vec{1}, 0, nil); !errors.Is(err, ErrEvaluation) {
+		t.Fatalf("want ErrEvaluation, got %v", err)
+	}
+	if _, err := ForwardGradient(bad, mat.Vec{1}, 0, 0, nil); !errors.Is(err, ErrEvaluation) {
+		t.Fatalf("want ErrEvaluation, got %v", err)
+	}
+}
+
+func TestBoxBasics(t *testing.T) {
+	b, err := UniformBox(2, -1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := mat.Vec{-5, 5}
+	b.Project(x)
+	if x[0] != -1 || x[1] != 2 {
+		t.Fatalf("projected = %v", x)
+	}
+	if !b.Contains(x, 0) {
+		t.Fatal("projected point must be inside")
+	}
+	if b.Contains(mat.Vec{3, 0}, 0) {
+		t.Fatal("outside point misreported")
+	}
+	if _, err := NewBox(mat.Vec{0}, mat.Vec{1, 2}); err == nil {
+		t.Error("mismatched bounds must fail")
+	}
+	if _, err := NewBox(mat.Vec{2}, mat.Vec{1}); err == nil {
+		t.Error("inverted bounds must fail")
+	}
+}
+
+func TestProjectedGradientNorm(t *testing.T) {
+	b, _ := UniformBox(1, 0, 1)
+	// At the lower bound with positive gradient, the projected gradient
+	// vanishes (stationary).
+	if g := b.ProjectedGradientNorm(mat.Vec{0}, mat.Vec{5}); g != 0 {
+		t.Fatalf("stationary at bound: %v", g)
+	}
+	// Interior: equals |g| (clipped by box distance).
+	if g := b.ProjectedGradientNorm(mat.Vec{0.5}, mat.Vec{0.1}); math.Abs(g-0.1) > 1e-15 {
+		t.Fatalf("interior norm: %v", g)
+	}
+}
+
+func TestProjectedGradientQuadratic(t *testing.T) {
+	f := quadratic(mat.Vec{0.5, 0.5, 0.5})
+	box, _ := UniformBox(3, 0, 1)
+	x, fx, stats, err := ProjectedGradient(f, mat.Vec{0, 1, 0.2}, box, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx > 1e-10 {
+		t.Fatalf("f = %v at %v (stats %+v)", fx, x, stats)
+	}
+}
+
+func TestProjectedGradientActiveBound(t *testing.T) {
+	// Unconstrained minimum at (2,2) sits outside the box; solution must be
+	// the box corner (1,1).
+	f := quadratic(mat.Vec{2, 2})
+	box, _ := UniformBox(2, 0, 1)
+	x, _, _, err := ProjectedGradient(f, mat.Vec{0.5, 0.5}, box, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-6 || math.Abs(x[1]-1) > 1e-6 {
+		t.Fatalf("x = %v, want (1,1)", x)
+	}
+}
+
+func TestLBFGSBQuadratic(t *testing.T) {
+	f := quadratic(mat.Vec{-0.3, 0.7, 0.1, 0.9})
+	box, _ := UniformBox(4, -1, 1)
+	x, fx, stats, err := LBFGSB(f, mat.NewVec(4), box, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx > 1e-10 {
+		t.Fatalf("f = %v at %v (stats %+v)", fx, x, stats)
+	}
+	if !stats.Converged {
+		t.Fatal("must report convergence")
+	}
+}
+
+func TestLBFGSBRosenbrock(t *testing.T) {
+	box, _ := UniformBox(2, -2, 2)
+	x, fx, _, err := LBFGSB(rosenbrock, mat.Vec{-1.2, 1}, box, Options{
+		MaxIterations: 500, Tol: 1e-8, GradStep: 1e-7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Fatalf("x = %v (f=%v), want (1,1)", x, fx)
+	}
+}
+
+func TestLBFGSBActiveBound(t *testing.T) {
+	f := quadratic(mat.Vec{5, -5})
+	box, _ := UniformBox(2, -1, 1)
+	x, _, _, err := LBFGSB(f, mat.NewVec(2), box, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-6 || math.Abs(x[1]+1) > 1e-6 {
+		t.Fatalf("x = %v, want (1,-1)", x)
+	}
+}
+
+func TestLBFGSBRespectsBoundsAlways(t *testing.T) {
+	// The solver must never evaluate outside the box.
+	box, _ := UniformBox(3, 0, 1)
+	f := func(x mat.Vec) (float64, error) {
+		if !box.Contains(x, 1e-12) {
+			t.Fatalf("evaluated outside box: %v", x)
+		}
+		return quadratic(mat.Vec{0.2, 0.9, 0.5})(x)
+	}
+	if _, _, _, err := LBFGSB(f, mat.Vec{0.5, 0.5, 0.5}, box, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolverDimensionMismatch(t *testing.T) {
+	box, _ := UniformBox(2, 0, 1)
+	f := quadratic(mat.Vec{0, 0, 0})
+	if _, _, _, err := LBFGSB(f, mat.NewVec(3), box, Options{}); err == nil {
+		t.Error("LBFGSB must reject dim mismatch")
+	}
+	if _, _, _, err := ProjectedGradient(f, mat.NewVec(3), box, Options{}); err == nil {
+		t.Error("ProjectedGradient must reject dim mismatch")
+	}
+	if _, _, _, err := NelderMead(f, mat.NewVec(3), box, NelderMeadOptions{}); err == nil {
+		t.Error("NelderMead must reject dim mismatch")
+	}
+}
+
+func TestCallbackEarlyStop(t *testing.T) {
+	f := quadratic(mat.Vec{0.5, 0.5})
+	box, _ := UniformBox(2, 0, 1)
+	iters := 0
+	_, _, stats, err := LBFGSB(f, mat.NewVec(2), box, Options{
+		Callback: func(it int, x mat.Vec, fv float64) bool {
+			iters++
+			return false // stop immediately
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters != 1 || stats.Iterations > 2 {
+		t.Fatalf("early stop ignored: cb=%d iters=%d", iters, stats.Iterations)
+	}
+}
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := quadratic(mat.Vec{0.3, -0.4})
+	box, _ := UniformBox(2, -1, 1)
+	x, fx, _, err := NelderMead(f, mat.NewVec(2), box, NelderMeadOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx > 1e-8 {
+		t.Fatalf("f = %v at %v", fx, x)
+	}
+}
+
+func TestNelderMeadBoundedOptimum(t *testing.T) {
+	f := quadratic(mat.Vec{3, 3})
+	box, _ := UniformBox(2, 0, 1)
+	x, _, _, err := NelderMead(f, mat.Vec{0.1, 0.1}, box, NelderMeadOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-4 || math.Abs(x[1]-1) > 1e-4 {
+		t.Fatalf("x = %v, want (1,1)", x)
+	}
+}
+
+func TestNelderMeadBudget(t *testing.T) {
+	f := rosenbrock
+	box, _ := UniformBox(2, -2, 2)
+	_, _, stats, err := NelderMead(f, mat.Vec{-1.2, 1}, box, NelderMeadOptions{MaxEvaluations: 30})
+	if !errors.Is(err, ErrMaxIterations) {
+		t.Fatalf("want ErrMaxIterations, got %v", err)
+	}
+	if stats.Evaluations > 40 {
+		t.Fatalf("budget overrun: %d", stats.Evaluations)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	f := func(x float64) (float64, error) { return (x - 1.7) * (x - 1.7), nil }
+	x, err := GoldenSection(f, 0, 4, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-1.7) > 1e-8 {
+		t.Fatalf("x = %v", x)
+	}
+	if _, err := GoldenSection(f, 2, 1, 0); err == nil {
+		t.Error("inverted interval must fail")
+	}
+	bad := func(x float64) (float64, error) { return 0, errors.New("boom") }
+	if _, err := GoldenSection(bad, 0, 1, 0); !errors.Is(err, ErrEvaluation) {
+		t.Error("error propagation")
+	}
+}
+
+func TestAugmentedLagrangianEquality(t *testing.T) {
+	// min x² + y² s.t. x + y = 1 → (0.5, 0.5).
+	f := quadratic(mat.Vec{0, 0})
+	cons := []ConstraintSpec{{
+		F:    func(x mat.Vec) (float64, error) { return x[0] + x[1] - 1, nil },
+		Kind: Equal,
+		Name: "sum-to-one",
+	}}
+	box, _ := UniformBox(2, -2, 2)
+	res, err := AugmentedLagrangian(f, cons, mat.Vec{0, 0}, box, AugLagOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-3 || math.Abs(res.X[1]-0.5) > 1e-3 {
+		t.Fatalf("x = %v, want (0.5, 0.5); violation %g", res.X, res.MaxViolation)
+	}
+}
+
+func TestAugmentedLagrangianInequality(t *testing.T) {
+	// min (x−2)² s.t. x ≤ 1 → x = 1 with active constraint.
+	f := quadratic(mat.Vec{2})
+	cons := []ConstraintSpec{{
+		F:    func(x mat.Vec) (float64, error) { return x[0] - 1, nil },
+		Kind: LessEqual,
+		Name: "cap",
+	}}
+	box, _ := UniformBox(1, -5, 5)
+	res, err := AugmentedLagrangian(f, cons, mat.Vec{-3}, box, AugLagOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 {
+		t.Fatalf("x = %v, want 1", res.X)
+	}
+	if res.Multipliers[0] <= 0 {
+		t.Fatal("active inequality must carry positive multiplier")
+	}
+}
+
+func TestAugmentedLagrangianInactiveInequality(t *testing.T) {
+	// min (x−0.2)² s.t. x ≤ 1: constraint inactive, solution unconstrained.
+	f := quadratic(mat.Vec{0.2})
+	cons := []ConstraintSpec{{
+		F:    func(x mat.Vec) (float64, error) { return x[0] - 1, nil },
+		Kind: LessEqual,
+	}}
+	box, _ := UniformBox(1, -5, 5)
+	res, err := AugmentedLagrangian(f, cons, mat.Vec{0.9}, box, AugLagOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.2) > 1e-4 {
+		t.Fatalf("x = %v, want 0.2", res.X)
+	}
+}
+
+func TestAugmentedLagrangianNilConstraint(t *testing.T) {
+	f := quadratic(mat.Vec{0})
+	box, _ := UniformBox(1, 0, 1)
+	if _, err := AugmentedLagrangian(f, []ConstraintSpec{{}}, mat.Vec{0}, box, AugLagOptions{}); err == nil {
+		t.Fatal("nil constraint must fail")
+	}
+}
+
+// Property: LBFGSB on random positive-definite quadratics with random boxes
+// always ends inside the box with a near-zero projected gradient.
+func TestLBFGSBRandomQuadraticsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		center := make(mat.Vec, n)
+		for i := range center {
+			center[i] = r.NormFloat64()
+		}
+		lo := make(mat.Vec, n)
+		hi := make(mat.Vec, n)
+		for i := range lo {
+			a, b := r.NormFloat64(), r.NormFloat64()
+			if a > b {
+				a, b = b, a
+			}
+			lo[i], hi[i] = a, b+0.1
+		}
+		box, err := NewBox(lo, hi)
+		if err != nil {
+			return false
+		}
+		x0 := make(mat.Vec, n)
+		for i := range x0 {
+			x0[i] = lo[i] + r.Float64()*(hi[i]-lo[i])
+		}
+		x, _, _, err := LBFGSB(quadratic(center), x0, box, Options{MaxIterations: 300})
+		if err != nil && !errors.Is(err, ErrMaxIterations) {
+			return false
+		}
+		if !box.Contains(x, 1e-9) {
+			return false
+		}
+		// Optimal point of a separable quadratic over a box is the
+		// projection of the center.
+		want := center.Clone()
+		box.Project(want)
+		return mat.Sub(nil, x, want).NormInf() < 1e-4
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(77))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Options configures the box-constrained solvers.
+type Options struct {
+	// MaxIterations bounds the outer iterations (0 selects 200).
+	MaxIterations int
+	// Tol is the projected-gradient-norm stopping tolerance relative to
+	// the problem scale (0 selects 1e-6).
+	Tol float64
+	// GradStep is the finite-difference step (0 selects 1e-6 relative).
+	GradStep float64
+	// Memory is the L-BFGS history length (0 selects 8).
+	Memory int
+	// Callback, when non-nil, is invoked after every accepted iterate with
+	// (iteration, x, f). Returning false stops the solve early without
+	// error.
+	Callback func(iter int, x mat.Vec, f float64) bool
+}
+
+func (o Options) maxIter() int {
+	if o.MaxIterations <= 0 {
+		return 200
+	}
+	return o.MaxIterations
+}
+
+func (o Options) tol() float64 {
+	if o.Tol <= 0 {
+		return 1e-6
+	}
+	return o.Tol
+}
+
+func (o Options) memory() int {
+	if o.Memory <= 0 {
+		return 8
+	}
+	return o.Memory
+}
+
+// Stats carries solver diagnostics.
+type Stats struct {
+	Iterations  int     // outer iterations performed
+	Evaluations int     // objective evaluations (including FD gradients)
+	GradNorm    float64 // final projected gradient norm
+	Converged   bool    // stopping tolerance reached
+}
+
+// countingObjective wraps an Objective to count evaluations.
+type countingObjective struct {
+	f Objective
+	n int
+}
+
+func (c *countingObjective) eval(x mat.Vec) (float64, error) {
+	c.n++
+	return c.f(x)
+}
+
+// ProjectedGradient minimizes f over the box with steepest descent,
+// projection and Armijo backtracking. Robust but slow; used as a baseline
+// in the solver ablation (experiment A3).
+func ProjectedGradient(f Objective, x0 mat.Vec, box Box, opts Options) (mat.Vec, float64, Stats, error) {
+	if len(x0) != len(box.Lo) {
+		return nil, 0, Stats{}, fmt.Errorf("optimize: x0 length %d vs box %d", len(x0), len(box.Lo))
+	}
+	cf := &countingObjective{f: f}
+	x := x0.Clone()
+	box.Project(x)
+	fx, err := cf.eval(x)
+	if err != nil {
+		return nil, 0, Stats{}, fmt.Errorf("%w: %v", ErrEvaluation, err)
+	}
+	g := make(mat.Vec, len(x))
+	trial := make(mat.Vec, len(x))
+	stats := Stats{}
+	step := 1.0
+
+	for iter := 0; iter < opts.maxIter(); iter++ {
+		stats.Iterations = iter + 1
+		if _, err := BoxGradient(cf.eval, x, box, opts.GradStep, g); err != nil {
+			return x, fx, stats, err
+		}
+		gn := box.ProjectedGradientNorm(x, g)
+		stats.GradNorm = gn
+		scale := 1 + math.Abs(fx)
+		if gn <= opts.tol()*scale {
+			stats.Converged = true
+			break
+		}
+		// Armijo backtracking along the projected-gradient arc.
+		accepted := false
+		for ls := 0; ls < 40; ls++ {
+			for i := range trial {
+				trial[i] = x[i] - step*g[i]
+			}
+			box.Project(trial)
+			ft, err := cf.eval(trial)
+			if err != nil {
+				step *= 0.5
+				continue
+			}
+			// Sufficient decrease vs the actual displacement.
+			var gd float64
+			for i := range x {
+				gd += g[i] * (x[i] - trial[i])
+			}
+			if ft <= fx-1e-4*gd && gd > 0 {
+				copy(x, trial)
+				fx = ft
+				accepted = true
+				step *= 1.6 // tentative growth for the next iteration
+				break
+			}
+			step *= 0.5
+		}
+		if !accepted {
+			// No progress possible at representable step sizes.
+			stats.Converged = gn <= 1e2*opts.tol()*scale
+			break
+		}
+		if opts.Callback != nil && !opts.Callback(iter, x, fx) {
+			break
+		}
+	}
+	stats.Evaluations = cf.n
+	if !stats.Converged && stats.Iterations >= opts.maxIter() {
+		return x, fx, stats, fmt.Errorf("%w after %d iterations (‖Pg‖=%.3g)",
+			ErrMaxIterations, stats.Iterations, stats.GradNorm)
+	}
+	return x, fx, stats, nil
+}
+
+// LBFGSB minimizes f over the box with a projected limited-memory BFGS
+// method: the quasi-Newton direction is computed from the two-loop
+// recursion, projected steps are globalized with Armijo backtracking, and
+// curvature pairs are only stored when they satisfy the positivity
+// condition. This is the workhorse solver for channel modulation.
+func LBFGSB(f Objective, x0 mat.Vec, box Box, opts Options) (mat.Vec, float64, Stats, error) {
+	n := len(x0)
+	if n != len(box.Lo) {
+		return nil, 0, Stats{}, fmt.Errorf("optimize: x0 length %d vs box %d", n, len(box.Lo))
+	}
+	cf := &countingObjective{f: f}
+	x := x0.Clone()
+	box.Project(x)
+	fx, err := cf.eval(x)
+	if err != nil {
+		return nil, 0, Stats{}, fmt.Errorf("%w: %v", ErrEvaluation, err)
+	}
+	g := make(mat.Vec, n)
+	if _, err := BoxGradient(cf.eval, x, box, opts.GradStep, g); err != nil {
+		return x, fx, Stats{Evaluations: cf.n}, err
+	}
+
+	mem := opts.memory()
+	var sHist, yHist []mat.Vec
+	var rhoHist []float64
+	dir := make(mat.Vec, n)
+	trial := make(mat.Vec, n)
+	gNew := make(mat.Vec, n)
+	alpha := make([]float64, mem)
+	stats := Stats{}
+
+	for iter := 0; iter < opts.maxIter(); iter++ {
+		stats.Iterations = iter + 1
+		gn := box.ProjectedGradientNorm(x, g)
+		stats.GradNorm = gn
+		scale := 1 + math.Abs(fx)
+		if gn <= opts.tol()*scale {
+			stats.Converged = true
+			break
+		}
+
+		// Two-loop recursion for d = −H·g.
+		copy(dir, g)
+		k := len(sHist)
+		for i := k - 1; i >= 0; i-- {
+			alpha[i] = rhoHist[i] * sHist[i].Dot(dir)
+			dir.AddScaled(-alpha[i], yHist[i])
+		}
+		if k > 0 {
+			gammaDen := yHist[k-1].Dot(yHist[k-1])
+			if gammaDen > 0 {
+				dir.Scale(sHist[k-1].Dot(yHist[k-1]) / gammaDen)
+			}
+		}
+		for i := 0; i < k; i++ {
+			beta := rhoHist[i] * yHist[i].Dot(dir)
+			dir.AddScaled(alpha[i]-beta, sHist[i])
+		}
+		dir.Scale(-1)
+
+		// Fall back to steepest descent when the direction is not a
+		// descent direction (can happen after projections).
+		if dir.Dot(g) >= 0 {
+			for i := range dir {
+				dir[i] = -g[i]
+			}
+		}
+
+		// Projected Armijo backtracking.
+		step := 1.0
+		accepted := false
+		var ft float64
+		tryStep := func(st float64) (float64, bool) {
+			for i := range trial {
+				trial[i] = x[i] + st*dir[i]
+			}
+			box.Project(trial)
+			fv, fe := cf.eval(trial)
+			if fe != nil {
+				return 0, false
+			}
+			var gd float64
+			for i := range x {
+				gd += g[i] * (x[i] - trial[i])
+			}
+			return fv, gd > 0 && fv <= fx-1e-4*gd
+		}
+		for ls := 0; ls < 50; ls++ {
+			if fv, ok := tryStep(step); ok {
+				ft = fv
+				accepted = true
+				break
+			}
+			step *= 0.5
+		}
+		if !accepted {
+			stats.Converged = gn <= 1e2*opts.tol()*scale
+			break
+		}
+		// Step extension: a stale quasi-Newton history can produce a
+		// drastically undersized direction that Armijo accepts trivially.
+		// Double the step while the objective keeps improving, which
+		// restores progress without a full Wolfe line search.
+		if step == 1.0 {
+			for ext := 0; ext < 24; ext++ {
+				fv, ok := tryStep(step * 2)
+				if !ok || fv >= ft {
+					break
+				}
+				step *= 2
+				ft = fv
+			}
+			// Re-materialize the accepted trial (the extension loop may
+			// have overwritten it with the rejected candidate).
+			for i := range trial {
+				trial[i] = x[i] + step*dir[i]
+			}
+			box.Project(trial)
+		}
+		if _, err := BoxGradient(cf.eval, trial, box, opts.GradStep, gNew); err != nil {
+			return x, fx, stats, err
+		}
+		// Curvature pair.
+		s := mat.Sub(nil, trial, x)
+		y := mat.Sub(nil, gNew, g)
+		if sy := s.Dot(y); sy > 1e-12*s.Norm2()*y.Norm2() && sy > 0 {
+			sHist = append(sHist, s)
+			yHist = append(yHist, y)
+			rhoHist = append(rhoHist, 1/sy)
+			if len(sHist) > mem {
+				sHist = sHist[1:]
+				yHist = yHist[1:]
+				rhoHist = rhoHist[1:]
+			}
+		}
+		copy(x, trial)
+		copy(g, gNew)
+		fx = ft
+		if opts.Callback != nil && !opts.Callback(iter, x, fx) {
+			break
+		}
+	}
+	stats.Evaluations = cf.n
+	if !stats.Converged && stats.Iterations >= opts.maxIter() {
+		return x, fx, stats, fmt.Errorf("%w after %d iterations (‖Pg‖=%.3g)",
+			ErrMaxIterations, stats.Iterations, stats.GradNorm)
+	}
+	return x, fx, stats, nil
+}

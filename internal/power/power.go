@@ -1,0 +1,139 @@
+// Package power turns floorplans and synthetic workloads into the
+// per-channel heat-flux profiles consumed by the compact thermal model:
+// strip integration of die power maps (the Fig. 7/8 MPSoC experiments) and
+// the seeded random segment generator of the paper's Test B.
+package power
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compact"
+	"repro/internal/floorplan"
+	"repro/internal/units"
+)
+
+// ChannelFluxes integrates one die's power map into per-channel-column
+// linear heat fluxes: the die is cut into nChannels strips across the flow
+// and segments slices along it, and each (strip, slice) cell's power is
+// divided by the slice length to yield W/m.
+//
+// The resulting Flux profiles plug directly into compact.Channel /
+// control.ChannelLoad for the column covering the same strip.
+func ChannelFluxes(d *floorplan.Die, m floorplan.Mode, nChannels, segments int) ([]*compact.Flux, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if nChannels < 1 || segments < 1 {
+		return nil, fmt.Errorf("power: need nChannels >= 1 and segments >= 1, got %d, %d",
+			nChannels, segments)
+	}
+	stripH := d.WidthY / float64(nChannels)
+	sliceW := d.LengthX / float64(segments)
+	out := make([]*compact.Flux, nChannels)
+	for c := 0; c < nChannels; c++ {
+		vals := make([]float64, segments)
+		y0 := float64(c) * stripH
+		y1 := y0 + stripH
+		for s := 0; s < segments; s++ {
+			x0 := float64(s) * sliceW
+			x1 := x0 + sliceW
+			vals[s] = d.StripPower(x0, x1, y0, y1, m) / sliceW
+		}
+		f, err := compact.NewFlux(vals, d.LengthX)
+		if err != nil {
+			return nil, fmt.Errorf("power: channel %d: %w", c, err)
+		}
+		out[c] = f
+	}
+	return out, nil
+}
+
+// TestBConfig parameterizes the paper's Test B random heat-flux map: each
+// die surface is split into Segments equal slices along the flow, and each
+// slice draws an areal flux uniformly from [MinWcm2, MaxWcm2] W/cm².
+type TestBConfig struct {
+	// Segments is the number of random slices (paper Fig. 4b shows ~10).
+	Segments int
+	// MinWcm2 and MaxWcm2 bound the per-slice areal flux in W/cm²
+	// (paper: [50, 250]).
+	MinWcm2, MaxWcm2 float64
+	// Seed fixes the generator for reproducible experiments.
+	Seed int64
+}
+
+// DefaultTestB returns the paper's Test B parameters with a fixed seed.
+func DefaultTestB() TestBConfig {
+	return TestBConfig{Segments: 10, MinWcm2: 50, MaxWcm2: 250, Seed: 2012}
+}
+
+// Validate reports the first invalid field.
+func (c TestBConfig) Validate() error {
+	if c.Segments < 1 {
+		return fmt.Errorf("power: Test B needs at least 1 segment, got %d", c.Segments)
+	}
+	if c.MinWcm2 < 0 || c.MaxWcm2 < c.MinWcm2 {
+		return fmt.Errorf("power: Test B flux range [%g, %g] invalid", c.MinWcm2, c.MaxWcm2)
+	}
+	return nil
+}
+
+// TestBFluxes draws the two layers' random flux profiles for a channel
+// column of the given cluster width (m) and length (m). The two layers use
+// independent draws from the same stream, like the paper's independent
+// top/bottom maps.
+func TestBFluxes(cfg TestBConfig, clusterWidth, length float64) (top, bottom *compact.Flux, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := units.CheckPositive("cluster width", clusterWidth); err != nil {
+		return nil, nil, err
+	}
+	if err := units.CheckPositive("length", length); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	draw := func() ([]float64, error) {
+		vals := make([]float64, cfg.Segments)
+		for i := range vals {
+			wcm2 := cfg.MinWcm2 + rng.Float64()*(cfg.MaxWcm2-cfg.MinWcm2)
+			vals[i] = units.WattsPerCm2(wcm2) * clusterWidth
+		}
+		return vals, nil
+	}
+	tv, err := draw()
+	if err != nil {
+		return nil, nil, err
+	}
+	bv, err := draw()
+	if err != nil {
+		return nil, nil, err
+	}
+	top, err = compact.NewFlux(tv, length)
+	if err != nil {
+		return nil, nil, err
+	}
+	bottom, err = compact.NewFlux(bv, length)
+	if err != nil {
+		return nil, nil, err
+	}
+	return top, bottom, nil
+}
+
+// UniformFluxes builds matching uniform flux profiles for both layers of a
+// channel column (the paper's Test A): areal density in W/cm² per layer.
+func UniformFluxes(wcm2, clusterWidth, length float64) (top, bottom *compact.Flux, err error) {
+	if err := units.CheckPositive("cluster width", clusterWidth); err != nil {
+		return nil, nil, err
+	}
+	lin := units.WattsPerCm2(wcm2) * clusterWidth
+	top, err = compact.NewUniformFlux(lin, length)
+	if err != nil {
+		return nil, nil, err
+	}
+	bottom, err = compact.NewUniformFlux(lin, length)
+	if err != nil {
+		return nil, nil, err
+	}
+	return top, bottom, nil
+}

@@ -1,0 +1,176 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/units"
+)
+
+func TestChannelFluxesConservePower(t *testing.T) {
+	d := floorplan.NiagaraProcessorDie()
+	const nCh, segs = 11, 10
+	fluxes, err := ChannelFluxes(d, floorplan.Peak, nCh, segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fluxes) != nCh {
+		t.Fatalf("%d fluxes", len(fluxes))
+	}
+	var total float64
+	for _, f := range fluxes {
+		total += f.Total()
+	}
+	want := d.TotalPower(floorplan.Peak)
+	if math.Abs(total-want)/want > 1e-9 {
+		t.Fatalf("flux total %v W vs die power %v W", total, want)
+	}
+}
+
+func TestChannelFluxesSeeCoreRow(t *testing.T) {
+	d := floorplan.NiagaraProcessorDie()
+	fluxes, err := ChannelFluxes(d, floorplan.Peak, 11, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every channel crosses the core row near the outlet: its flux profile
+	// must peak there relative to the mid-die L2 region.
+	f := fluxes[5].Values()
+	inlet, mid, outlet := f[1], f[9], f[16]
+	if outlet <= mid || outlet <= inlet {
+		t.Fatalf("core row not visible: inlet %v mid %v outlet %v", inlet, mid, outlet)
+	}
+}
+
+func TestChannelFluxesAverageBelowPeak(t *testing.T) {
+	d := floorplan.NiagaraProcessorDie()
+	pk, err := ChannelFluxes(d, floorplan.Peak, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, err := ChannelFluxes(d, floorplan.Average, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pk {
+		if av[i].Total() >= pk[i].Total() {
+			t.Fatalf("channel %d: average %v >= peak %v", i, av[i].Total(), pk[i].Total())
+		}
+	}
+}
+
+func TestChannelFluxesValidation(t *testing.T) {
+	d := floorplan.NiagaraProcessorDie()
+	if _, err := ChannelFluxes(d, floorplan.Peak, 0, 5); err == nil {
+		t.Error("zero channels must fail")
+	}
+	if _, err := ChannelFluxes(d, floorplan.Peak, 5, 0); err == nil {
+		t.Error("zero segments must fail")
+	}
+	bad := &floorplan.Die{Name: "bad", LengthX: -1, WidthY: 1}
+	if _, err := ChannelFluxes(bad, floorplan.Peak, 5, 5); err == nil {
+		t.Error("invalid die must fail")
+	}
+}
+
+func TestTestBDeterministicAndInRange(t *testing.T) {
+	cfg := DefaultTestB()
+	top1, bot1, err := TestBFluxes(cfg, 1e-3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top2, bot2, err := TestBFluxes(cfg, 1e-3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed → identical draws.
+	for i, v := range top1.Values() {
+		if top2.Values()[i] != v {
+			t.Fatal("top fluxes not deterministic")
+		}
+	}
+	for i, v := range bot1.Values() {
+		if bot2.Values()[i] != v {
+			t.Fatal("bottom fluxes not deterministic")
+		}
+	}
+	// Different seed → different draws.
+	cfg2 := cfg
+	cfg2.Seed = 99
+	top3, _, err := TestBFluxes(cfg2, 1e-3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i, v := range top1.Values() {
+		if top3.Values()[i] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical fluxes")
+	}
+	// All values within [50, 250] W/cm² scaled by the cluster width.
+	lo := units.WattsPerCm2(50) * 1e-3
+	hi := units.WattsPerCm2(250) * 1e-3
+	for _, f := range []*[]float64{ptr(top1.Values()), ptr(bot1.Values())} {
+		for _, v := range *f {
+			if v < lo || v > hi {
+				t.Fatalf("flux %v outside [%v, %v]", v, lo, hi)
+			}
+		}
+	}
+	// Top and bottom are independent draws.
+	diff := false
+	for i, v := range top1.Values() {
+		if bot1.Values()[i] != v {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("top and bottom draws identical")
+	}
+}
+
+func ptr(v []float64) *[]float64 { return &v }
+
+func TestTestBValidation(t *testing.T) {
+	cfg := DefaultTestB()
+	cfg.Segments = 0
+	if _, _, err := TestBFluxes(cfg, 1e-3, 0.01); err == nil {
+		t.Error("zero segments must fail")
+	}
+	cfg = DefaultTestB()
+	cfg.MaxWcm2 = 10 // below min
+	if _, _, err := TestBFluxes(cfg, 1e-3, 0.01); err == nil {
+		t.Error("inverted range must fail")
+	}
+	cfg = DefaultTestB()
+	if _, _, err := TestBFluxes(cfg, 0, 0.01); err == nil {
+		t.Error("zero width must fail")
+	}
+	if _, _, err := TestBFluxes(cfg, 1e-3, 0); err == nil {
+		t.Error("zero length must fail")
+	}
+}
+
+func TestUniformFluxes(t *testing.T) {
+	top, bot, err := UniformFluxes(50, 1e-3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.WattsPerCm2(50) * 1e-3
+	if top.At(0.005) != want || bot.At(0.005) != want {
+		t.Fatalf("uniform flux = %v, want %v", top.At(0.005), want)
+	}
+	// Total = density × width × length.
+	if math.Abs(top.Total()-want*0.01) > 1e-12 {
+		t.Fatalf("total = %v", top.Total())
+	}
+	if _, _, err := UniformFluxes(50, 0, 0.01); err == nil {
+		t.Error("zero width must fail")
+	}
+}

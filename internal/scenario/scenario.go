@@ -1,0 +1,234 @@
+// Package scenario serializes channel-modulation problems and results to
+// JSON, in engineering units (µm, mm, ml/min, bar, W/cm², °C), so that
+// design problems can be stored, versioned and exchanged by the CLI tools
+// without touching Go code.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/compact"
+	"repro/internal/control"
+	"repro/internal/microchannel"
+	"repro/internal/units"
+)
+
+// File is the on-disk scenario description.
+type File struct {
+	// Name labels the scenario.
+	Name string `json:"name"`
+	// Params holds the stack geometry in engineering units; zero values
+	// select the Table I defaults.
+	Params Params `json:"params"`
+	// BoundsUM are the width bounds [min, max] in µm (zero → [10, 50]).
+	BoundsUM [2]float64 `json:"bounds_um"`
+	// Segments is the control discretization (zero → 20).
+	Segments int `json:"segments,omitempty"`
+	// MaxPressureBar is ΔPmax in bar (zero → 10).
+	MaxPressureBar float64 `json:"max_pressure_bar,omitempty"`
+	// EqualPressure enforces equal drops across channels.
+	EqualPressure bool `json:"equal_pressure,omitempty"`
+	// Solver is "lbfgsb" (default), "projgrad" or "neldermead".
+	Solver string `json:"solver,omitempty"`
+	// Channels lists the heat loads.
+	Channels []Channel `json:"channels"`
+}
+
+// Params mirrors compact.Params in engineering units.
+type Params struct {
+	SiliconConductivity float64 `json:"silicon_conductivity_w_mk,omitempty"`
+	PitchUM             float64 `json:"pitch_um,omitempty"`
+	SlabHeightUM        float64 `json:"slab_height_um,omitempty"`
+	ChannelHeightUM     float64 `json:"channel_height_um,omitempty"`
+	LengthMM            float64 `json:"length_mm,omitempty"`
+	InletTempC          float64 `json:"inlet_temp_c,omitempty"`
+	FlowRateMLMin       float64 `json:"flow_rate_ml_min,omitempty"`
+	ClusterSize         int     `json:"cluster_size,omitempty"`
+}
+
+// Channel is one column's heat load: per-segment areal fluxes in W/cm²
+// applied to the top and bottom layers (equal-length segments along the
+// flow).
+type Channel struct {
+	TopWcm2    []float64 `json:"top_wcm2"`
+	BottomWcm2 []float64 `json:"bottom_wcm2"`
+}
+
+// Load parses a scenario file and builds the corresponding control.Spec.
+func Load(r io.Reader) (*control.Spec, *File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	spec, err := f.Spec()
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec, &f, nil
+}
+
+// Spec converts the file into a validated control.Spec.
+func (f *File) Spec() (*control.Spec, error) {
+	p := compact.DefaultParams()
+	if f.Params.SiliconConductivity > 0 {
+		p.SiliconConductivity = f.Params.SiliconConductivity
+	}
+	if f.Params.PitchUM > 0 {
+		p.Pitch = units.Micrometers(f.Params.PitchUM)
+	}
+	if f.Params.SlabHeightUM > 0 {
+		p.SlabHeight = units.Micrometers(f.Params.SlabHeightUM)
+	}
+	if f.Params.ChannelHeightUM > 0 {
+		p.ChannelHeight = units.Micrometers(f.Params.ChannelHeightUM)
+	}
+	if f.Params.LengthMM > 0 {
+		p.Length = units.Millimeters(f.Params.LengthMM)
+	}
+	if f.Params.InletTempC != 0 {
+		p.InletTemp = units.Celsius(f.Params.InletTempC)
+	}
+	if f.Params.FlowRateMLMin > 0 {
+		p.FlowRatePerChannel = units.MilliLitersPerMinute(f.Params.FlowRateMLMin)
+	}
+	if f.Params.ClusterSize > 0 {
+		p.ClusterSize = f.Params.ClusterSize
+	}
+
+	bounds := microchannel.Bounds{
+		Min: units.Micrometers(f.BoundsUM[0]),
+		Max: units.Micrometers(f.BoundsUM[1]),
+	}
+	if f.BoundsUM[0] == 0 && f.BoundsUM[1] == 0 {
+		bounds = microchannel.Bounds{Min: units.Micrometers(10), Max: units.Micrometers(50)}
+	}
+
+	if len(f.Channels) == 0 {
+		return nil, fmt.Errorf("scenario: %q has no channels", f.Name)
+	}
+	loads := make([]control.ChannelLoad, len(f.Channels))
+	clusterW := p.ClusterWidth()
+	for k, ch := range f.Channels {
+		top, err := fluxFromWcm2(ch.TopWcm2, clusterW, p.Length)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: channel %d top: %w", k, err)
+		}
+		bottom, err := fluxFromWcm2(ch.BottomWcm2, clusterW, p.Length)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: channel %d bottom: %w", k, err)
+		}
+		loads[k] = control.ChannelLoad{FluxTop: top, FluxBottom: bottom}
+	}
+
+	var solver control.Solver
+	switch f.Solver {
+	case "", "lbfgsb":
+		solver = control.SolverLBFGSB
+	case "projgrad":
+		solver = control.SolverProjGrad
+	case "neldermead":
+		solver = control.SolverNelderMead
+	default:
+		return nil, fmt.Errorf("scenario: unknown solver %q", f.Solver)
+	}
+
+	spec := &control.Spec{
+		Params:        p,
+		Channels:      loads,
+		Bounds:        bounds,
+		Segments:      f.Segments,
+		MaxPressure:   units.Bar(f.MaxPressureBar),
+		EqualPressure: f.EqualPressure,
+		Solver:        solver,
+	}
+	if f.MaxPressureBar == 0 {
+		spec.MaxPressure = 0 // control applies the 10-bar default
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func fluxFromWcm2(vals []float64, clusterWidth, length float64) (*compact.Flux, error) {
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("empty flux list")
+	}
+	lin := make([]float64, len(vals))
+	for i, v := range vals {
+		lin[i] = units.WattsPerCm2(v) * clusterWidth
+	}
+	return compact.NewFlux(lin, length)
+}
+
+// Save writes the scenario file as indented JSON.
+func Save(w io.Writer, f *File) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("scenario: encode: %w", err)
+	}
+	return nil
+}
+
+// Result is the JSON projection of an optimization outcome.
+type Result struct {
+	Name             string      `json:"name,omitempty"`
+	GradientK        float64     `json:"gradient_k"`
+	PeakC            float64     `json:"peak_c"`
+	PressureDropsBar []float64   `json:"pressure_drops_bar"`
+	Objective        float64     `json:"objective_w2m"`
+	Evaluations      int         `json:"evaluations"`
+	ProfilesUM       [][]float64 `json:"profiles_um"`
+}
+
+// NewResult projects a control.Result for serialization.
+func NewResult(name string, r *control.Result) Result {
+	out := Result{
+		Name:        name,
+		GradientK:   r.GradientK,
+		PeakC:       units.ToCelsius(r.PeakK),
+		Objective:   r.Objective,
+		Evaluations: r.Evaluations,
+	}
+	for _, dp := range r.PressureDrops {
+		out.PressureDropsBar = append(out.PressureDropsBar, units.ToBar(dp))
+	}
+	for _, p := range r.Profiles {
+		ws := p.Widths()
+		um := make([]float64, len(ws))
+		for i, w := range ws {
+			um[i] = units.ToMicrometers(w)
+		}
+		out.ProfilesUM = append(out.ProfilesUM, um)
+	}
+	return out
+}
+
+// WriteResult writes the result projection as indented JSON.
+func WriteResult(w io.Writer, res Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		return fmt.Errorf("scenario: encode result: %w", err)
+	}
+	return nil
+}
+
+// Example returns a ready-to-edit example scenario (two channels, one with
+// a hotspot), used by `chanmod -write-example`.
+func Example() *File {
+	return &File{
+		Name:     "example-two-channel",
+		Segments: 10,
+		Channels: []Channel{
+			{TopWcm2: []float64{50, 50, 50, 50, 50}, BottomWcm2: []float64{50, 50, 50, 50, 50}},
+			{TopWcm2: []float64{30, 30, 180, 30, 30}, BottomWcm2: []float64{30, 30, 30, 30, 30}},
+		},
+		EqualPressure: true,
+	}
+}

@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/microchannel"
+	"repro/internal/units"
+)
+
+func TestLoadMinimalScenario(t *testing.T) {
+	src := `{
+	  "name": "mini",
+	  "channels": [{"top_wcm2": [50], "bottom_wcm2": [50]}]
+	}`
+	spec, f, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "mini" {
+		t.Error("name")
+	}
+	// Defaults applied: Table I parameters and bounds.
+	if math.Abs(spec.Params.Pitch-100e-6) > 1e-15 {
+		t.Errorf("pitch default = %v", spec.Params.Pitch)
+	}
+	if math.Abs(spec.Bounds.Min-10e-6) > 1e-15 || math.Abs(spec.Bounds.Max-50e-6) > 1e-15 {
+		t.Errorf("bounds default = %+v", spec.Bounds)
+	}
+	// Flux: 50 W/cm² on a 1 mm cluster = 500 W/m.
+	if got := spec.Channels[0].FluxTop.At(0.005); math.Abs(got-500) > 1e-9 {
+		t.Errorf("flux = %v", got)
+	}
+}
+
+func TestLoadFullScenario(t *testing.T) {
+	src := `{
+	  "name": "full",
+	  "params": {
+	    "silicon_conductivity_w_mk": 120,
+	    "pitch_um": 150,
+	    "slab_height_um": 60,
+	    "channel_height_um": 120,
+	    "length_mm": 12,
+	    "inlet_temp_c": 20,
+	    "flow_rate_ml_min": 0.6,
+	    "cluster_size": 5
+	  },
+	  "bounds_um": [12, 70],
+	  "segments": 6,
+	  "max_pressure_bar": 4,
+	  "equal_pressure": true,
+	  "solver": "neldermead",
+	  "channels": [
+	    {"top_wcm2": [10, 20], "bottom_wcm2": [5, 5]},
+	    {"top_wcm2": [30, 30], "bottom_wcm2": [30, 30]}
+	  ]
+	}`
+	spec, _, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Params.SiliconConductivity != 120 {
+		t.Error("kSi")
+	}
+	if math.Abs(spec.Params.Length-0.012) > 1e-15 {
+		t.Error("length")
+	}
+	if math.Abs(spec.Params.InletTemp-293.15) > 1e-9 {
+		t.Error("inlet temp")
+	}
+	if spec.Params.ClusterSize != 5 {
+		t.Error("cluster")
+	}
+	if math.Abs(spec.Bounds.Max-70e-6) > 1e-15 {
+		t.Error("bounds")
+	}
+	if spec.Segments != 6 || !spec.EqualPressure {
+		t.Error("segments / equal pressure")
+	}
+	if math.Abs(spec.MaxPressure-units.Bar(4)) > 1e-9 {
+		t.Error("pressure")
+	}
+	if spec.Solver != control.SolverNelderMead {
+		t.Error("solver")
+	}
+	if len(spec.Channels) != 2 {
+		t.Error("channels")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		`{`,            // malformed
+		`{"name":"x"}`, // no channels
+		`{"channels":[{"top_wcm2":[],"bottom_wcm2":[1]}]}`,                        // empty flux
+		`{"solver":"magic","channels":[{"top_wcm2":[1],"bottom_wcm2":[1]}]}`,      // bad solver
+		`{"unknown_field":1,"channels":[{"top_wcm2":[1],"bottom_wcm2":[1]}]}`,     // unknown field
+		`{"bounds_um":[200,300],"channels":[{"top_wcm2":[1],"bottom_wcm2":[1]}]}`, // bounds above pitch
+	}
+	for i, src := range cases {
+		if _, _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d must fail", i)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f := Example()
+	var buf bytes.Buffer
+	if err := Save(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	spec, f2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Name != f.Name || len(f2.Channels) != len(f.Channels) {
+		t.Fatal("round trip lost data")
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The hotspot channel must carry its 180 W/cm² spike.
+	mid := spec.Params.Length / 2
+	if got := spec.Channels[1].FluxTop.At(mid); got <= spec.Channels[1].FluxTop.At(0) {
+		t.Errorf("hotspot flux not preserved: %v", got)
+	}
+}
+
+func TestResultProjection(t *testing.T) {
+	p, err := microchannel.NewProfile([]float64{50e-6, 20e-6}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &control.Result{
+		Profiles:      []*microchannel.Profile{p},
+		GradientK:     21.5,
+		PeakK:         331.8,
+		PressureDrops: []float64{units.Bar(9.9)},
+		Objective:     1e-4,
+		Evaluations:   123,
+	}
+	res := NewResult("t", r)
+	if res.GradientK != 21.5 || res.Evaluations != 123 {
+		t.Error("scalar fields")
+	}
+	if math.Abs(res.PeakC-(331.8-273.15)) > 1e-9 {
+		t.Errorf("peak °C = %v", res.PeakC)
+	}
+	if math.Abs(res.PressureDropsBar[0]-9.9) > 1e-9 {
+		t.Error("drops")
+	}
+	if len(res.ProfilesUM) != 1 || math.Abs(res.ProfilesUM[0][1]-20) > 1e-9 {
+		t.Errorf("profiles = %v", res.ProfilesUM)
+	}
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"gradient_k\": 21.5") {
+		t.Errorf("json: %s", buf.String())
+	}
+}

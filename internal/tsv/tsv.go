@@ -1,0 +1,142 @@
+// Package tsv models the through-silicon-via compatibility constraints
+// behind the paper's channel-width bounds (Sec. IV-B-1): area-array TSVs
+// run through the microchannel side walls, so the maximum channel width is
+// whatever leaves enough wall for a TSV of the given diameter plus etch
+// keep-out at the given pitch, and the minimum width is set by the etch
+// aspect-ratio limit of the fabrication process.
+//
+// The paper's related work (Sec. II) quotes heat-removal above 200 W/cm²
+// for TSV pitches larger than 50 µm; Table I's wCmax = 50 µm at a 100 µm
+// channel pitch corresponds to the default rules here.
+package tsv
+
+import (
+	"fmt"
+
+	"repro/internal/microchannel"
+	"repro/internal/units"
+)
+
+// Rules captures the fabrication rules coupling TSVs and microchannels.
+type Rules struct {
+	// ChannelPitch is the microchannel pitch W (m).
+	ChannelPitch float64
+	// Diameter is the TSV diameter (m).
+	Diameter float64
+	// KeepOut is the mandatory silicon annulus around a TSV before the
+	// channel etch may start, per side (m).
+	KeepOut float64
+	// MaxEtchAspect is the maximum channel depth/width ratio the DRIE
+	// etch supports (dimensionless); it sets the minimum width for a
+	// given channel height.
+	MaxEtchAspect float64
+	// MinWall is the absolute minimum silicon web between channels for
+	// mechanical integrity (m), independent of TSVs.
+	MinWall float64
+}
+
+// DefaultRules returns rules that reproduce Table I's bounds from physics:
+// 30 µm vias with 10 µm keep-out per side inside 100 µm-pitch walls leave
+// a 50 µm wall requirement → wCmax = 50 µm; the 10:1 DRIE aspect limit at
+// HC = 100 µm gives wCmin = 10 µm.
+func DefaultRules() Rules {
+	return Rules{
+		ChannelPitch:  units.Micrometers(100),
+		Diameter:      units.Micrometers(30),
+		KeepOut:       units.Micrometers(10),
+		MaxEtchAspect: 10,
+		MinWall:       units.Micrometers(10),
+	}
+}
+
+// Validate reports the first inconsistent rule.
+func (r Rules) Validate() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"channel pitch", r.ChannelPitch},
+		{"TSV diameter", r.Diameter},
+		{"max etch aspect", r.MaxEtchAspect},
+	} {
+		if err := units.CheckPositive(c.name, c.v); err != nil {
+			return fmt.Errorf("tsv: %w", err)
+		}
+	}
+	if r.KeepOut < 0 || r.MinWall < 0 {
+		return fmt.Errorf("tsv: negative keep-out or wall rule")
+	}
+	if r.Diameter+2*r.KeepOut >= r.ChannelPitch {
+		return fmt.Errorf("tsv: via %s + keep-out %s do not fit the %s pitch",
+			units.Length(r.Diameter), units.Length(r.KeepOut), units.Length(r.ChannelPitch))
+	}
+	return nil
+}
+
+// WallRequirement returns the minimum side-wall thickness (m) that hosts a
+// TSV: diameter plus keep-out on both sides, floored by the mechanical
+// minimum wall.
+func (r Rules) WallRequirement() float64 {
+	need := r.Diameter + 2*r.KeepOut
+	if need < r.MinWall {
+		need = r.MinWall
+	}
+	return need
+}
+
+// MaxWidth returns the largest channel width compatible with routing TSVs
+// through every wall: pitch minus the wall requirement.
+func (r Rules) MaxWidth() float64 {
+	return r.ChannelPitch - r.WallRequirement()
+}
+
+// MinWidth returns the smallest channel width the etch process can open at
+// the given channel height (depth/width ≤ MaxEtchAspect).
+func (r Rules) MinWidth(channelHeight float64) float64 {
+	if channelHeight <= 0 || r.MaxEtchAspect <= 0 {
+		return 0
+	}
+	return channelHeight / r.MaxEtchAspect
+}
+
+// Bounds derives the Eq. 8 width bounds for a channel of the given height.
+// It returns an error when the rules leave no feasible width range.
+func (r Rules) Bounds(channelHeight float64) (microchannel.Bounds, error) {
+	if err := r.Validate(); err != nil {
+		return microchannel.Bounds{}, err
+	}
+	if err := units.CheckPositive("channel height", channelHeight); err != nil {
+		return microchannel.Bounds{}, fmt.Errorf("tsv: %w", err)
+	}
+	b := microchannel.Bounds{
+		Min: r.MinWidth(channelHeight),
+		Max: r.MaxWidth(),
+	}
+	if !(b.Min > 0) || b.Min > b.Max {
+		return microchannel.Bounds{}, fmt.Errorf(
+			"tsv: rules leave no feasible width range ([%s, %s] at height %s)",
+			units.Length(b.Min), units.Length(b.Max), units.Length(channelHeight))
+	}
+	return b, nil
+}
+
+// TSVsPerWall returns how many TSV columns fit along one wall of the given
+// length at the given TSV array pitch along the flow direction.
+func (r Rules) TSVsPerWall(wallLength, arrayPitch float64) int {
+	if wallLength <= 0 || arrayPitch <= 0 {
+		return 0
+	}
+	return int(wallLength / arrayPitch)
+}
+
+// DensityPerCm2 returns the achievable TSV area density (vias per cm²)
+// when every wall of a channel array at the rules' pitch carries a TSV
+// column at the given array pitch along the flow.
+func (r Rules) DensityPerCm2(arrayPitch float64) float64 {
+	if arrayPitch <= 0 {
+		return 0
+	}
+	// One via per (channel pitch × array pitch) tile.
+	perM2 := 1.0 / (r.ChannelPitch * arrayPitch)
+	return perM2 * 1e-4
+}

@@ -1,0 +1,102 @@
+package tsv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestDefaultRulesMatchTableI(t *testing.T) {
+	r := DefaultRules()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Bounds(units.Micrometers(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table I: wCmin = 10 µm, wCmax = 50 µm — the default rules must
+	// reproduce the paper's bounds from TSV/etch physics.
+	if math.Abs(b.Min-10e-6) > 1e-12 {
+		t.Errorf("min width = %v, want 10 µm", b.Min)
+	}
+	if math.Abs(b.Max-50e-6) > 1e-12 {
+		t.Errorf("max width = %v, want 50 µm (100 µm pitch − 30 µm via − 2×10 µm keep-out)", b.Max)
+	}
+}
+
+func TestWallRequirement(t *testing.T) {
+	r := DefaultRules()
+	// 30 + 2·10 = 50 µm > 10 µm mechanical floor.
+	if got := r.WallRequirement(); math.Abs(got-50e-6) > 1e-12 {
+		t.Errorf("wall requirement = %v", got)
+	}
+	// With a tiny via, the mechanical floor governs.
+	r.Diameter = units.Micrometers(2)
+	r.KeepOut = units.Micrometers(1)
+	if got := r.WallRequirement(); math.Abs(got-10e-6) > 1e-12 {
+		t.Errorf("floored wall requirement = %v", got)
+	}
+}
+
+func TestMinWidthEtchAspect(t *testing.T) {
+	r := DefaultRules()
+	if got := r.MinWidth(units.Micrometers(200)); math.Abs(got-20e-6) > 1e-12 {
+		t.Errorf("min width at 200 µm height = %v", got)
+	}
+	if r.MinWidth(0) != 0 {
+		t.Error("degenerate height")
+	}
+}
+
+func TestValidateRejectsInconsistentRules(t *testing.T) {
+	r := DefaultRules()
+	r.Diameter = units.Micrometers(95)
+	if err := r.Validate(); err == nil {
+		t.Error("via wider than pitch must fail")
+	}
+	r = DefaultRules()
+	r.ChannelPitch = 0
+	if err := r.Validate(); err == nil {
+		t.Error("zero pitch must fail")
+	}
+	r = DefaultRules()
+	r.KeepOut = -1
+	if err := r.Validate(); err == nil {
+		t.Error("negative keep-out must fail")
+	}
+	r = DefaultRules()
+	r.MaxEtchAspect = 0
+	if err := r.Validate(); err == nil {
+		t.Error("zero aspect must fail")
+	}
+}
+
+func TestBoundsInfeasible(t *testing.T) {
+	r := DefaultRules()
+	// Very tall channel: etch minimum exceeds the TSV maximum.
+	if _, err := r.Bounds(units.Micrometers(800)); err == nil {
+		t.Error("infeasible range must fail")
+	}
+	if _, err := r.Bounds(0); err == nil {
+		t.Error("zero height must fail")
+	}
+}
+
+func TestTSVCounting(t *testing.T) {
+	r := DefaultRules()
+	if got := r.TSVsPerWall(units.Centimeters(1), units.Micrometers(100)); got != 100 {
+		t.Errorf("TSVs per wall = %d, want 100", got)
+	}
+	if r.TSVsPerWall(0, 1) != 0 || r.TSVsPerWall(1, 0) != 0 {
+		t.Error("degenerate counting")
+	}
+	// 100 µm × 100 µm tile → 1e4 per cm².
+	if got := r.DensityPerCm2(units.Micrometers(100)); math.Abs(got-1e4) > 1 {
+		t.Errorf("density = %v per cm²", got)
+	}
+	if r.DensityPerCm2(0) != 0 {
+		t.Error("degenerate density")
+	}
+}

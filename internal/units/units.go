@@ -1,0 +1,155 @@
+// Package units provides SI unit helpers, conversions and physical
+// constants used throughout the thermal-balancing library.
+//
+// All internal computation is done in base SI units (m, kg, s, K, W, Pa).
+// This package exists so that configuration and reporting code can speak
+// the units used in the paper (µm geometry, ml/min flow rates, bar pressure,
+// W/cm² heat flux, °C temperatures) without sprinkling magic factors.
+package units
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Physical constants and common reference values.
+const (
+	// ZeroCelsiusK is 0 °C expressed in kelvin.
+	ZeroCelsiusK = 273.15
+
+	// AtmosphericPa is standard atmospheric pressure in pascal.
+	AtmosphericPa = 101325.0
+
+	// GravityMS2 is standard gravitational acceleration in m/s².
+	GravityMS2 = 9.80665
+)
+
+// Micrometers converts a length in micrometres to metres.
+func Micrometers(um float64) float64 { return um * 1e-6 }
+
+// ToMicrometers converts a length in metres to micrometres.
+func ToMicrometers(m float64) float64 { return m * 1e6 }
+
+// Millimeters converts a length in millimetres to metres.
+func Millimeters(mm float64) float64 { return mm * 1e-3 }
+
+// ToMillimeters converts a length in metres to millimetres.
+func ToMillimeters(m float64) float64 { return m * 1e3 }
+
+// Centimeters converts a length in centimetres to metres.
+func Centimeters(cm float64) float64 { return cm * 1e-2 }
+
+// ToCentimeters converts a length in metres to centimetres.
+func ToCentimeters(m float64) float64 { return m * 1e2 }
+
+// MilliLitersPerMinute converts a volumetric flow rate in ml/min to m³/s.
+// The paper's Table I specifies the per-channel coolant flow rate as
+// 4.8 ml/min.
+func MilliLitersPerMinute(mlmin float64) float64 { return mlmin * 1e-6 / 60.0 }
+
+// ToMilliLitersPerMinute converts a volumetric flow rate in m³/s to ml/min.
+func ToMilliLitersPerMinute(m3s float64) float64 { return m3s * 60.0 * 1e6 }
+
+// Bar converts a pressure in bar to pascal.
+func Bar(bar float64) float64 { return bar * 1e5 }
+
+// ToBar converts a pressure in pascal to bar.
+func ToBar(pa float64) float64 { return pa * 1e-5 }
+
+// WattsPerCm2 converts a heat flux density in W/cm² to W/m².
+func WattsPerCm2(wcm2 float64) float64 { return wcm2 * 1e4 }
+
+// ToWattsPerCm2 converts a heat flux density in W/m² to W/cm².
+func ToWattsPerCm2(wm2 float64) float64 { return wm2 * 1e-4 }
+
+// Celsius converts a temperature in degrees Celsius to kelvin.
+func Celsius(c float64) float64 { return c + ZeroCelsiusK }
+
+// ToCelsius converts a temperature in kelvin to degrees Celsius.
+func ToCelsius(k float64) float64 { return k - ZeroCelsiusK }
+
+// KelvinDelta is the identity on temperature differences: a difference of
+// x kelvin equals a difference of x degrees Celsius. It exists to make the
+// intent explicit at call sites that report gradients.
+func KelvinDelta(dk float64) float64 { return dk }
+
+// Length is a length in metres with formatting helpers.
+type Length float64
+
+// String renders the length with an auto-selected engineering unit.
+func (l Length) String() string {
+	v := float64(l)
+	abs := math.Abs(v)
+	switch {
+	case abs == 0:
+		return "0 m"
+	case abs < 1e-3:
+		return fmt.Sprintf("%.3g µm", v*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.3g mm", v*1e3)
+	default:
+		return fmt.Sprintf("%.3g m", v)
+	}
+}
+
+// Pressure is a pressure in pascal with formatting helpers.
+type Pressure float64
+
+// String renders the pressure in the most readable unit.
+func (p Pressure) String() string {
+	v := float64(p)
+	abs := math.Abs(v)
+	switch {
+	case abs == 0:
+		return "0 Pa"
+	case abs >= 1e5:
+		return fmt.Sprintf("%.3g bar", v*1e-5)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.3g kPa", v*1e-3)
+	default:
+		return fmt.Sprintf("%.3g Pa", v)
+	}
+}
+
+// Temperature is an absolute temperature in kelvin with formatting helpers.
+type Temperature float64
+
+// String renders the temperature in degrees Celsius.
+func (t Temperature) String() string {
+	return fmt.Sprintf("%.2f °C", float64(t)-ZeroCelsiusK)
+}
+
+// ErrNonPositive reports a quantity that must be strictly positive.
+var ErrNonPositive = errors.New("units: quantity must be strictly positive")
+
+// CheckPositive returns a descriptive error when v <= 0 or v is not finite.
+// name is included in the error message.
+func CheckPositive(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("units: %s must be finite, got %v", name, v)
+	}
+	if v <= 0 {
+		return fmt.Errorf("%w: %s = %v", ErrNonPositive, name, v)
+	}
+	return nil
+}
+
+// CheckFinite returns an error when v is NaN or infinite.
+func CheckFinite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("units: %s must be finite, got %v", name, v)
+	}
+	return nil
+}
+
+// CheckInRange returns an error unless lo <= v <= hi.
+func CheckInRange(name string, v, lo, hi float64) error {
+	if err := CheckFinite(name, v); err != nil {
+		return err
+	}
+	if v < lo || v > hi {
+		return fmt.Errorf("units: %s = %v outside [%v, %v]", name, v, lo, hi)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestLengthConversions(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"100 um", Micrometers(100), 100e-6},
+		{"1 mm", Millimeters(1), 1e-3},
+		{"1 cm", Centimeters(1), 1e-2},
+		{"back um", ToMicrometers(50e-6), 50},
+		{"back mm", ToMillimeters(0.0025), 2.5},
+		{"back cm", ToCentimeters(0.14), 14},
+	}
+	for _, c := range cases {
+		if !almostEqual(c.got, c.want, 1e-12) {
+			t.Errorf("%s: got %v want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestFlowRateConversion(t *testing.T) {
+	// Table I: 4.8 ml/min per channel.
+	m3s := MilliLitersPerMinute(4.8)
+	want := 4.8e-6 / 60.0
+	if !almostEqual(m3s, want, 1e-12) {
+		t.Fatalf("4.8 ml/min = %v m³/s, want %v", m3s, want)
+	}
+	if !almostEqual(ToMilliLitersPerMinute(m3s), 4.8, 1e-12) {
+		t.Fatalf("round trip failed: %v", ToMilliLitersPerMinute(m3s))
+	}
+}
+
+func TestPressureConversion(t *testing.T) {
+	if got := Bar(10); !almostEqual(got, 10e5, 1e-12) {
+		t.Errorf("Bar(10) = %v", got)
+	}
+	if got := ToBar(101325); !almostEqual(got, 1.01325, 1e-12) {
+		t.Errorf("ToBar(atm) = %v", got)
+	}
+}
+
+func TestHeatFluxConversion(t *testing.T) {
+	if got := WattsPerCm2(50); !almostEqual(got, 50e4, 1e-12) {
+		t.Errorf("WattsPerCm2(50) = %v", got)
+	}
+	if got := ToWattsPerCm2(64e4); !almostEqual(got, 64, 1e-12) {
+		t.Errorf("ToWattsPerCm2 = %v", got)
+	}
+}
+
+func TestTemperatureConversion(t *testing.T) {
+	if got := Celsius(26.85); !almostEqual(got, 300, 1e-12) {
+		t.Errorf("Celsius(26.85) = %v", got)
+	}
+	if got := ToCelsius(300); !almostEqual(got, 26.85, 1e-12) {
+		t.Errorf("ToCelsius(300) = %v", got)
+	}
+}
+
+func TestRoundTripProperties(t *testing.T) {
+	roundTrips := []struct {
+		name     string
+		fwd, rev func(float64) float64
+	}{
+		{"um", Micrometers, ToMicrometers},
+		{"mm", Millimeters, ToMillimeters},
+		{"cm", Centimeters, ToCentimeters},
+		{"mlmin", MilliLitersPerMinute, ToMilliLitersPerMinute},
+		{"bar", Bar, ToBar},
+		{"wcm2", WattsPerCm2, ToWattsPerCm2},
+		{"celsius", Celsius, ToCelsius},
+	}
+	for _, rt := range roundTrips {
+		rt := rt
+		f := func(x float64) bool {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+			y := rt.rev(rt.fwd(x))
+			return almostEqual(x, y, 1e-9)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s round trip: %v", rt.name, err)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := Length(100e-6).String(); !strings.Contains(s, "µm") {
+		t.Errorf("Length(100µm).String() = %q", s)
+	}
+	if s := Length(0.005).String(); !strings.Contains(s, "mm") {
+		t.Errorf("Length(5mm).String() = %q", s)
+	}
+	if s := Length(2).String(); !strings.Contains(s, " m") {
+		t.Errorf("Length(2m).String() = %q", s)
+	}
+	if s := Pressure(2e5).String(); !strings.Contains(s, "bar") {
+		t.Errorf("Pressure(2 bar).String() = %q", s)
+	}
+	if s := Pressure(500).String(); !strings.Contains(s, "Pa") {
+		t.Errorf("Pressure(500 Pa).String() = %q", s)
+	}
+	if s := Temperature(300).String(); !strings.Contains(s, "26.85") {
+		t.Errorf("Temperature(300K).String() = %q", s)
+	}
+}
+
+func TestChecks(t *testing.T) {
+	if err := CheckPositive("x", 1.0); err != nil {
+		t.Errorf("CheckPositive(1) = %v", err)
+	}
+	if err := CheckPositive("x", 0); err == nil {
+		t.Error("CheckPositive(0) should fail")
+	}
+	if err := CheckPositive("x", -2); err == nil {
+		t.Error("CheckPositive(-2) should fail")
+	}
+	if err := CheckPositive("x", math.NaN()); err == nil {
+		t.Error("CheckPositive(NaN) should fail")
+	}
+	if err := CheckFinite("x", math.Inf(1)); err == nil {
+		t.Error("CheckFinite(+Inf) should fail")
+	}
+	if err := CheckFinite("x", 3.5); err != nil {
+		t.Errorf("CheckFinite(3.5) = %v", err)
+	}
+	if err := CheckInRange("x", 5, 0, 10); err != nil {
+		t.Errorf("CheckInRange inside = %v", err)
+	}
+	if err := CheckInRange("x", 11, 0, 10); err == nil {
+		t.Error("CheckInRange outside should fail")
+	}
+	if err := CheckInRange("x", math.NaN(), 0, 10); err == nil {
+		t.Error("CheckInRange NaN should fail")
+	}
+}
+
+func TestKelvinDeltaIdentity(t *testing.T) {
+	if KelvinDelta(12.5) != 12.5 {
+		t.Error("KelvinDelta must be identity")
+	}
+}

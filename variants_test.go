@@ -1,0 +1,70 @@
+package channelmod
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// The public wrappers for the extension features (dual problem and
+// flow-clustering baseline) must work end to end.
+func TestPublicVariants(t *testing.T) {
+	spec, err := TestA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Segments = 6
+	spec.OuterIterations = 3
+
+	dual, err := OptimizeMinPumping(spec, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dual.GradientK > 26*1.05 {
+		t.Fatalf("dual gradient %v exceeds the 26 K bound", dual.GradientK)
+	}
+	if units.ToBar(dual.MaxPressureDrop()) > 9 {
+		t.Fatalf("dual design should be far cheaper than the 10-bar budget: %v bar",
+			units.ToBar(dual.MaxPressureDrop()))
+	}
+
+	flow, err := OptimizeFlowAllocation(spec, spec.Bounds.Max, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flow.FlowScales) != 1 || math.Abs(flow.FlowScales[0]-1) > 1e-9 {
+		t.Fatalf("single-channel allocation must stay nominal: %v", flow.FlowScales)
+	}
+}
+
+// The transient path must be reachable through the public GridStack type.
+func TestPublicTransient(t *testing.T) {
+	p := DefaultParams()
+	s := &GridStack{
+		Cfg: GridConfig{
+			Params:  p,
+			LengthX: p.Length,
+			WidthY:  p.ClusterWidth(),
+			NX:      20,
+			NY:      1,
+		},
+		PowerTop:    func(x, y float64) float64 { return units.WattsPerCm2(50) },
+		PowerBottom: func(x, y float64) float64 { return units.WattsPerCm2(50) },
+		Width:       func(x, y float64) float64 { return 50e-6 },
+	}
+	steady, err := ThermalMap(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw := units.WattsPerCm2(50)
+	constP := func(x, y, tt float64) float64 { return pw }
+	tr, err := s.SolveTransient(constP, constP, TransientConfig{Dt: 5e-3, Steps: 20, RecordEvery: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Final().PeakTemperature()-steady.PeakTemperature()) > 0.3 {
+		t.Fatalf("public transient fixed point %v vs steady %v",
+			tr.Final().PeakTemperature(), steady.PeakTemperature())
+	}
+}
