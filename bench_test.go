@@ -1,7 +1,8 @@
 package channelmod
 
 // The benchmark harness regenerates every table and figure of the paper's
-// evaluation (DESIGN.md experiment index E1–E8 plus the ablations A1–A3).
+// evaluation (DESIGN.md experiment index E1–E9 plus the ablations A1–A3;
+// ablation A4 runs only in cmd/experiments).
 // Each benchmark runs a full experiment per iteration with example-sized
 // solver budgets; cmd/experiments runs the publication budgets.
 //

@@ -20,6 +20,10 @@
 //   - Optimize — solve the optimal channel modulation problem,
 //   - Compare  — run the paper's standard three-way evaluation.
 //
+// BatchCompare and BatchOptimize run many independent specs concurrently
+// on a bounded worker pool with results bit-identical to serial loops —
+// the fast path for sweeps and multi-scenario studies.
+//
 // Scenario constructors (TestA, TestB, Architecture) rebuild the paper's
 // experiments; custom stacks are assembled from Params, Flux and
 // ChannelLoad directly. ThermalMap runs the finite-volume grid simulator
@@ -27,6 +31,7 @@
 package channelmod
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -171,15 +176,61 @@ func Evaluate(spec *Spec, profiles []*Profile) (*Result, error) {
 	return control.Evaluate(spec, profiles)
 }
 
-// Optimize solves the optimal channel-modulation problem of a spec.
+// Optimize solves the optimal channel-modulation problem of a spec. For
+// multi-channel specs the independent per-channel solves fan out across
+// the worker pool.
 func Optimize(spec *Spec) (*Result, error) {
 	return control.Optimize(spec)
 }
 
+// OptimizeContext is Optimize with caller-controlled cancellation:
+// cancelling ctx stops the multi-channel optimizer between per-channel
+// solves.
+func OptimizeContext(ctx context.Context, spec *Spec) (*Result, error) {
+	return control.OptimizeContext(ctx, spec)
+}
+
 // Compare runs the paper's three-way evaluation: uniformly minimum width,
-// uniformly maximum width, and optimal modulation.
+// uniformly maximum width, and optimal modulation. The three evaluations
+// run concurrently on a bounded worker pool; results are bit-identical to
+// a serial run.
 func Compare(spec *Spec) (*Comparison, error) {
 	return core.Compare(spec)
+}
+
+// CompareContext is Compare with caller-controlled cancellation.
+func CompareContext(ctx context.Context, spec *Spec) (*Comparison, error) {
+	return core.CompareContext(ctx, spec)
+}
+
+// BatchCompare runs the three-way evaluation over many independent specs
+// at once on one bounded worker pool (runtime.GOMAXPROCS-sized). Slot i of
+// the result corresponds to specs[i], and every value is bit-identical to
+// calling Compare in a serial loop. On failure, the returned error is the
+// lowest-indexed failing spec's — exactly what a serial loop would
+// report: every spec below the failure is still evaluated, and specs
+// above it stop being started.
+func BatchCompare(specs []*Spec) ([]*Comparison, error) {
+	return core.BatchCompare(context.Background(), specs)
+}
+
+// BatchCompareContext is BatchCompare with caller-controlled cancellation:
+// cancelling ctx stops the batch between evaluations.
+func BatchCompareContext(ctx context.Context, specs []*Spec) ([]*Comparison, error) {
+	return core.BatchCompare(ctx, specs)
+}
+
+// BatchOptimize solves many channel-modulation problems concurrently on
+// one bounded worker pool. Slot i of the result corresponds to specs[i];
+// results are bit-identical to a serial Optimize loop.
+func BatchOptimize(specs []*Spec) ([]*Result, error) {
+	return core.BatchOptimize(context.Background(), specs)
+}
+
+// BatchOptimizeContext is BatchOptimize with caller-controlled
+// cancellation.
+func BatchOptimizeContext(ctx context.Context, specs []*Spec) ([]*Result, error) {
+	return core.BatchOptimize(ctx, specs)
 }
 
 // FlowAllocationResult is the outcome of the flow-clustering baseline.

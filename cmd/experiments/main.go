@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	channelmod "repro"
+	"repro/internal/batch"
 	"repro/internal/units"
 )
 
@@ -144,62 +146,89 @@ func runTestB(quick bool) error {
 }
 
 func runProfiles(quick bool) error {
-	for _, tc := range []struct {
+	cases := []struct {
 		name string
 		mk   func() (*channelmod.Spec, error)
 	}{
 		{"Test A", channelmod.TestA},
 		{"Test B", func() (*channelmod.Spec, error) { return channelmod.TestB(channelmod.DefaultTestB()) }},
-	} {
+	}
+	specs := make([]*channelmod.Spec, len(cases))
+	for i, tc := range cases {
 		spec, err := tc.mk()
 		if err != nil {
 			return err
 		}
-		tuneSpec(spec, quick)
-		opt, err := channelmod.Optimize(spec)
-		if err != nil {
-			return err
-		}
-		w := opt.Profiles[0]
-		fmt.Printf("Fig 6 (%s): optimal width profile, inlet -> outlet (µm):\n  ", tc.name)
-		for i := 0; i < w.Segments(); i++ {
-			fmt.Printf("%5.1f", w.Width(i)*1e6)
-		}
-		fmt.Printf("\n  (paper: global narrowing toward the outlet; dips over hotspots)\n")
+		specs[i] = tuneSpec(spec, quick)
 	}
-	return nil
+	return batch.Stream(context.Background(), len(specs),
+		func(ctx context.Context, i int) (*channelmod.Result, error) {
+			opt, err := channelmod.OptimizeContext(ctx, specs[i])
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", cases[i].name, err)
+			}
+			return opt, nil
+		},
+		func(i int, opt *channelmod.Result) error {
+			w := opt.Profiles[0]
+			fmt.Printf("Fig 6 (%s): optimal width profile, inlet -> outlet (µm):\n  ", cases[i].name)
+			for j := 0; j < w.Segments(); j++ {
+				fmt.Printf("%5.1f", w.Width(j)*1e6)
+			}
+			fmt.Printf("\n  (paper: global narrowing toward the outlet; dips over hotspots)\n")
+			return nil
+		})
 }
 
 func runFig8(quick bool) error {
-	// Publication budget: 12 segments and 4 multiplier updates keep the
-	// six 11-channel optimizations near ten minutes total; the gradient
-	// numbers move by well under 0.5 K versus the full 20-segment runs.
+	// Publication budget: 12 segments and 4 multiplier updates; the
+	// gradient numbers move by well under 0.5 K versus the full
+	// 20-segment runs. The six arch/mode cases are independent, so they
+	// evaluate concurrently on the batch pool; each block prints as soon
+	// as it and all earlier blocks finish, so the ~minutes-long full run
+	// shows progress incrementally.
 	segments := 12
 	if quick {
 		segments = 6
 	}
-	var labels []string
-	var values []float64
+	type combo struct {
+		arch int
+		mode channelmod.Mode
+	}
+	var combos []combo
 	for arch := 1; arch <= 3; arch++ {
 		for _, mode := range []channelmod.Mode{channelmod.Peak, channelmod.Average} {
-			spec, err := channelmod.Architecture(arch, mode)
-			if err != nil {
-				return err
-			}
-			spec.Segments = segments
-			spec.OuterIterations = 4
-			if quick {
-				spec.OuterIterations = 2
-			}
-			cmp, err := channelmod.Compare(spec)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("Arch %d / %s power:\n%s", arch, mode, channelmod.Report(cmp))
-			tag := fmt.Sprintf("arch%d-%s", arch, mode)
+			combos = append(combos, combo{arch, mode})
+		}
+	}
+	specs := make([]*channelmod.Spec, len(combos))
+	for i, c := range combos {
+		spec, err := channelmod.Architecture(c.arch, c.mode)
+		if err != nil {
+			return err
+		}
+		spec.Segments = segments
+		spec.OuterIterations = 4
+		if quick {
+			spec.OuterIterations = 2
+		}
+		specs[i] = spec
+	}
+	var labels []string
+	var values []float64
+	err := batch.Stream(context.Background(), len(specs),
+		func(ctx context.Context, i int) (*channelmod.Comparison, error) {
+			return channelmod.CompareContext(ctx, specs[i])
+		},
+		func(i int, cmp *channelmod.Comparison) error {
+			fmt.Printf("Arch %d / %s power:\n%s", combos[i].arch, combos[i].mode, channelmod.Report(cmp))
+			tag := fmt.Sprintf("arch%d-%s", combos[i].arch, combos[i].mode)
 			labels = append(labels, tag+"-min", tag+"-max", tag+"-opt")
 			values = append(values, cmp.MinWidth.GradientK, cmp.MaxWidth.GradientK, cmp.Optimal.GradientK)
-		}
+			return nil
+		})
+	if err != nil {
+		return err
 	}
 	fmt.Println("Fig 8 bars (thermal gradient, K):")
 	fmt.Print(channelmod.RenderBars(labels, values, "K"))

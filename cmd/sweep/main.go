@@ -3,17 +3,25 @@
 // effort), the control-discretization sweep (A1: segments vs achieved
 // gradient) and a flow-rate sweep.
 //
+// Sweep points are independent problems, so every sweep builds its spec
+// list up front and evaluates the points concurrently on the batch worker
+// pool (batch.Stream). Rows print in sweep order, each as soon as it and
+// all earlier points are done — long sweeps show progress incrementally,
+// and a failing point still prints the rows before it.
+//
 // Usage:
 //
 //	sweep -kind pressure|segments|flow [-points 5]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	channelmod "repro"
+	"repro/internal/batch"
 	"repro/internal/units"
 )
 
@@ -43,8 +51,10 @@ func main() {
 func sweepPressure(points int) error {
 	fmt.Println("A2: gradient vs pressure budget (Test A)")
 	fmt.Println("  ΔPmax(bar)   ΔT(K)   ΔPused(bar)")
+	bars := make([]float64, points)
+	specs := make([]*channelmod.Spec, points)
 	for i := 0; i < points; i++ {
-		bar := 1.0 * float64(int(1)<<uint(i)) // 1, 2, 4, 8, 16 ...
+		bars[i] = 1.0 * float64(int(1)<<uint(i)) // 1, 2, 4, 8, 16 ...
 		spec, err := channelmod.TestA()
 		if err != nil {
 			return err
@@ -53,54 +63,65 @@ func sweepPressure(points int) error {
 		// Tight budgets leave the optimum pressed hard against the ΔP
 		// boundary; give the multiplier loop more updates to settle.
 		spec.OuterIterations = 10
-		spec.MaxPressure = units.Bar(bar)
-		res, err := channelmod.Optimize(spec)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  %8.1f   %6.2f   %8.2f\n", bar, res.GradientK,
-			units.ToBar(res.MaxPressureDrop()))
+		spec.MaxPressure = units.Bar(bars[i])
+		specs[i] = spec
 	}
-	return nil
+	return batch.Stream(context.Background(), len(specs),
+		func(ctx context.Context, i int) (*channelmod.Result, error) {
+			return channelmod.OptimizeContext(ctx, specs[i])
+		},
+		func(i int, res *channelmod.Result) error {
+			fmt.Printf("  %8.1f   %6.2f   %8.2f\n", bars[i], res.GradientK,
+				units.ToBar(res.MaxPressureDrop()))
+			return nil
+		})
 }
 
 func sweepSegments() error {
 	fmt.Println("A1: gradient vs control discretization (Test A)")
 	fmt.Println("  segments   ΔT(K)   evaluations")
-	for _, k := range []int{2, 5, 10, 20, 40} {
+	ks := []int{2, 5, 10, 20, 40}
+	specs := make([]*channelmod.Spec, len(ks))
+	for i, k := range ks {
 		spec, err := channelmod.TestA()
 		if err != nil {
 			return err
 		}
 		spec.Segments = k
 		spec.OuterIterations = 4
-		res, err := channelmod.Optimize(spec)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  %8d   %6.2f   %11d\n", k, res.GradientK, res.Evaluations)
+		specs[i] = spec
 	}
-	return nil
+	return batch.Stream(context.Background(), len(specs),
+		func(ctx context.Context, i int) (*channelmod.Result, error) {
+			return channelmod.OptimizeContext(ctx, specs[i])
+		},
+		func(i int, res *channelmod.Result) error {
+			fmt.Printf("  %8d   %6.2f   %11d\n", ks[i], res.GradientK, res.Evaluations)
+			return nil
+		})
 }
 
 func sweepFlow(points int) error {
 	fmt.Println("flow-rate sweep: uniform max-width gradient vs per-channel flow (Test A)")
 	fmt.Println("  flow(ml/min)   ΔT(K)   coolant-outlet(°C)")
-	for i := 0; i < points; i++ {
-		ml := 0.24 * float64(i+1) // 0.24 .. 1.2 ml/min
-		spec, err := channelmod.TestA()
-		if err != nil {
-			return err
-		}
-		spec.Params.FlowRatePerChannel = units.MilliLitersPerMinute(ml)
-		spec.Segments = 1
-		res, err := channelmod.Baseline(spec, spec.Bounds.Max)
-		if err != nil {
-			return err
-		}
-		tc := res.Solution.Channels[0].TC
-		fmt.Printf("  %10.2f   %6.2f   %14.2f\n", ml, res.GradientK,
-			units.ToCelsius(tc[len(tc)-1]))
+	mls := make([]float64, points)
+	for i := range mls {
+		mls[i] = 0.24 * float64(i+1) // 0.24 .. 1.2 ml/min
 	}
-	return nil
+	return batch.Stream(context.Background(), points,
+		func(_ context.Context, i int) (*channelmod.Result, error) {
+			spec, err := channelmod.TestA()
+			if err != nil {
+				return nil, err
+			}
+			spec.Params.FlowRatePerChannel = units.MilliLitersPerMinute(mls[i])
+			spec.Segments = 1
+			return channelmod.Baseline(spec, spec.Bounds.Max)
+		},
+		func(i int, res *channelmod.Result) error {
+			tc := res.Solution.Channels[0].TC
+			fmt.Printf("  %10.2f   %6.2f   %14.2f\n", mls[i], res.GradientK,
+				units.ToCelsius(tc[len(tc)-1]))
+			return nil
+		})
 }

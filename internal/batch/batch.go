@@ -1,0 +1,311 @@
+// Package batch runs independent evaluations concurrently on a bounded
+// worker pool. It is the concurrency substrate of the library: the
+// three-way comparison (package core), the decoupled per-channel optimizer
+// (package control), the public BatchCompare/BatchOptimize API and the
+// sweep/experiments commands all fan their independent model solves out
+// through Map, Run or Do.
+//
+// The pool is deliberately simple and deterministic:
+//
+//   - Bounded: auto-sized pools (workers <= 0) draw their extra workers
+//     from one machine-wide quota of runtime.GOMAXPROCS(0)-1 borrowable
+//     slots, on top of one guaranteed worker per pool. Nested fan-out
+//     therefore cannot oversubscribe the CPUs: whichever nesting level
+//     claims the quota first runs parallel and deeper levels degrade
+//     toward serial, keeping total CPU-bound goroutines proportional to
+//     the core count. Explicitly sized pools (workers > 0) bypass the
+//     quota — they are a testing/tuning interface and get exactly what
+//     they ask for.
+//   - Indexed: Map writes result i to slot i, so parallel output order is
+//     identical to serial order regardless of scheduling.
+//   - Serial-equivalent first-error propagation: a failure at index j
+//     stops the pool from starting any item above j, while every item
+//     below j still runs — exactly the set of items a serial loop would
+//     have run — so the returned error is always the lowest-indexed
+//     failure, identical to a serial loop's. In-flight items above j run
+//     to completion (bounded by the pool size).
+//   - Context-cancellable: cancelling the supplied context stops the pool
+//     between items; workers never start an item after cancellation.
+//
+// Work functions receive the caller's context so long-running items can
+// observe cancellation themselves.
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default pool size: runtime.GOMAXPROCS(0).
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// borrowed counts extra workers currently drawn from the machine-wide
+// quota by auto-sized pools. Every pool gets one guaranteed worker for
+// free (so progress never depends on the quota and nesting cannot
+// deadlock); workers beyond the first exist only while a borrowed slot is
+// held. The quota is re-read from GOMAXPROCS on every borrow, so runtime
+// changes (tests force GOMAXPROCS up) take effect immediately.
+var borrowed atomic.Int64
+
+func tryBorrow() bool {
+	limit := int64(runtime.GOMAXPROCS(0) - 1)
+	for {
+		cur := borrowed.Load()
+		if cur >= limit {
+			return false
+		}
+		if borrowed.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func releaseBorrowed(n int) { borrowed.Add(int64(-n)) }
+
+// firstError retains the error of the lowest-indexed failing item, which
+// makes parallel error reporting identical to a serial loop's. Errors that
+// merely reflect cancellation (context.Canceled / DeadlineExceeded) are
+// ranked below real failures: when the caller cancels the context (or
+// Stream aborts on an emit error) while another item fails for real, the
+// cancellation artifact must not displace the root cause.
+type firstError struct {
+	mu     sync.Mutex
+	idx    int
+	err    error
+	strong bool
+}
+
+func isStrong(err error) bool {
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+func (fe *firstError) set(idx int, err error) {
+	strong := isStrong(err)
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	switch {
+	case fe.err == nil:
+		fe.idx, fe.err, fe.strong = idx, err, strong
+	case strong && !fe.strong:
+		fe.idx, fe.err, fe.strong = idx, err, true
+	case strong == fe.strong && idx < fe.idx:
+		fe.idx, fe.err = idx, err
+	}
+}
+
+func (fe *firstError) get() error {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	return fe.err
+}
+
+// Run applies f to every index in [0, n) on a pool of DefaultWorkers
+// workers and returns the first error (by item index), if any.
+func Run(ctx context.Context, n int, f func(ctx context.Context, i int) error) error {
+	return RunWorkers(ctx, n, 0, f)
+}
+
+// RunWorkers is Run with an explicit pool size. workers <= 0 selects
+// DefaultWorkers; workers == 1 degenerates to a serial loop.
+func RunWorkers(ctx context.Context, n, workers int, f func(ctx context.Context, i int) error) error {
+	if f == nil {
+		return fmt.Errorf("batch: nil work function")
+	}
+	if n <= 0 {
+		return nil
+	}
+	borrowedSlots := 0
+	if workers <= 0 {
+		// Auto-sized: one guaranteed worker plus whatever the machine-wide
+		// quota currently allows, capped at the item count. Each extra
+		// worker owns its slot and returns it the moment it exits, so a
+		// pool's idle tail doesn't starve nested or sibling pools.
+		workers = 1
+		for workers < DefaultWorkers() && workers < n && tryBorrow() {
+			workers++
+			borrowedSlots++
+		}
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := f(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		failBar atomic.Int64 // lowest failing index so far; n while none
+		fe      firstError
+		wg      sync.WaitGroup
+	)
+	failBar.Store(int64(n))
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		// The last borrowedSlots workers each own one quota slot.
+		ownsSlot := w >= workers-borrowedSlots
+		go func(ownsSlot bool) {
+			defer wg.Done()
+			if ownsSlot {
+				defer releaseBorrowed(1)
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				// Serial equivalence: a serial loop runs every item up to
+				// and including its first failure. Items below the bar
+				// therefore always run (indices are claimed in order, so
+				// they were claimed before the bar dropped); items at or
+				// above it are never started.
+				if int64(i) >= failBar.Load() {
+					return
+				}
+				if err := f(ctx, i); err != nil {
+					fe.set(i, err)
+					for {
+						cur := failBar.Load()
+						if int64(i) >= cur || failBar.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					return
+				}
+			}
+		}(ownsSlot)
+	}
+	wg.Wait()
+	if err := fe.get(); err != nil {
+		return err
+	}
+	// No item failed; a non-nil context error can only come from the
+	// caller's context.
+	return ctx.Err()
+}
+
+// Map applies f to every index in [0, n) on a pool of DefaultWorkers
+// workers and collects the results in index order. On error the partial
+// results are discarded.
+func Map[T any](ctx context.Context, n int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapWorkers(ctx, n, 0, f)
+}
+
+// MapWorkers is Map with an explicit pool size. workers <= 0 selects
+// DefaultWorkers; workers == 1 degenerates to a serial loop.
+func MapWorkers[T any](ctx context.Context, n, workers int, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if f == nil {
+		return nil, fmt.Errorf("batch: nil work function")
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := RunWorkers(ctx, n, workers, func(ctx context.Context, i int) error {
+		v, err := f(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Do runs a fixed set of heterogeneous tasks concurrently and returns the
+// first error by task position. It is the fan-out primitive for small
+// fixed task sets, e.g. the three evaluations of a comparison.
+func Do(ctx context.Context, tasks ...func(ctx context.Context) error) error {
+	return RunWorkers(ctx, len(tasks), 0, func(ctx context.Context, i int) error {
+		return tasks[i](ctx)
+	})
+}
+
+// Stream is Map with incremental, in-order delivery: emit(i, v) is called
+// from the caller's goroutine for i = 0, 1, 2, … as soon as result i (and
+// every result before it) is ready, while later items are still being
+// computed. Long-running batches can report progress row by row, and on
+// failure the results before the failing item have already been
+// delivered instead of being discarded. A non-nil error from emit cancels
+// the batch and is returned.
+func Stream[T any](ctx context.Context, n int, f func(ctx context.Context, i int) (T, error), emit func(i int, v T) error) error {
+	if f == nil || emit == nil {
+		return fmt.Errorf("batch: nil work or emit function")
+	}
+	if n <= 0 {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]T, n)
+	done := make([]chan struct{}, n) // done[i] closes when out[i] is ready
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	poolDone := make(chan error, 1)
+	go func() {
+		poolDone <- RunWorkers(ctx, n, 0, func(ctx context.Context, i int) error {
+			v, err := f(ctx, i)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+			close(done[i])
+			return nil
+		})
+	}()
+
+	poolErr, poolFinished := error(nil), false
+	// ready waits for slot i; false means the pool ended without it.
+	ready := func(i int) bool {
+		if !poolFinished {
+			select {
+			case <-done[i]:
+				return true
+			case poolErr = <-poolDone:
+				poolFinished = true
+			}
+		}
+		select {
+		case <-done[i]:
+			return true
+		default:
+			return false
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !ready(i) {
+			return poolErr
+		}
+		if err := emit(i, out[i]); err != nil {
+			cancel()
+			if !poolFinished {
+				<-poolDone
+			}
+			return err
+		}
+	}
+	if !poolFinished {
+		poolErr = <-poolDone
+	}
+	return poolErr
+}

@@ -1,0 +1,412 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		got, err := MapWorkers(context.Background(), 50, workers,
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d holds %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 0,
+		func(_ context.Context, i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: got %v, %v", got, err)
+	}
+}
+
+func TestNilFunction(t *testing.T) {
+	if err := Run(context.Background(), 3, nil); err == nil {
+		t.Fatal("nil work function accepted")
+	}
+	if _, err := Map[int](context.Background(), 3, nil); err == nil {
+		t.Fatal("nil map function accepted")
+	}
+}
+
+// TestFirstErrorPropagation: the pool must report the error of the
+// lowest-indexed failing item — what a serial loop would have hit first —
+// no matter which worker observes its failure first.
+func TestFirstErrorPropagation(t *testing.T) {
+	errAt := func(i int) error { return fmt.Errorf("item %d failed", i) }
+	for trial := 0; trial < 20; trial++ {
+		_, err := MapWorkers(context.Background(), 16, 8,
+			func(_ context.Context, i int) (int, error) {
+				if i == 3 || i == 11 {
+					// Let the higher-indexed failure land first.
+					if i == 11 {
+						return 0, errAt(i)
+					}
+					time.Sleep(2 * time.Millisecond)
+					return 0, errAt(i)
+				}
+				return i, nil
+			})
+		if err == nil {
+			t.Fatal("no error propagated")
+		}
+		if got := err.Error(); got != errAt(3).Error() {
+			t.Fatalf("trial %d: propagated %q, want lowest-index error %q", trial, got, errAt(3))
+		}
+	}
+}
+
+// TestRealErrorBeatsCancellation: when the caller cancels the context
+// while another item fails for real, the real failure must be the
+// reported error — a cancellation artifact must not mask the root cause,
+// even at a lower index.
+func TestRealErrorBeatsCancellation(t *testing.T) {
+	boom := errors.New("boom at 1")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := RunWorkers(ctx, 2, 2,
+		func(ctx context.Context, i int) error {
+			if i == 0 {
+				<-ctx.Done() // parked until item 1 cancels the caller ctx
+				return ctx.Err()
+			}
+			cancel()
+			return boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the real failure", err)
+	}
+}
+
+// TestLowerItemsRunDespiteFailure: a failure at a high index must not
+// prevent lower-indexed items from running — every item below the lowest
+// failing index runs (the serial loop's item set), so the reported error
+// is deterministically the lowest-indexed failure even when a higher item
+// fails first.
+func TestLowerItemsRunDespiteFailure(t *testing.T) {
+	const n = 12
+	var ran [n]atomic.Bool
+	boomHigh := errors.New("boom at 9")
+	boomLow := errors.New("boom at 2")
+	err := RunWorkers(context.Background(), n, 4,
+		func(_ context.Context, i int) error {
+			ran[i].Store(true)
+			switch i {
+			case 9:
+				return boomHigh // fails first: lower items are still pending
+			case 2:
+				time.Sleep(3 * time.Millisecond)
+				return boomLow
+			default:
+				time.Sleep(time.Millisecond)
+				return nil
+			}
+		})
+	if !errors.Is(err, boomLow) {
+		t.Fatalf("got %v, want the lowest-indexed failure", err)
+	}
+	// Only items below the LOWEST failure (index 2) are guaranteed; items
+	// above it may legitimately be skipped once the bar drops.
+	for i := 0; i < 2; i++ {
+		if !ran[i].Load() {
+			t.Fatalf("item %d below the lowest failure was skipped", i)
+		}
+	}
+}
+
+// TestErrorStopsPool: after an item fails, the pool must not start new
+// items (beyond those already claimed by in-flight workers).
+func TestErrorStopsPool(t *testing.T) {
+	const n, workers = 1000, 4
+	var started atomic.Int64
+	boom := errors.New("boom")
+	err := RunWorkers(context.Background(), n, workers,
+		func(_ context.Context, i int) error {
+			started.Add(1)
+			if i == 0 {
+				return boom
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	// Item 0 fails while at most workers-1 other items are in flight;
+	// each surviving worker can claim at most one more item before seeing
+	// the cancelled context. Allow generous slack but far below n.
+	if s := started.Load(); s > 8*workers {
+		t.Fatalf("%d items started after failure; pool did not stop", s)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	err := RunWorkers(ctx, 100, 4, func(ctx context.Context, i int) error {
+		started.Add(1)
+		once.Do(func() {
+			cancel()
+			close(release)
+		})
+		<-release
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if s := started.Load(); s > 8 {
+		t.Fatalf("%d items started after cancellation", s)
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := RunWorkers(ctx, 10, 1, func(context.Context, int) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("work ran under a cancelled context")
+	}
+}
+
+// TestBoundedWorkers: concurrency must never exceed the pool size.
+func TestBoundedWorkers(t *testing.T) {
+	const n, workers = 64, 3
+	var inFlight, peak atomic.Int64
+	err := RunWorkers(context.Background(), n, workers,
+		func(_ context.Context, i int) error {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", p, workers)
+	}
+}
+
+// TestNestedAutoPoolsStayBounded: auto-sized pools draw extra workers
+// from one machine-wide quota, so two levels of nested fan-out must never
+// run more than GOMAXPROCS work functions at once — the invariant that
+// keeps BatchCompare → Compare → per-channel fan-out from oversubscribing
+// the CPUs.
+func TestNestedAutoPoolsStayBounded(t *testing.T) {
+	const procs = 4
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+
+	var inFlight, peak atomic.Int64
+	err := Run(context.Background(), 8, func(ctx context.Context, _ int) error {
+		return Run(ctx, 8, func(context.Context, int) error {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > procs {
+		t.Fatalf("peak leaf concurrency %d exceeds GOMAXPROCS %d", p, procs)
+	}
+	if got := borrowed.Load(); got != 0 {
+		t.Fatalf("%d borrowed slots leaked", got)
+	}
+}
+
+func TestDoRunsAllTasks(t *testing.T) {
+	var a, b, c atomic.Bool
+	err := Do(context.Background(),
+		func(context.Context) error { a.Store(true); return nil },
+		func(context.Context) error { b.Store(true); return nil },
+		func(context.Context) error { c.Store(true); return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Load() || !b.Load() || !c.Load() {
+		t.Fatal("not all tasks ran")
+	}
+}
+
+func TestDoFirstError(t *testing.T) {
+	e1 := errors.New("first")
+	err := Do(context.Background(),
+		func(context.Context) error { time.Sleep(2 * time.Millisecond); return e1 },
+		func(context.Context) error { return errors.New("second") },
+	)
+	if !errors.Is(err, e1) {
+		t.Fatalf("got %v, want the lower-indexed task's error", err)
+	}
+}
+
+// TestStreamOrdersEmission: emit must fire in index order with each value
+// in its slot, even when later items finish first.
+func TestStreamOrdersEmission(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	const n = 12
+	var got []int
+	err := Stream(context.Background(), n,
+		func(_ context.Context, i int) (int, error) {
+			time.Sleep(time.Duration(n-i) * time.Millisecond) // reverse finish order
+			return i * 10, nil
+		},
+		func(i, v int) error {
+			if v != i*10 {
+				t.Errorf("slot %d delivered %d", i, v)
+			}
+			got = append(got, i)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("emission order %v", got)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("emitted %d of %d", len(got), n)
+	}
+}
+
+// TestStreamDeliversPrefixBeforeFailure: results before the failing item
+// must reach emit; the failure is returned afterwards.
+func TestStreamDeliversPrefixBeforeFailure(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	boom := errors.New("boom at 3")
+	var emitted []int
+	err := Stream(context.Background(), 8,
+		func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(i, v int) error {
+			emitted = append(emitted, i)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if len(emitted) != 3 {
+		t.Fatalf("emitted %v, want exactly [0 1 2]", emitted)
+	}
+	for i, idx := range emitted {
+		if idx != i {
+			t.Fatalf("emitted %v", emitted)
+		}
+	}
+}
+
+// TestStreamEmitErrorCancels: a failing emit stops the batch and is the
+// returned error.
+func TestStreamEmitErrorCancels(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	stop := errors.New("stop after first row")
+	var ran atomic.Int64
+	err := Stream(context.Background(), 100,
+		func(_ context.Context, i int) (int, error) {
+			ran.Add(1)
+			time.Sleep(time.Millisecond)
+			return i, nil
+		},
+		func(i, v int) error {
+			if i == 0 {
+				return stop
+			}
+			t.Errorf("emit after stop: %d", i)
+			return nil
+		})
+	if !errors.Is(err, stop) {
+		t.Fatalf("got %v, want emit error", err)
+	}
+	if r := ran.Load(); r > 50 {
+		t.Fatalf("%d items ran after emit aborted", r)
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	if err := Stream(context.Background(), 0,
+		func(context.Context, int) (int, error) { return 0, nil },
+		func(int, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Stream[int](context.Background(), 3, nil, nil); err == nil {
+		t.Fatal("nil functions accepted")
+	}
+}
+
+// TestMapDeterministic: identical inputs produce bit-identical outputs for
+// any pool size, including the serial fast path.
+func TestMapDeterministic(t *testing.T) {
+	work := func(_ context.Context, i int) (float64, error) {
+		v := 1.0
+		for k := 0; k < 100; k++ {
+			v = v*1.0000001 + float64(i)*1e-9
+		}
+		return v, nil
+	}
+	serial, err := MapWorkers(context.Background(), 200, 1, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		parallel, err := MapWorkers(context.Background(), 200, workers, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("workers=%d: slot %d differs: %v != %v",
+					workers, i, serial[i], parallel[i])
+			}
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package control
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/batch"
 	"repro/internal/compact"
 	"repro/internal/mat"
 	"repro/internal/microchannel"
@@ -14,6 +16,18 @@ import (
 // spec and returns the optimized design together with the joint model
 // solve at the optimum.
 func Optimize(spec *Spec) (*Result, error) {
+	return OptimizeContext(context.Background(), spec)
+}
+
+// OptimizeContext is Optimize with caller-controlled cancellation:
+// cancelling ctx stops the decoupled multi-channel optimizer between
+// per-channel solves, and refuses to start any solve once cancelled (an
+// individual channel solve, and the joint/single-channel solver, run to
+// completion once started).
+func OptimizeContext(ctx context.Context, spec *Spec) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -21,7 +35,7 @@ func Optimize(spec *Spec) (*Result, error) {
 	if n == 1 || spec.Joint {
 		return jointOptimize(spec)
 	}
-	return decoupledOptimize(spec)
+	return decoupledOptimize(ctx, spec)
 }
 
 // innerSolver maps the Solver enum to an optimize inner solver.
@@ -236,10 +250,14 @@ func pressureDropWidths(spec *Spec, widths []float64) (float64, error) {
 // equal-pressure constraint is restored by re-optimizing every channel to
 // the common drop of the most demanding one (phase 2). The returned result
 // always comes from one joint solve with lateral conduction included.
-func decoupledOptimize(spec *Spec) (*Result, error) {
+//
+// Both phases are embarrassingly parallel — every per-channel solve reads
+// the shared spec and writes only its own slot — so they fan out across
+// the batch worker pool. Slot-indexed writes keep the outcome bit-identical
+// to the serial loop.
+func decoupledOptimize(ctx context.Context, spec *Spec) (*Result, error) {
 	n := len(spec.Channels)
 	profiles := make([]*microchannel.Profile, n)
-	totalEvals := 0
 
 	singleSpec := func(k int) *Spec {
 		s := *spec
@@ -251,14 +269,23 @@ func decoupledOptimize(spec *Spec) (*Result, error) {
 
 	// Phase 1: independent per-channel optimization with ΔP ≤ ΔPmax.
 	drops := make([]float64, n)
-	for k := 0; k < n; k++ {
+	evals := make([]int, n)
+	err := batch.Run(ctx, n, func(_ context.Context, k int) error {
 		res, err := jointOptimize(singleSpec(k))
 		if err != nil {
-			return nil, fmt.Errorf("control: channel %d: %w", k, err)
+			return fmt.Errorf("control: channel %d: %w", k, err)
 		}
 		profiles[k] = res.Profiles[0]
 		drops[k] = res.PressureDrops[0]
-		totalEvals += res.Evaluations
+		evals[k] = res.Evaluations
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	totalEvals := 0
+	for _, e := range evals {
+		totalEvals += e
 	}
 
 	// Phase 2: equalize the pressure drops at the level of the most
@@ -271,17 +298,24 @@ func decoupledOptimize(spec *Spec) (*Result, error) {
 				target = d
 			}
 		}
-		for k := 0; k < n; k++ {
+		eqEvals := make([]int, n)
+		err := batch.Run(ctx, n, func(_ context.Context, k int) error {
 			if math.Abs(drops[k]-target) <= 1e-3*target {
-				continue
+				return nil
 			}
-			s := singleSpec(k)
-			res, err := equalPressureOptimize(s, target, profiles[k])
+			res, err := equalPressureOptimize(singleSpec(k), target, profiles[k])
 			if err != nil {
-				return nil, fmt.Errorf("control: channel %d equalization: %w", k, err)
+				return fmt.Errorf("control: channel %d equalization: %w", k, err)
 			}
 			profiles[k] = res.Profiles[0]
-			totalEvals += res.Evaluations
+			eqEvals[k] = res.Evaluations
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range eqEvals {
+			totalEvals += e
 		}
 	}
 

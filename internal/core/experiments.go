@@ -10,8 +10,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/batch"
 	"repro/internal/compact"
 	"repro/internal/control"
 	"repro/internal/floorplan"
@@ -117,21 +119,72 @@ type Comparison struct {
 	Optimal  *control.Result
 }
 
-// Compare runs the three-way evaluation on a spec.
+// Compare runs the three-way evaluation on a spec. The three evaluations
+// are independent model solves, so they run concurrently on the batch
+// worker pool; results and error order are identical to a serial run.
 func Compare(spec *control.Spec) (*Comparison, error) {
-	minRes, err := control.Baseline(spec, spec.Bounds.Min)
+	return CompareContext(context.Background(), spec)
+}
+
+// CompareContext is Compare with caller-controlled cancellation.
+func CompareContext(ctx context.Context, spec *control.Spec) (*Comparison, error) {
+	var c Comparison
+	err := batch.Do(ctx,
+		func(context.Context) error {
+			r, err := control.Baseline(spec, spec.Bounds.Min)
+			if err != nil {
+				return fmt.Errorf("core: min-width baseline: %w", err)
+			}
+			c.MinWidth = r
+			return nil
+		},
+		func(context.Context) error {
+			r, err := control.Baseline(spec, spec.Bounds.Max)
+			if err != nil {
+				return fmt.Errorf("core: max-width baseline: %w", err)
+			}
+			c.MaxWidth = r
+			return nil
+		},
+		func(ctx context.Context) error {
+			r, err := control.OptimizeContext(ctx, spec)
+			if err != nil {
+				return fmt.Errorf("core: optimization: %w", err)
+			}
+			c.Optimal = r
+			return nil
+		},
+	)
 	if err != nil {
-		return nil, fmt.Errorf("core: min-width baseline: %w", err)
+		return nil, err
 	}
-	maxRes, err := control.Baseline(spec, spec.Bounds.Max)
-	if err != nil {
-		return nil, fmt.Errorf("core: max-width baseline: %w", err)
-	}
-	opt, err := control.Optimize(spec)
-	if err != nil {
-		return nil, fmt.Errorf("core: optimization: %w", err)
-	}
-	return &Comparison{MinWidth: minRes, MaxWidth: maxRes, Optimal: opt}, nil
+	return &c, nil
+}
+
+// BatchCompare runs the three-way evaluation over many specs at once on
+// one shared worker pool. Specs are independent problems; slot i of the
+// result always corresponds to specs[i] and every value is bit-identical
+// to a serial Compare loop.
+func BatchCompare(ctx context.Context, specs []*control.Spec) ([]*Comparison, error) {
+	return batch.Map(ctx, len(specs), func(ctx context.Context, i int) (*Comparison, error) {
+		c, err := CompareContext(ctx, specs[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: spec %d: %w", i, err)
+		}
+		return c, nil
+	})
+}
+
+// BatchOptimize solves many channel-modulation problems concurrently.
+// Slot i of the result corresponds to specs[i].
+func BatchOptimize(ctx context.Context, specs []*control.Spec) ([]*control.Result, error) {
+	return batch.Map(ctx, len(specs), func(ctx context.Context, i int) (*control.Result, error) {
+		r, err := control.OptimizeContext(ctx, specs[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: spec %d: %w", i, err)
+		}
+		return r, nil
+	})
 }
 
 // UniformGradient returns the worse (larger) of the two uniform-width
