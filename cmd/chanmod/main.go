@@ -31,6 +31,7 @@ func main() {
 	dpMaxBar := flag.Float64("dpmax-bar", 10, "pressure budget in bar")
 	seed := flag.Int64("seed", 2012, "random seed for testB")
 	solverStr := flag.String("solver", "lbfgsb", "inner solver: lbfgsb, projgrad, neldermead")
+	showStats := flag.Bool("stats", false, "print solver work statistics for the optimization")
 	flag.Parse()
 
 	if *writeExample != "" {
@@ -101,6 +102,19 @@ func main() {
 			fmt.Printf("%6.1f", p.Width(i)*1e6)
 		}
 		fmt.Println()
+	}
+	if *showStats {
+		st := cmp.Optimal.Stats
+		fmt.Println("solver work (optimization):")
+		fmt.Printf("  model solves:     %d\n", st.ModelSolves)
+		fmt.Printf("  outer iterations: %d\n", st.OuterIterations)
+		fmt.Printf("  inner iterations: %d (%d objective evaluations)\n",
+			st.InnerIterations, st.InnerEvaluations)
+		if total := st.TransitionHits + st.TransitionMisses; total > 0 {
+			fmt.Printf("  transition cache: %d hits / %d misses (%.1f%% hit rate)\n",
+				st.TransitionHits, st.TransitionMisses,
+				100*float64(st.TransitionHits)/float64(total))
+		}
 	}
 
 	if *outJSON != "" {

@@ -8,6 +8,9 @@
 //
 // -quick shrinks solver budgets for a fast smoke run; the published
 // numbers in EXPERIMENTS.md come from the default budgets.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run for
+// performance work on the solve stack.
 package main
 
 import (
@@ -15,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	channelmod "repro"
@@ -23,9 +28,45 @@ import (
 )
 
 func main() {
+	// All failure paths return through realMain so the profiling defers
+	// always flush — a failing run is exactly the one worth profiling.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	exp := flag.String("exp", "all", "experiment id (all, fig1a, fig1b, testA, testB, profiles, fig8, fig9, validate)")
 	quick := flag.Bool("quick", false, "reduced budgets for a fast smoke run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	runners := map[string]func(bool) error{
 		"fig1a":     runFig1a,
@@ -45,22 +86,23 @@ func main() {
 			fmt.Printf("==== %s ====\n", name)
 			if err := runners[name](*quick); err != nil {
 				fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Println()
 		}
-		return
+		return 0
 	}
 	run, ok := runners[*exp]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %s, all)\n",
 			*exp, strings.Join(order, ", "))
-		os.Exit(2)
+		return 2
 	}
 	if err := run(*quick); err != nil {
 		fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", *exp, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func tuneSpec(s *channelmod.Spec, quick bool) *channelmod.Spec {

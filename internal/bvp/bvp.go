@@ -40,7 +40,18 @@ var ErrUnsolvable = errors.New("bvp: shooting system is singular")
 // initial state x0 and returns the dense trajectory. When homogeneous is
 // true the forcing term b(z) must be dropped (only A(z)·x integrated).
 // Calls with identical (a, b) must return trajectories on identical grids.
+// The solver copies what it needs from the returned trajectory before the
+// next Propagate call, so implementations may reuse internal storage.
 type PropagateFunc func(a, b float64, x0 mat.Vec, homogeneous bool) (*ode.Solution, error)
+
+// TransitionFunc supplies the exact transition map of one shooting
+// interval [a, b]: x(b) = phi·x(a) + psi. The returned matrix and vector
+// are borrowed — the solver reads them without modifying and does not
+// retain them past the solve — so implementations may serve them from a
+// cache. The floats must equal what propagating the basis with the
+// problem's PropagateFunc would produce, or determinism guarantees built
+// on top of the solver break.
+type TransitionFunc func(a, b float64) (phi *mat.Dense, psi mat.Vec, err error)
 
 // Problem specifies a linear two-point BVP.
 //
@@ -63,8 +74,50 @@ type Problem struct {
 	TerminalZero []int
 	// Intervals is the number of multiple-shooting intervals. Zero selects
 	// 16; 1 degenerates to classic single shooting (only safe for
-	// non-stiff systems).
+	// non-stiff systems). Ignored when Interfaces is set.
 	Intervals int
+	// Interfaces optionally fixes the interface grid explicitly: an
+	// ascending sequence starting at 0 and ending at Length, one shooting
+	// interval per consecutive pair. Callers with piecewise-constant
+	// coefficients align interfaces with the smooth pieces so that every
+	// interval's transition map depends only on that piece's coefficients
+	// (the memoization unit of compact.Evaluator). The slice is borrowed,
+	// not copied.
+	Interfaces []float64
+	// Transition optionally supplies interval transition maps directly
+	// (typically from a cache). Nil falls back to propagating a basis with
+	// Propagate, as classic multiple shooting does. Propagate is still
+	// required for the trajectory reconstruction.
+	Transition TransitionFunc
+}
+
+// Workspace carries the reusable scratch of a shooting solve: the dense
+// system, its factorization, interface grids and the reconstructed
+// trajectory. A zero value is ready to use. Reusing one workspace across
+// repeated same-shaped solves eliminates nearly all solver allocations.
+// A workspace must not be shared between concurrent solves, and the
+// Trajectory of a returned Solution points into the workspace — it is
+// invalidated by the next SolveWS call with the same workspace.
+type Workspace struct {
+	phis   []*mat.Dense // per-interval transition matrices (borrowed or owned)
+	psis   []mat.Vec    // per-interval particular terms (borrowed or owned)
+	zs     []float64    // uniform interface grid (when Interfaces unset)
+	sys    *mat.Dense   // dense multiple-shooting system
+	rhs    mat.Vec
+	u      mat.Vec // solved unknowns
+	basis  mat.Vec
+	m0base mat.Vec
+	work   mat.Vec // LU scratch
+	x0     mat.Vec // reconstructed initial state
+	lu     mat.LU
+	traj   ode.Solution // stitched reconstruction trajectory
+}
+
+func growVec(v mat.Vec, n int) mat.Vec {
+	if cap(v) < n {
+		return make(mat.Vec, n)
+	}
+	return v[:n]
 }
 
 // Solution carries the resolved trajectory and the shooting parameters.
@@ -106,29 +159,63 @@ func LinearPropagator(sys *ode.LinearSystem, length float64, steps int) Propagat
 
 // Solve resolves the BVP by multiple shooting.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveWS(p, nil)
+}
+
+// SolveWS is Solve with a reusable workspace. A nil ws allocates a local
+// one (equivalent to Solve). See Workspace for the aliasing contract.
+func SolveWS(p *Problem, ws *Workspace) (*Solution, error) {
+	if ws == nil {
+		ws = &Workspace{}
+	}
 	if err := validate(p); err != nil {
 		return nil, err
 	}
 	dim := p.Dim
 	nU := len(p.X0Modes)
-	m := p.Intervals
-	if m == 0 {
-		m = 16
-	}
 
 	// Interface positions 0 = z_0 < z_1 < ... < z_m = Length.
-	zs := make([]float64, m+1)
-	for i := range zs {
-		zs[i] = float64(i) * p.Length / float64(m)
+	var zs []float64
+	if p.Interfaces != nil {
+		zs = p.Interfaces
+	} else {
+		m := p.Intervals
+		if m == 0 {
+			m = 16
+		}
+		if cap(ws.zs) < m+1 {
+			ws.zs = make([]float64, m+1)
+		}
+		zs = ws.zs[:m+1]
+		for i := range zs {
+			zs[i] = float64(i) * p.Length / float64(m)
+		}
+		zs[m] = p.Length
 	}
-	zs[m] = p.Length
+	m := len(zs) - 1
 
-	// Per interval i: transition x(z_{i+1}) = M_i·x(z_i) + c_i.
-	trans := make([]*mat.Dense, m) // M_i
-	parts := make([]mat.Vec, m)    // c_i
-	basis := make(mat.Vec, dim)
+	// Per interval i: transition x(z_{i+1}) = M_i·x(z_i) + c_i, either
+	// supplied by the Transition hook (borrowed, typically memoized) or
+	// computed by propagating a basis.
+	if cap(ws.phis) < m {
+		ws.phis = make([]*mat.Dense, m)
+		ws.psis = make([]mat.Vec, m)
+	}
+	trans := ws.phis[:m]
+	parts := ws.psis[:m]
+	ws.basis = growVec(ws.basis, dim)
+	basis := ws.basis
 	for i := 0; i < m; i++ {
-		sol, err := p.Propagate(zs[i], zs[i+1], make(mat.Vec, dim), false)
+		if p.Transition != nil {
+			phi, psi, err := p.Transition(zs[i], zs[i+1])
+			if err != nil {
+				return nil, fmt.Errorf("bvp: transition, interval %d: %w", i, err)
+			}
+			trans[i], parts[i] = phi, psi
+			continue
+		}
+		basis.Fill(0)
+		sol, err := p.Propagate(zs[i], zs[i+1], basis, false)
 		if err != nil {
 			return nil, fmt.Errorf("bvp: particular, interval %d: %w", i, err)
 		}
@@ -151,14 +238,17 @@ func Solve(p *Problem) (*Solution, error) {
 
 	// Unknowns u = [p (nU); x_1 ... x_{m-1} (dim each)].
 	nUnk := nU + (m-1)*dim
-	sys := mat.NewDense(nUnk, nUnk)
-	rhs := make(mat.Vec, nUnk)
+	sys := mat.ReshapeDense(ws.sys, nUnk, nUnk)
+	ws.sys = sys
+	ws.rhs = growVec(ws.rhs, nUnk)
+	rhs := ws.rhs
 	xOff := func(i int) int { return nU + (i-1)*dim } // offset of x_i, i>=1
 
 	row := 0
 	// Continuity of interval 0: M_0(X0Base + Modes·p) + c_0 = x_1
 	// (or terminal rows directly when m == 1).
-	m0base := trans[0].MulVec(nil, p.X0Base)
+	ws.m0base = growVec(ws.m0base, dim)
+	m0base := trans[0].MulVec(ws.m0base, p.X0Base)
 	if m > 1 {
 		for r := 0; r < dim; r++ {
 			for k := 0; k < nU; k++ {
@@ -210,41 +300,40 @@ func Solve(p *Problem) (*Solution, error) {
 		return nil, fmt.Errorf("bvp: internal row count %d != %d", row, nUnk)
 	}
 
-	lu, err := mat.Factorize(sys)
-	if err != nil {
+	if err := ws.lu.Refactorize(sys); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnsolvable, err)
 	}
-	u, err := lu.Solve(nil, rhs)
+	ws.u = growVec(ws.u, nUnk)
+	ws.work = growVec(ws.work, nUnk)
+	u, err := ws.lu.SolveWS(ws.u, rhs, ws.work)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnsolvable, err)
 	}
 
 	params := u[:nU].Clone()
 
-	// Reconstruct the trajectory interval by interval.
-	x0 := p.X0Base.Clone()
+	// Reconstruct the trajectory interval by interval, deep-copying each
+	// interval's states into the workspace-owned stitched trajectory so
+	// propagators are free to reuse their internal storage between calls.
+	ws.x0 = growVec(ws.x0, dim)
+	copy(ws.x0, p.X0Base)
 	for k := 0; k < nU; k++ {
-		x0.AddScaled(params[k], p.X0Modes[k])
+		ws.x0.AddScaled(params[k], p.X0Modes[k])
 	}
-	full := &ode.Solution{}
-	x := x0
+	full := &ws.traj
+	full.Reset()
+	x := ws.x0
 	for i := 0; i < m; i++ {
 		if i > 0 {
 			// Use the solved interface state (more accurate than chaining,
 			// and exactly what the linear system enforced).
-			x = u[xOff(i) : xOff(i)+dim].Clone()
+			x = u[xOff(i) : xOff(i)+dim]
 		}
 		sol, err := p.Propagate(zs[i], zs[i+1], x, false)
 		if err != nil {
 			return nil, fmt.Errorf("bvp: reconstruction, interval %d: %w", i, err)
 		}
-		if i == 0 {
-			full.Z = append(full.Z, sol.Z...)
-			full.X = append(full.X, sol.X...)
-		} else {
-			full.Z = append(full.Z, sol.Z[1:]...)
-			full.X = append(full.X, sol.X[1:]...)
-		}
+		full.AppendCopied(sol, i > 0)
 	}
 
 	res := 0.0
@@ -273,6 +362,21 @@ func validate(p *Problem) error {
 	}
 	if p.Intervals < 0 {
 		return fmt.Errorf("bvp: negative interval count %d", p.Intervals)
+	}
+	if p.Interfaces != nil {
+		zs := p.Interfaces
+		if len(zs) < 2 {
+			return fmt.Errorf("bvp: interface grid needs >= 2 points, got %d", len(zs))
+		}
+		if zs[0] != 0 || zs[len(zs)-1] != p.Length {
+			return fmt.Errorf("bvp: interface grid must span [0, %g], got [%g, %g]",
+				p.Length, zs[0], zs[len(zs)-1])
+		}
+		for i := 1; i < len(zs); i++ {
+			if !(zs[i] > zs[i-1]) {
+				return fmt.Errorf("bvp: interface grid not strictly increasing at %d", i)
+			}
+		}
 	}
 	if len(p.X0Base) != p.Dim {
 		return fmt.Errorf("bvp: X0Base length %d, want %d", len(p.X0Base), p.Dim)

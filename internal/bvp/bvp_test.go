@@ -252,3 +252,187 @@ func TestBVPBoundaryResidualProperty(t *testing.T) {
 		}
 	}
 }
+
+// sinkProblem builds the conduction-with-sink problem used by the
+// workspace/interface tests.
+func sinkProblem(steps int) *Problem {
+	const (
+		k = 2.0
+		g = 3.0
+		s = 5.0
+		L = 1.0
+	)
+	sys := &ode.LinearSystem{
+		Dim: 2,
+		Coeffs: func(a *mat.Dense, b mat.Vec, z float64) {
+			a.Set(0, 1, -1/k)
+			a.Set(1, 0, -g)
+			b[1] = s
+		},
+	}
+	return &Problem{
+		Dim:          2,
+		Length:       L,
+		Propagate:    LinearPropagator(sys, L, steps),
+		X0Base:       mat.Vec{0, 0},
+		X0Modes:      []mat.Vec{{1, 0}},
+		TerminalZero: []int{1},
+		Intervals:    8,
+	}
+}
+
+func solutionsBitIdentical(t *testing.T, a, b *Solution) {
+	t.Helper()
+	if len(a.Params) != len(b.Params) || len(a.Trajectory.Z) != len(b.Trajectory.Z) {
+		t.Fatalf("shape mismatch: params %d vs %d, grid %d vs %d",
+			len(a.Params), len(b.Params), len(a.Trajectory.Z), len(b.Trajectory.Z))
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			t.Fatalf("params[%d] differ: %v vs %v", i, a.Params[i], b.Params[i])
+		}
+	}
+	if a.TerminalResidual != b.TerminalResidual {
+		t.Fatalf("residuals differ: %v vs %v", a.TerminalResidual, b.TerminalResidual)
+	}
+	for i := range a.Trajectory.Z {
+		if a.Trajectory.Z[i] != b.Trajectory.Z[i] {
+			t.Fatalf("Z[%d] differs", i)
+		}
+		for j := range a.Trajectory.X[i] {
+			if a.Trajectory.X[i][j] != b.Trajectory.X[i][j] {
+				t.Fatalf("X[%d][%d] differs: %v vs %v", i, j,
+					a.Trajectory.X[i][j], b.Trajectory.X[i][j])
+			}
+		}
+	}
+}
+
+// A reused workspace must not change results at all: repeated solves of the
+// same problem (interleaved with a different-shaped one) stay bit-identical
+// to a fresh Solve.
+func TestSolveWSBitIdenticalToSolve(t *testing.T) {
+	p := sinkProblem(400)
+	fresh, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep-copy: the workspace trajectory is invalidated per solve.
+	keep := &Solution{Params: fresh.Params.Clone(), Trajectory: &ode.Solution{},
+		TerminalResidual: fresh.TerminalResidual}
+	keep.Trajectory.AppendCopied(fresh.Trajectory, false)
+
+	ws := &Workspace{}
+	other := sinkProblem(400)
+	other.Intervals = 3 // different system shape exercises workspace reshaping
+	for rep := 0; rep < 3; rep++ {
+		if _, err := SolveWS(other, ws); err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveWS(p, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solutionsBitIdentical(t, keep, got)
+	}
+}
+
+// An explicit uniform interface grid must reproduce the Intervals grid
+// exactly, and a refined grid must still solve the problem accurately.
+func TestSolveInterfaces(t *testing.T) {
+	p := sinkProblem(400)
+	want, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	zs := make([]float64, p.Intervals+1)
+	for i := range zs {
+		zs[i] = float64(i) * p.Length / float64(p.Intervals)
+	}
+	zs[len(zs)-1] = p.Length
+	q := sinkProblem(400)
+	q.Interfaces = zs
+	got, err := Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solutionsBitIdentical(t, want, got)
+
+	// A non-uniform refinement changes roundoff but not the solution.
+	r := sinkProblem(400)
+	r.Interfaces = []float64{0, 0.1, 0.15, 0.4, 0.7, 1.0}
+	ref, err := Solve(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ref.Params[0]-want.Params[0]) > 1e-8 {
+		t.Fatalf("refined params %v vs %v", ref.Params[0], want.Params[0])
+	}
+
+	// Malformed grids are rejected.
+	for _, bad := range [][]float64{
+		{0},
+		{0.1, 1},
+		{0, 0.9},
+		{0, 0.5, 0.5, 1},
+		{0, 0.7, 0.3, 1},
+	} {
+		b := sinkProblem(400)
+		b.Interfaces = bad
+		if _, err := Solve(b); err == nil {
+			t.Fatalf("interface grid %v not rejected", bad)
+		}
+	}
+}
+
+// A Transition hook returning exactly what basis propagation produces must
+// leave the solution bit-identical to the fallback path.
+func TestSolveTransitionHook(t *testing.T) {
+	p := sinkProblem(400)
+	want, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := sinkProblem(400)
+	calls := 0
+	q.Transition = func(a, b float64) (*mat.Dense, mat.Vec, error) {
+		calls++
+		phi := mat.NewDense(q.Dim, q.Dim)
+		basis := make(mat.Vec, q.Dim)
+		sol, err := q.Propagate(a, b, basis, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		psi := sol.Final().Clone()
+		for j := 0; j < q.Dim; j++ {
+			basis.Fill(0)
+			basis[j] = 1
+			hs, err := q.Propagate(a, b, basis, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			for r := 0; r < q.Dim; r++ {
+				phi.Set(r, j, hs.Final()[r])
+			}
+		}
+		return phi, psi, nil
+	}
+	got, err := Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != q.Intervals {
+		t.Fatalf("transition hook called %d times, want %d", calls, q.Intervals)
+	}
+	solutionsBitIdentical(t, want, got)
+
+	// Hook errors surface to the caller.
+	q.Transition = func(a, b float64) (*mat.Dense, mat.Vec, error) {
+		return nil, nil, errors.New("boom")
+	}
+	if _, err := Solve(q); err == nil {
+		t.Fatal("transition error not propagated")
+	}
+}

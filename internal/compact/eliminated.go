@@ -2,10 +2,6 @@ package compact
 
 import (
 	"fmt"
-
-	"repro/internal/bvp"
-	"repro/internal/mat"
-	"repro/internal/ode"
 )
 
 // SolveEliminated resolves a single-channel model using the paper's
@@ -24,6 +20,10 @@ import (
 // the tests cross-check the two. It exists (a) as a faithful transcription
 // of the paper's equations and (b) because the 4-state form is ~20% cheaper
 // inside optimization loops for single-channel studies.
+//
+// Like Solve, it delegates to a fresh Evaluator; optimization loops hold a
+// warm Evaluator instead and get bit-identical results with piece
+// transitions and solver scratch amortized across solves.
 func (m *Model) SolveEliminated() (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -32,120 +32,5 @@ func (m *Model) SolveEliminated() (*Result, error) {
 		return nil, fmt.Errorf("compact: eliminated form requires exactly 1 channel, have %d",
 			len(m.Channels))
 	}
-	ch := m.Channels[0]
-	steps := m.Steps
-	if steps <= 0 {
-		steps = 400
-	}
-	d := m.Params.Length
-	tcin := m.Params.InletTemp
-
-	bps := m.breakpoints()
-
-	propagate := func(zA, zB float64, x0 mat.Vec, homogeneous bool) (*ode.Solution, error) {
-		if len(x0) != 4 {
-			return nil, fmt.Errorf("compact: eliminated state length %d, want 4", len(x0))
-		}
-		full := &ode.Solution{}
-		x := x0.Clone()
-		for p, pc := range pieces(bps, zA, zB) {
-			a, b := pc[0], pc[1]
-			mid := 0.5 * (a + b)
-			c, err := m.Params.CoefficientsAt(ch.Width.At(mid), mid)
-			if err != nil {
-				return nil, fmt.Errorf("compact: piece [%g, %g]: %w", a, b, err)
-			}
-			c.CvV *= ch.flowScale()
-			var f1, f2 float64
-			if !homogeneous {
-				f1 = ch.FluxTop.At(mid)
-				f2 = ch.FluxBottom.At(mid)
-			}
-			// Within the piece, Qin(z) is affine in z; capture the
-			// cumulative value at the piece start for exact evaluation.
-			qinA := 0.0
-			if !homogeneous {
-				qinA = ch.FluxTop.CumulativeTo(a) + ch.FluxBottom.CumulativeTo(a)
-			}
-			fSum := f1 + f2
-			cvv := c.CvV
-			rhs := func(dst mat.Vec, z float64, s mat.Vec) {
-				t1, t2, q1, q2 := s[0], s[1], s[2], s[3]
-				var tc float64
-				if homogeneous {
-					// Homogeneous variant: TCin and Qin are inputs and
-					// drop out; the q-feedback remains linear.
-					tc = -(q1 + q2) / cvv
-				} else {
-					qin := qinA + fSum*(z-a)
-					tc = tcin + (qin-q1-q2)/cvv
-				}
-				dst[0] = -q1 / c.GL
-				dst[1] = -q2 / c.GL
-				dst[2] = f1 - c.GV*(t1-tc) - c.GW*(t1-t2)
-				dst[3] = f2 - c.GV*(t2-tc) - c.GW*(t2-t1)
-			}
-			pieceSteps := int(float64(steps)*(b-a)/d + 0.999)
-			if pieceSteps < 4 {
-				pieceSteps = 4
-			}
-			sol, err := ode.RK4(rhs, a, b, x, pieceSteps)
-			if err != nil {
-				return nil, fmt.Errorf("compact: piece [%g, %g]: %w", a, b, err)
-			}
-			if p == 0 {
-				full.Z = append(full.Z, sol.Z...)
-				full.X = append(full.X, sol.X...)
-			} else {
-				full.Z = append(full.Z, sol.Z[1:]...)
-				full.X = append(full.X, sol.X[1:]...)
-			}
-			x = sol.Final().Clone()
-		}
-		return full, nil
-	}
-
-	sol, err := bvp.Solve(&bvp.Problem{
-		Dim:          4,
-		Length:       d,
-		Propagate:    propagate,
-		X0Base:       mat.Vec{0, 0, 0, 0},
-		X0Modes:      []mat.Vec{{1, 0, 0, 0}, {0, 1, 0, 0}},
-		TerminalZero: []int{2, 3},
-		Intervals:    m.shootingIntervals(),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("compact: eliminated: %w", err)
-	}
-
-	// Reconstruct TC from the elimination identity for reporting.
-	traj := sol.Trajectory
-	nz := len(traj.Z)
-	cr := ChannelResult{
-		T1: make(mat.Vec, nz),
-		T2: make(mat.Vec, nz),
-		Q1: make(mat.Vec, nz),
-		Q2: make(mat.Vec, nz),
-		TC: make(mat.Vec, nz),
-	}
-	// cv·V̇ does not depend on width; evaluate once.
-	c0, err := m.Params.CoefficientsAt(ch.Width.At(0), 0)
-	if err != nil {
-		return nil, err
-	}
-	c0.CvV *= ch.flowScale()
-	for i, x := range traj.X {
-		z := traj.Z[i]
-		cr.T1[i] = x[0]
-		cr.T2[i] = x[1]
-		cr.Q1[i] = x[2]
-		cr.Q2[i] = x[3]
-		qin := ch.FluxTop.CumulativeTo(z) + ch.FluxBottom.CumulativeTo(z)
-		cr.TC[i] = tcin + (qin-x[2]-x[3])/c0.CvV
-	}
-	return &Result{
-		Z:                traj.Z.Clone(),
-		Channels:         []ChannelResult{cr},
-		TerminalResidual: sol.TerminalResidual,
-	}, nil
+	return NewEvaluator(m.Params, m.Steps).SolveEliminated(m.Channels[0])
 }

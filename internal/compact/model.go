@@ -9,7 +9,6 @@ import (
 	"repro/internal/convection"
 	"repro/internal/mat"
 	"repro/internal/microchannel"
-	"repro/internal/ode"
 )
 
 // Channel couples one modeled channel column to its width profile and the
@@ -133,95 +132,6 @@ type pieceCoeffs struct {
 	fluxBottom []float64
 }
 
-// pieces returns the smooth sub-intervals of [a, b]: the model breakpoints
-// intersected with the requested range.
-func pieces(bps []float64, a, b float64) [][2]float64 {
-	var out [][2]float64
-	lo := a
-	for _, bp := range bps {
-		if bp <= lo {
-			continue
-		}
-		hi := bp
-		if hi > b {
-			hi = b
-		}
-		if hi > lo {
-			out = append(out, [2]float64{lo, hi})
-			lo = hi
-		}
-		if lo >= b {
-			break
-		}
-	}
-	if lo < b {
-		out = append(out, [2]float64{lo, b})
-	}
-	return out
-}
-
-// propagate integrates the model from initial state x0 over [zA, zB],
-// holding coefficients constant within each smooth piece. With homogeneous
-// set, the heat-flux forcing is dropped (the initial state is still
-// propagated, which is what multiple shooting needs).
-func (m *Model) propagate(zA, zB float64, x0 mat.Vec, homogeneous bool) (*ode.Solution, error) {
-	n := len(m.Channels)
-	dim := statePerChannel * n
-	if len(x0) != dim {
-		return nil, fmt.Errorf("compact: state length %d, want %d", len(x0), dim)
-	}
-	steps := m.Steps
-	if steps <= 0 {
-		steps = 400
-	}
-	bps := m.breakpoints()
-	d := m.Params.Length
-
-	full := &ode.Solution{}
-	x := x0.Clone()
-	for p, pc0 := range pieces(bps, zA, zB) {
-		a, b := pc0[0], pc0[1]
-		mid := 0.5 * (a + b)
-		pc := pieceCoeffs{
-			c:          make([]Coefficients, n),
-			fluxTop:    make([]float64, n),
-			fluxBottom: make([]float64, n),
-		}
-		for k, ch := range m.Channels {
-			c, err := m.Params.CoefficientsAt(ch.Width.At(mid), mid)
-			if err != nil {
-				return nil, fmt.Errorf("compact: channel %d piece [%g, %g]: %w", k, a, b, err)
-			}
-			c.CvV *= ch.flowScale()
-			pc.c[k] = c
-			if !homogeneous {
-				pc.fluxTop[k] = ch.FluxTop.At(mid)
-				pc.fluxBottom[k] = ch.FluxBottom.At(mid)
-			}
-		}
-		f := func(dst mat.Vec, _ float64, s mat.Vec) {
-			m.derivative(dst, s, &pc)
-		}
-		pieceSteps := int(math.Ceil(float64(steps) * (b - a) / d))
-		if pieceSteps < 4 {
-			pieceSteps = 4
-		}
-		sol, err := ode.RK4(f, a, b, x, pieceSteps)
-		if err != nil {
-			return nil, fmt.Errorf("compact: piece [%g, %g]: %w", a, b, err)
-		}
-		if p == 0 {
-			full.Z = append(full.Z, sol.Z...)
-			full.X = append(full.X, sol.X...)
-		} else {
-			full.Z = append(full.Z, sol.Z[1:]...)
-			full.X = append(full.X, sol.X[1:]...)
-		}
-		x = sol.Final().Clone()
-	}
-	return full, nil
-}
-
 // derivative evaluates the state derivative for one smooth piece. It is
 // the direct transcription of the governing equations in the package
 // comment, with adiabatic lateral edges.
@@ -298,43 +208,12 @@ func (m *Model) shootingIntervals() int {
 
 // Solve resolves the steady state of the model: a linear two-point BVP with
 // unknown inlet silicon temperatures and adiabatic heat-flow conditions at
-// both ends.
+// both ends. It delegates to a fresh Evaluator, so results are bit-identical
+// to an arbitrarily warm evaluation session over the same parameters; reuse
+// an Evaluator directly on hot paths to amortize transition maps and solver
+// scratch across solves.
 func (m *Model) Solve() (*Result, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	n := len(m.Channels)
-	dim := statePerChannel * n
-
-	x0 := make(mat.Vec, dim)
-	for k := 0; k < n; k++ {
-		x0[statePerChannel*k+idxTC] = m.Params.InletTemp
-	}
-	modes := make([]mat.Vec, 0, 2*n)
-	terminal := make([]int, 0, 2*n)
-	for k := 0; k < n; k++ {
-		base := statePerChannel * k
-		m1 := make(mat.Vec, dim)
-		m1[base+idxT1] = 1
-		m2 := make(mat.Vec, dim)
-		m2[base+idxT2] = 1
-		modes = append(modes, m1, m2)
-		terminal = append(terminal, base+idxQ1, base+idxQ2)
-	}
-
-	sol, err := bvp.Solve(&bvp.Problem{
-		Dim:          dim,
-		Length:       m.Params.Length,
-		Propagate:    m.propagate,
-		X0Base:       x0,
-		X0Modes:      modes,
-		TerminalZero: terminal,
-		Intervals:    m.shootingIntervals(),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("compact: %w", err)
-	}
-	return m.newResult(sol), nil
+	return NewEvaluator(m.Params, m.Steps).Solve(m.Channels)
 }
 
 // newResult unpacks a BVP trajectory into per-channel sampled profiles.

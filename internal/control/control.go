@@ -181,6 +181,39 @@ type Result struct {
 	Evaluations int
 	// MaxConstraintViolation is the worst relative constraint violation.
 	MaxConstraintViolation float64
+	// Stats details the solver work behind the result.
+	Stats SolveStats
+}
+
+// SolveStats aggregates the solver work behind a Result: how many model
+// solves the optimizer spent, how the iteration budget split between the
+// augmented-Lagrangian outer loop and the inner solver, and how the
+// evaluator's piece-transition cache performed. For decoupled multi-channel
+// runs the counters sum over the per-channel sessions.
+type SolveStats struct {
+	// ModelSolves counts compact-model solves (objective and constraint
+	// evaluations, finite-difference probes, and final reports).
+	ModelSolves int
+	// OuterIterations counts augmented-Lagrangian multiplier updates.
+	OuterIterations int
+	// InnerIterations counts inner-solver iterations over all outer rounds.
+	InnerIterations int
+	// InnerEvaluations counts objective evaluations by the inner solver
+	// (including finite-difference gradient probes).
+	InnerEvaluations int
+	// TransitionHits and TransitionMisses count evaluator piece-transition
+	// cache lookups; a hit skips a full basis propagation.
+	TransitionHits, TransitionMisses uint64
+}
+
+// add accumulates o into s (the decoupled per-channel reduction).
+func (s *SolveStats) add(o SolveStats) {
+	s.ModelSolves += o.ModelSolves
+	s.OuterIterations += o.OuterIterations
+	s.InnerIterations += o.InnerIterations
+	s.InnerEvaluations += o.InnerEvaluations
+	s.TransitionHits += o.TransitionHits
+	s.TransitionMisses += o.TransitionMisses
 }
 
 // MaxPressureDrop returns the largest per-channel pressure drop.
@@ -203,8 +236,8 @@ func pressureDrop(spec *Spec, widths []float64) (float64, error) {
 		spec.PressureModel)
 }
 
-// buildModel assembles the joint compact model for the given profiles.
-func buildModel(spec *Spec, profiles []*microchannel.Profile) *compact.Model {
+// channelsFor binds the spec's heat loads to the given width profiles.
+func channelsFor(spec *Spec, profiles []*microchannel.Profile) []compact.Channel {
 	chans := make([]compact.Channel, len(spec.Channels))
 	for k, load := range spec.Channels {
 		chans[k] = compact.Channel{
@@ -213,12 +246,24 @@ func buildModel(spec *Spec, profiles []*microchannel.Profile) *compact.Model {
 			FluxBottom: load.FluxBottom,
 		}
 	}
-	return &compact.Model{Params: spec.Params, Channels: chans, Steps: spec.Steps}
+	return chans
+}
+
+// buildModel assembles the joint compact model for the given profiles.
+func buildModel(spec *Spec, profiles []*microchannel.Profile) *compact.Model {
+	return &compact.Model{Params: spec.Params, Channels: channelsFor(spec, profiles), Steps: spec.Steps}
 }
 
 // Evaluate solves the joint model at the given width profiles and packages
 // the metrics. It is the common path for baselines and final reports.
 func Evaluate(spec *Spec, profiles []*microchannel.Profile) (*Result, error) {
+	return evaluateWith(nil, spec, profiles)
+}
+
+// evaluateWith is Evaluate optionally reusing a warm evaluation session
+// (results are bit-identical either way; the warm path only skips repeated
+// transition-map propagation). A nil ev solves from scratch.
+func evaluateWith(ev *compact.Evaluator, spec *Spec, profiles []*microchannel.Profile) (*Result, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -231,7 +276,12 @@ func Evaluate(spec *Spec, profiles []*microchannel.Profile) (*Result, error) {
 		}
 	}
 	model := buildModel(spec, profiles)
-	sol, err := model.Solve()
+	if ev == nil {
+		ev = compact.NewEvaluator(spec.Params, spec.Steps)
+	}
+	// Always the coupled 5-state solve: final reports include lateral
+	// conduction even for single-column specs.
+	sol, err := ev.Solve(model.Channels)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +297,7 @@ func Evaluate(spec *Spec, profiles []*microchannel.Profile) (*Result, error) {
 		PeakK:         sol.PeakTemperature(),
 		PressureDrops: dps,
 		Evaluations:   1,
+		Stats:         SolveStats{ModelSolves: 1},
 	}
 	return res, nil
 }

@@ -96,12 +96,38 @@ func xFromWidth(w float64, b microchannel.Bounds) float64 {
 	return (w - b.Min) / span
 }
 
+// statsFrom packages the evaluator and augmented-Lagrangian counters of
+// one optimization session into SolveStats (res may be nil for degenerate
+// runs that never entered the solver).
+func statsFrom(ev *compact.Evaluator, res *optimize.AugLagResult) SolveStats {
+	st := ev.Stats()
+	out := SolveStats{
+		ModelSolves:      st.Solves,
+		TransitionHits:   st.TransitionHits,
+		TransitionMisses: st.TransitionMisses,
+	}
+	if res != nil {
+		out.OuterIterations = res.Outer
+		out.InnerIterations = res.InnerIterations
+		out.InnerEvaluations = res.Evaluations
+	}
+	return out
+}
+
 // jointOptimize solves the fully coupled problem over all channels: the
 // decision vector stacks K normalized widths per channel.
+//
+// All model solves of one session go through one warm compact.Evaluator:
+// the finite-difference inner loop perturbs one width segment per probe, so
+// nearly every piece transition is served from the evaluator's memo instead
+// of being re-propagated. Each jointOptimize call owns its evaluator
+// (per-goroutine construction under the batch engine — no locking, and
+// results stay bit-identical to fresh per-solve models).
 func jointOptimize(spec *Spec) (*Result, error) {
 	n := len(spec.Channels)
 	k := spec.segments()
 	dim := n * k
+	ev := compact.NewEvaluator(spec.Params, spec.Steps)
 
 	evals := 0
 	buildProfiles := func(x mat.Vec) ([]*microchannel.Profile, error) {
@@ -126,15 +152,19 @@ func jointOptimize(spec *Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	model0 := buildModel(spec, profiles0)
-	sol0, err := solveModel(model0)
+	sol0, err := ev.SolveChannels(channelsFor(spec, profiles0))
 	if err != nil {
 		return nil, fmt.Errorf("control: initial solve: %w", err)
 	}
 	j0 := sol0.ObjectiveQ2()
 	if j0 <= 0 {
 		// Degenerate (zero heat): the initial design is already optimal.
-		return Evaluate(spec, profiles0)
+		out, err := evaluateWith(ev, spec, profiles0)
+		if err != nil {
+			return nil, err
+		}
+		out.Stats = statsFrom(ev, nil)
+		return out, nil
 	}
 
 	objective := func(x mat.Vec) (float64, error) {
@@ -143,7 +173,7 @@ func jointOptimize(spec *Spec) (*Result, error) {
 			return 0, err
 		}
 		evals++
-		sol, err := solveModel(buildModel(spec, profiles))
+		sol, err := ev.SolveChannels(channelsFor(spec, profiles))
 		if err != nil {
 			return 0, err
 		}
@@ -169,21 +199,14 @@ func jointOptimize(spec *Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := Evaluate(spec, profiles)
+	out, err := evaluateWith(ev, spec, profiles)
 	if err != nil {
 		return nil, err
 	}
 	out.Evaluations = evals + 1
 	out.MaxConstraintViolation = res.MaxViolation
+	out.Stats = statsFrom(ev, &res)
 	return out, nil
-}
-
-// solveModel picks the cheaper eliminated form for single-channel models.
-func solveModel(m *compact.Model) (*compact.Result, error) {
-	if len(m.Channels) == 1 {
-		return m.SolveEliminated()
-	}
-	return m.Solve()
 }
 
 // pressureConstraints builds the ΔP constraint set of Eq. 9/10 for the
@@ -268,8 +291,11 @@ func decoupledOptimize(ctx context.Context, spec *Spec) (*Result, error) {
 	}
 
 	// Phase 1: independent per-channel optimization with ΔP ≤ ΔPmax.
+	// Each worker's jointOptimize call constructs its own evaluation
+	// session, so transition caches are per-goroutine and lock-free.
 	drops := make([]float64, n)
 	evals := make([]int, n)
+	stats := make([]SolveStats, n)
 	err := batch.Run(ctx, n, func(_ context.Context, k int) error {
 		res, err := jointOptimize(singleSpec(k))
 		if err != nil {
@@ -278,6 +304,7 @@ func decoupledOptimize(ctx context.Context, spec *Spec) (*Result, error) {
 		profiles[k] = res.Profiles[0]
 		drops[k] = res.PressureDrops[0]
 		evals[k] = res.Evaluations
+		stats[k] = res.Stats
 		return nil
 	})
 	if err != nil {
@@ -299,6 +326,7 @@ func decoupledOptimize(ctx context.Context, spec *Spec) (*Result, error) {
 			}
 		}
 		eqEvals := make([]int, n)
+		eqStats := make([]SolveStats, n)
 		err := batch.Run(ctx, n, func(_ context.Context, k int) error {
 			if math.Abs(drops[k]-target) <= 1e-3*target {
 				return nil
@@ -309,6 +337,7 @@ func decoupledOptimize(ctx context.Context, spec *Spec) (*Result, error) {
 			}
 			profiles[k] = res.Profiles[0]
 			eqEvals[k] = res.Evaluations
+			eqStats[k] = res.Stats
 			return nil
 		})
 		if err != nil {
@@ -317,6 +346,9 @@ func decoupledOptimize(ctx context.Context, spec *Spec) (*Result, error) {
 		for _, e := range eqEvals {
 			totalEvals += e
 		}
+		for _, s := range eqStats {
+			stats = append(stats, s)
+		}
 	}
 
 	out, err := Evaluate(spec, profiles)
@@ -324,6 +356,9 @@ func decoupledOptimize(ctx context.Context, spec *Spec) (*Result, error) {
 		return nil, err
 	}
 	out.Evaluations = totalEvals + 1
+	for _, s := range stats {
+		out.Stats.add(s)
+	}
 	return out, nil
 }
 
@@ -332,6 +367,7 @@ func decoupledOptimize(ctx context.Context, spec *Spec) (*Result, error) {
 func equalPressureOptimize(spec *Spec, target float64, warm *microchannel.Profile) (*Result, error) {
 	k := spec.segments()
 	evals := 0
+	ev := compact.NewEvaluator(spec.Params, spec.Steps)
 
 	buildProfile := func(x mat.Vec) (*microchannel.Profile, error) {
 		return microchannel.NewProfile(widthsFromX(x, spec.Bounds), spec.Params.Length)
@@ -350,8 +386,7 @@ func equalPressureOptimize(spec *Spec, target float64, warm *microchannel.Profil
 	if err != nil {
 		return nil, err
 	}
-	model0 := buildModel(spec, []*microchannel.Profile{p0})
-	sol0, err := solveModel(model0)
+	sol0, err := ev.SolveChannels(channelsFor(spec, []*microchannel.Profile{p0}))
 	if err != nil {
 		return nil, err
 	}
@@ -366,7 +401,7 @@ func equalPressureOptimize(spec *Spec, target float64, warm *microchannel.Profil
 			return 0, err
 		}
 		evals++
-		sol, err := solveModel(buildModel(spec, []*microchannel.Profile{p}))
+		sol, err := ev.SolveChannels(channelsFor(spec, []*microchannel.Profile{p}))
 		if err != nil {
 			return 0, err
 		}
@@ -402,11 +437,12 @@ func equalPressureOptimize(spec *Spec, target float64, warm *microchannel.Profil
 	if err != nil {
 		return nil, err
 	}
-	out, err := Evaluate(spec, []*microchannel.Profile{p})
+	out, err := evaluateWith(ev, spec, []*microchannel.Profile{p})
 	if err != nil {
 		return nil, err
 	}
 	out.Evaluations = evals + 1
 	out.MaxConstraintViolation = res.MaxViolation
+	out.Stats = statsFrom(ev, &res)
 	return out, nil
 }

@@ -3,6 +3,7 @@ package control
 import (
 	"fmt"
 
+	"repro/internal/compact"
 	"repro/internal/mat"
 	"repro/internal/microchannel"
 	"repro/internal/optimize"
@@ -31,6 +32,7 @@ func OptimizeMinPumping(spec *Spec, maxGradientK float64) (*Result, error) {
 	}
 	k := spec.segments()
 	evals := 0
+	ev := compact.NewEvaluator(spec.Params, spec.Steps)
 
 	buildProfile := func(x mat.Vec) (*microchannel.Profile, error) {
 		return microchannel.NewProfile(widthsFromX(x, spec.Bounds), spec.Params.Length)
@@ -41,7 +43,7 @@ func OptimizeMinPumping(spec *Spec, maxGradientK float64) (*Result, error) {
 			return 0, err
 		}
 		evals++
-		sol, err := solveModel(buildModel(spec, []*microchannel.Profile{p}))
+		sol, err := ev.SolveChannels(channelsFor(spec, []*microchannel.Profile{p}))
 		if err != nil {
 			return 0, err
 		}
@@ -97,12 +99,13 @@ func OptimizeMinPumping(spec *Spec, maxGradientK float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out, err := Evaluate(spec, []*microchannel.Profile{p})
+	out, err := evaluateWith(ev, spec, []*microchannel.Profile{p})
 	if err != nil {
 		return nil, err
 	}
 	out.Evaluations = evals + 1
 	out.MaxConstraintViolation = res.MaxViolation
+	out.Stats = statsFrom(ev, &res)
 	return out, nil
 }
 
@@ -146,13 +149,16 @@ func OptimizeFlowAllocation(spec *Spec, width, minScale, maxScale float64) (*Flo
 	}
 
 	evals := 0
+	ev := compact.NewEvaluator(spec.Params, spec.Steps)
+	// Profiles are fixed here; only the flow scales vary per evaluation,
+	// so one model is built up front and mutated in place.
+	model := buildModel(spec, profiles)
 	buildSolve := func(scales mat.Vec) (*FlowAllocationResult, error) {
-		model := buildModel(spec, profiles)
 		for k := range model.Channels {
 			model.Channels[k].FlowScale = scales[k]
 		}
 		evals++
-		sol, err := model.Solve()
+		sol, err := ev.Solve(model.Channels)
 		if err != nil {
 			return nil, err
 		}
@@ -180,6 +186,7 @@ func OptimizeFlowAllocation(spec *Spec, width, minScale, maxScale float64) (*Flo
 			return nil, err
 		}
 		res.Evaluations = evals
+		res.Stats = statsFrom(ev, nil)
 		return res, nil
 	}
 
@@ -230,5 +237,6 @@ func OptimizeFlowAllocation(spec *Spec, width, minScale, maxScale float64) (*Flo
 	}
 	out.Evaluations = evals
 	out.MaxConstraintViolation = res.MaxViolation
+	out.Stats = statsFrom(ev, &res)
 	return out, nil
 }

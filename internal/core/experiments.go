@@ -122,6 +122,10 @@ type Comparison struct {
 // Compare runs the three-way evaluation on a spec. The three evaluations
 // are independent model solves, so they run concurrently on the batch
 // worker pool; results and error order are identical to a serial run.
+// Every optimization constructs its compact.Evaluator sessions inside the
+// worker goroutine that runs it, so transition caches and solver scratch
+// are never shared across workers (the §6 no-locking invariant) and the
+// outcome is bit-identical to a serial, cache-free run.
 func Compare(spec *control.Spec) (*Comparison, error) {
 	return CompareContext(context.Background(), spec)
 }

@@ -23,12 +23,38 @@ type LU struct {
 // It returns ErrSingular when a pivot underflows the tolerance derived from
 // the matrix magnitude.
 func Factorize(a *Dense) (*LU, error) {
+	f := &LU{}
+	if err := f.Refactorize(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Refactorize recomputes the factorization of a into f, reusing f's storage
+// when the shape matches (the workspace path of repeated shooting solves).
+// f may be the zero value. The input is not modified. The arithmetic is
+// identical to Factorize, so results are bit-identical. On error f holds no
+// valid factorization (its buffers were already reused) and must not be
+// solved with until a Refactorize succeeds.
+func (f *LU) Refactorize(a *Dense) error {
 	if a.Rows() != a.Cols() {
-		return nil, fmt.Errorf("%w: LU of %dx%d matrix", ErrDimension, a.Rows(), a.Cols())
+		return fmt.Errorf("%w: LU of %dx%d matrix", ErrDimension, a.Rows(), a.Cols())
 	}
 	n := a.Rows()
-	lu := a.Clone()
-	piv := make([]int, n)
+	// Resize without zeroing: every element is overwritten by the copy.
+	lu := f.lu
+	if lu == nil || cap(lu.data) < n*n {
+		lu = &Dense{rows: n, cols: n, data: make([]float64, n*n)}
+	} else {
+		lu.rows, lu.cols = n, n
+		lu.data = lu.data[:n*n]
+	}
+	copy(lu.data, a.data)
+	piv := f.piv
+	if cap(piv) < n {
+		piv = make([]int, n)
+	}
+	piv = piv[:n]
 	for i := range piv {
 		piv[i] = i
 	}
@@ -52,7 +78,7 @@ func Factorize(a *Dense) (*LU, error) {
 			}
 		}
 		if best <= tol || math.IsNaN(best) {
-			return nil, fmt.Errorf("%w (pivot %d, magnitude %g)", ErrSingular, k, best)
+			return fmt.Errorf("%w (pivot %d, magnitude %g)", ErrSingular, k, best)
 		}
 		if p != k {
 			rp, rk := lu.Row(p), lu.Row(k)
@@ -76,12 +102,19 @@ func Factorize(a *Dense) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
+	f.lu, f.piv, f.sign = lu, piv, sign
+	return nil
 }
 
 // Solve computes x such that A·x = b using the factorization.
 // dst may be nil, in which case a new vector is allocated; it may alias b.
 func (f *LU) Solve(dst Vec, b Vec) (Vec, error) {
+	return f.SolveWS(dst, b, nil)
+}
+
+// SolveWS is Solve with a caller-supplied scratch vector: when work has
+// capacity n no temporary is allocated. work must not alias dst or b.
+func (f *LU) SolveWS(dst, b, work Vec) (Vec, error) {
 	n := f.lu.Rows()
 	if len(b) != n {
 		return nil, fmt.Errorf("%w: LU solve rhs length %d, want %d", ErrDimension, len(b), n)
@@ -94,7 +127,11 @@ func (f *LU) Solve(dst Vec, b Vec) (Vec, error) {
 		return nil, fmt.Errorf("%w: LU solve dst length %d, want %d", ErrDimension, len(x), n)
 	}
 	// Apply permutation into a temporary to allow aliasing dst == b.
-	tmp := make(Vec, n)
+	tmp := work
+	if cap(tmp) < n {
+		tmp = make(Vec, n)
+	}
+	tmp = tmp[:n]
 	for i, p := range f.piv {
 		tmp[i] = b[p]
 	}

@@ -331,3 +331,116 @@ func TestPanicsOnMisuse(t *testing.T) {
 	assertPanics("MulShape", func() { Mul(NewDense(2, 3), NewDense(2, 3)) })
 	assertPanics("MulVecShape", func() { NewDense(2, 3).MulVec(nil, Vec{1}) })
 }
+
+func TestAddScaledInto(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{10, 20, 30}
+	got := v.AddScaledInto(nil, 0.5, w)
+	want := Vec{6, 12, 18}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Aliasing dst == v is allowed.
+	v.AddScaledInto(v, 2, w)
+	if v[0] != 21 || v[2] != 63 {
+		t.Fatalf("aliased AddScaledInto = %v", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch not detected")
+		}
+	}()
+	v.AddScaledInto(nil, 1, Vec{1})
+}
+
+func TestMulIntoReusesStorage(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFrom([][]float64{{5, 6}, {7, 8}})
+	want := Mul(a, b)
+	dst := NewDense(2, 2)
+	dst.Set(0, 0, 99) // stale content must be cleared
+	got := MulInto(dst, a, b)
+	if got != dst {
+		t.Fatal("MulInto did not reuse matching-shape dst")
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("got(%d,%d) = %v, want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestReshapeDense(t *testing.T) {
+	m := NewDense(4, 4)
+	m.Set(0, 0, 7)
+	r := ReshapeDense(m, 2, 3)
+	if r != m {
+		t.Fatal("ReshapeDense did not reuse capacity")
+	}
+	if r.Rows() != 2 || r.Cols() != 3 {
+		t.Fatalf("shape %dx%d", r.Rows(), r.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatal("ReshapeDense did not zero the content")
+			}
+		}
+	}
+	if g := ReshapeDense(nil, 2, 2); g == nil || g.Rows() != 2 {
+		t.Fatal("nil ReshapeDense must allocate")
+	}
+	if g := ReshapeDense(m, 5, 5); g == m {
+		t.Fatal("undersized buffer must reallocate")
+	}
+}
+
+func TestRefactorizeMatchesFactorize(t *testing.T) {
+	a := NewDenseFrom([][]float64{{4, 3, 0}, {6, 3, 1}, {0, 2, 5}})
+	b := NewDenseFrom([][]float64{{2, 0}, {1, 7}})
+	rhs3 := Vec{1, 2, 3}
+	rhs2 := Vec{4, 5}
+
+	fresh, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Solve(nil, rhs3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var f LU
+	work := make(Vec, 3)
+	// Interleave shapes to exercise buffer reuse and reshaping.
+	for rep := 0; rep < 3; rep++ {
+		if err := f.Refactorize(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.SolveWS(nil, rhs2, work[:2]); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Refactorize(a); err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.SolveWS(nil, rhs3, work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rep %d: x[%d] = %v, want %v (not bit-identical)", rep, i, got[i], want[i])
+			}
+		}
+		if f.Det() != fresh.Det() {
+			t.Fatalf("rep %d: det %v vs %v", rep, f.Det(), fresh.Det())
+		}
+	}
+	if err := f.Refactorize(NewDense(2, 2)); err == nil {
+		t.Fatal("singular refactorize not rejected")
+	}
+}

@@ -100,10 +100,16 @@ func (m *Dense) MulVec(dst Vec, x Vec) Vec {
 
 // Mul computes the matrix product a·b into a freshly allocated matrix.
 func Mul(a, b *Dense) *Dense {
+	return MulInto(nil, a, b)
+}
+
+// MulInto computes dst = a·b, reusing dst's storage when its shape matches.
+// A nil dst allocates. dst must not alias a or b.
+func MulInto(dst *Dense, a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: Mul %dx%d by %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	c := NewDense(a.rows, b.cols)
+	c := ReshapeDense(dst, a.rows, b.cols)
 	for i := 0; i < a.rows; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		crow := c.data[i*c.cols : (i+1)*c.cols]
@@ -118,6 +124,25 @@ func Mul(a, b *Dense) *Dense {
 		}
 	}
 	return c
+}
+
+// ReshapeDense returns a rows×cols zero matrix, reusing m's backing array
+// when it has enough capacity. A nil m allocates. The previous contents are
+// discarded either way.
+func ReshapeDense(m *Dense, rows, cols int) *Dense {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: ReshapeDense invalid shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if m == nil || cap(m.data) < n {
+		return NewDense(rows, cols)
+	}
+	m.rows, m.cols = rows, cols
+	m.data = m.data[:n]
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	return m
 }
 
 // Transpose returns a new matrix that is the transpose of m.

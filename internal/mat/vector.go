@@ -48,6 +48,24 @@ func (v Vec) AddScaled(s float64, w Vec) {
 	}
 }
 
+// AddScaledInto computes dst = v + s*w element-wise, allocating when dst is
+// nil. dst may alias v or w. All vectors must share the same length.
+func (v Vec) AddScaledInto(dst Vec, s float64, w Vec) Vec {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: AddScaledInto length mismatch %d vs %d", len(v), len(w)))
+	}
+	if dst == nil {
+		dst = make(Vec, len(v))
+	}
+	if len(dst) != len(v) {
+		panic("mat: AddScaledInto dst length mismatch")
+	}
+	for i := range v {
+		dst[i] = v[i] + s*w[i]
+	}
+	return dst
+}
+
 // Scale multiplies every element of v by s.
 func (v Vec) Scale(s float64) {
 	for i := range v {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/mat"
 )
@@ -40,28 +41,24 @@ type Solution struct {
 func (s *Solution) Final() mat.Vec { return s.X[len(s.X)-1] }
 
 // At linearly interpolates the state at position z, clamping to the grid
-// range. The returned vector is freshly allocated.
+// range. The returned vector is freshly allocated. Profiles query the
+// solution once per z-sample, so the enclosing interval is found by binary
+// search, not a linear scan.
 func (s *Solution) At(z float64) mat.Vec {
 	n := len(s.Z)
 	if n == 0 {
 		return nil
 	}
-	if z <= s.Z[0] {
+	if z <= s.Z[0] || n == 1 {
 		return s.X[0].Clone()
 	}
 	if z >= s.Z[n-1] {
 		return s.X[n-1].Clone()
 	}
-	// Binary search for the enclosing interval.
-	lo, hi := 0, n-1
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if s.Z[mid] <= z {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
+	// sort.SearchFloat64s returns the first index with Z[i] >= z; the
+	// clamps above guarantee 0 < hi < n and Z[hi-1] < z <= Z[hi].
+	hi := sort.SearchFloat64s(s.Z, z)
+	lo := hi - 1
 	t := (z - s.Z[lo]) / (s.Z[hi] - s.Z[lo])
 	out := make(mat.Vec, len(s.X[lo]))
 	for i := range out {
@@ -70,58 +67,164 @@ func (s *Solution) At(z float64) mat.Vec {
 	return out
 }
 
+// Reset truncates the solution to zero grid points, retaining the backing
+// storage (including the state vectors hidden in the capacity of X) for
+// reuse by AppendCopied.
+func (s *Solution) Reset() {
+	s.Z = s.Z[:0]
+	s.X = s.X[:0]
+}
+
+// AppendCopied appends deep copies of src's states to s, optionally
+// skipping src's first grid point (the stitching convention for chained
+// piecewise trajectories). State vectors retained in s's capacity by an
+// earlier Reset are reused when their length matches, so repeated
+// Reset/AppendCopied cycles over same-shaped trajectories allocate nothing.
+func (s *Solution) AppendCopied(src *Solution, skipFirst bool) {
+	start := 0
+	if skipFirst {
+		start = 1
+	}
+	for i := start; i < len(src.Z); i++ {
+		s.Z = append(s.Z, src.Z[i])
+		k := len(s.X)
+		if cap(s.X) > k {
+			s.X = s.X[:k+1]
+			if len(s.X[k]) == len(src.X[i]) {
+				copy(s.X[k], src.X[i])
+				continue
+			}
+		} else {
+			s.X = append(s.X, nil)
+		}
+		s.X[k] = src.X[i].Clone()
+	}
+}
+
 // RK4 integrates dx/dz = f(z, x) from z0 to z1 with n uniform steps,
 // recording every intermediate state. x0 is not modified. n must be >= 1
 // and z1 > z0.
 func RK4(f Func, z0, z1 float64, x0 mat.Vec, n int) (*Solution, error) {
+	sol := &Solution{}
+	if err := RK4Into(f, z0, z1, x0, n, sol, nil); err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
+// RK4Scratch holds the per-step stage storage of the classical RK4 scheme.
+type RK4Scratch struct {
+	k1, k2, k3, k4, tmp, x mat.Vec
+}
+
+func (s *RK4Scratch) resize(dim int) {
+	grow := func(v mat.Vec) mat.Vec {
+		if cap(v) < dim {
+			return make(mat.Vec, dim)
+		}
+		return v[:dim]
+	}
+	s.k1, s.k2, s.k3, s.k4 = grow(s.k1), grow(s.k2), grow(s.k3), grow(s.k4)
+	s.tmp, s.x = grow(s.tmp), grow(s.x)
+}
+
+// step advances s.x (already holding the current state) by one RK4 step of
+// size h starting at z. The arithmetic is the canonical sequence shared by
+// every RK4 entry point in this package, so trajectories are bit-identical
+// regardless of which variant computes them.
+func (s *RK4Scratch) step(f Func, z, h float64) {
+	f(s.k1, z, s.x)
+	s.x.AddScaledInto(s.tmp, 0.5*h, s.k1)
+	f(s.k2, z+0.5*h, s.tmp)
+	s.x.AddScaledInto(s.tmp, 0.5*h, s.k2)
+	f(s.k3, z+0.5*h, s.tmp)
+	s.x.AddScaledInto(s.tmp, h, s.k3)
+	f(s.k4, z+h, s.tmp)
+	for j := range s.x {
+		s.x[j] += h / 6 * (s.k1[j] + 2*s.k2[j] + 2*s.k3[j] + s.k4[j])
+	}
+}
+
+// RK4Into is RK4 writing the trajectory into caller-owned storage: sol is
+// Reset and refilled, reusing grid and state-vector capacity left by
+// previous integrations of the same shape. The recorded values are
+// bit-identical to RK4's.
+func RK4Into(f Func, z0, z1 float64, x0 mat.Vec, n int, sol *Solution, sc *RK4Scratch) error {
 	if n < 1 {
-		return nil, fmt.Errorf("%w: RK4 needs n >= 1, got %d", ErrInvalidInput, n)
+		return fmt.Errorf("%w: RK4 needs n >= 1, got %d", ErrInvalidInput, n)
 	}
 	if !(z1 > z0) {
-		return nil, fmt.Errorf("%w: RK4 needs z1 > z0 (%g vs %g)", ErrInvalidInput, z1, z0)
+		return fmt.Errorf("%w: RK4 needs z1 > z0 (%g vs %g)", ErrInvalidInput, z1, z0)
 	}
 	dim := len(x0)
 	h := (z1 - z0) / float64(n)
-	sol := &Solution{
-		Z: make(mat.Vec, n+1),
-		X: make([]mat.Vec, n+1),
+	sol.Reset()
+	if sc == nil {
+		sc = &RK4Scratch{}
 	}
-	x := x0.Clone()
-	sol.Z[0] = z0
-	sol.X[0] = x.Clone()
-
-	k1 := make(mat.Vec, dim)
-	k2 := make(mat.Vec, dim)
-	k3 := make(mat.Vec, dim)
-	k4 := make(mat.Vec, dim)
-	tmp := make(mat.Vec, dim)
+	sc.resize(dim)
+	copy(sc.x, x0)
+	sol.appendCopy(z0, sc.x)
 
 	for i := 0; i < n; i++ {
 		z := z0 + float64(i)*h
-		f(k1, z, x)
-		for j := range tmp {
-			tmp[j] = x[j] + 0.5*h*k1[j]
+		sc.step(f, z, h)
+		if !sc.x.IsFinite() {
+			return fmt.Errorf("%w at z=%g (step %d)", ErrNonFinite, z+h, i)
 		}
-		f(k2, z+0.5*h, tmp)
-		for j := range tmp {
-			tmp[j] = x[j] + 0.5*h*k2[j]
-		}
-		f(k3, z+0.5*h, tmp)
-		for j := range tmp {
-			tmp[j] = x[j] + h*k3[j]
-		}
-		f(k4, z+h, tmp)
-		for j := range x {
-			x[j] += h / 6 * (k1[j] + 2*k2[j] + 2*k3[j] + k4[j])
-		}
-		if !x.IsFinite() {
-			return nil, fmt.Errorf("%w at z=%g (step %d)", ErrNonFinite, z+h, i)
-		}
-		sol.Z[i+1] = z0 + float64(i+1)*h
-		sol.X[i+1] = x.Clone()
+		sol.appendCopy(z0+float64(i+1)*h, sc.x)
 	}
 	sol.Z[n] = z1
-	return sol, nil
+	return nil
+}
+
+// appendCopy appends one grid point with a deep copy of x, reusing state
+// vectors retained in the capacity of s.X.
+func (s *Solution) appendCopy(z float64, x mat.Vec) {
+	s.Z = append(s.Z, z)
+	k := len(s.X)
+	if cap(s.X) > k {
+		s.X = s.X[:k+1]
+		if len(s.X[k]) == len(x) {
+			copy(s.X[k], x)
+			return
+		}
+	} else {
+		s.X = append(s.X, nil)
+	}
+	s.X[k] = x.Clone()
+}
+
+// RK4Final integrates like RK4 but records nothing: it writes only the
+// final state into dst (which may alias x0) and allocates no trajectory.
+// This is the kernel for transition-matrix columns in multiple shooting,
+// where only the endpoint of a basis propagation matters. The final state
+// is bit-identical to RK4's.
+func RK4Final(f Func, z0, z1 float64, x0 mat.Vec, n int, dst mat.Vec, sc *RK4Scratch) error {
+	if n < 1 {
+		return fmt.Errorf("%w: RK4 needs n >= 1, got %d", ErrInvalidInput, n)
+	}
+	if !(z1 > z0) {
+		return fmt.Errorf("%w: RK4 needs z1 > z0 (%g vs %g)", ErrInvalidInput, z1, z0)
+	}
+	if len(dst) != len(x0) {
+		return fmt.Errorf("%w: RK4Final dst length %d, want %d", ErrInvalidInput, len(dst), len(x0))
+	}
+	if sc == nil {
+		sc = &RK4Scratch{}
+	}
+	h := (z1 - z0) / float64(n)
+	sc.resize(len(x0))
+	copy(sc.x, x0)
+	for i := 0; i < n; i++ {
+		z := z0 + float64(i)*h
+		sc.step(f, z, h)
+		if !sc.x.IsFinite() {
+			return fmt.Errorf("%w at z=%g (step %d)", ErrNonFinite, z+h, i)
+		}
+	}
+	copy(dst, sc.x)
+	return nil
 }
 
 // Dormand–Prince 5(4) Butcher tableau.

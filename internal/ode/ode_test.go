@@ -214,3 +214,145 @@ func TestIntegratorsMatchClosedFormProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSolutionAtEdgeCases(t *testing.T) {
+	sol := &Solution{
+		Z: mat.Vec{0, 1, 2},
+		X: []mat.Vec{{10}, {20}, {40}},
+	}
+	// Queries outside the grid clamp to the endpoints.
+	if got := sol.At(-5)[0]; got != 10 {
+		t.Fatalf("At(-5) = %v, want 10", got)
+	}
+	if got := sol.At(7)[0]; got != 40 {
+		t.Fatalf("At(7) = %v, want 40", got)
+	}
+	// Exact grid hits return the grid value.
+	for i, z := range sol.Z {
+		if got := sol.At(z)[0]; got != sol.X[i][0] {
+			t.Fatalf("At(%v) = %v, want %v", z, got, sol.X[i][0])
+		}
+	}
+	// Interior queries interpolate within the correct interval.
+	if got := sol.At(1.5)[0]; math.Abs(got-30) > 1e-12 {
+		t.Fatalf("At(1.5) = %v, want 30", got)
+	}
+	// Single-node solutions return that node for any z.
+	single := &Solution{Z: mat.Vec{3}, X: []mat.Vec{{7}}}
+	for _, z := range []float64{-1, 3, 9} {
+		if got := single.At(z)[0]; got != 7 {
+			t.Fatalf("single-node At(%v) = %v, want 7", z, got)
+		}
+	}
+	// Empty solutions yield nil rather than panicking.
+	if got := (&Solution{}).At(0); got != nil {
+		t.Fatalf("empty At = %v, want nil", got)
+	}
+	// The returned vector is a copy, not a view.
+	v := sol.At(0)
+	v[0] = -1
+	if sol.X[0][0] != 10 {
+		t.Fatal("At returned a view into the solution")
+	}
+}
+
+// harmonic oscillator used by the reuse tests: x” = -x as a 2-state system.
+func harmonic2(dst mat.Vec, _ float64, x mat.Vec) {
+	dst[0] = x[1]
+	dst[1] = -x[0]
+}
+
+func TestRK4IntoMatchesRK4AndReusesStorage(t *testing.T) {
+	x0 := mat.Vec{1, 0}
+	want, err := RK4(harmonic2, 0, 3, x0, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := &Solution{}
+	sc := &RK4Scratch{}
+	for rep := 0; rep < 3; rep++ {
+		if err := RK4Into(harmonic2, 0, 3, x0, 150, sol, sc); err != nil {
+			t.Fatal(err)
+		}
+		if len(sol.Z) != len(want.Z) {
+			t.Fatalf("rep %d: grid size %d vs %d", rep, len(sol.Z), len(want.Z))
+		}
+		for i := range want.Z {
+			if sol.Z[i] != want.Z[i] {
+				t.Fatalf("rep %d: Z[%d] differs", rep, i)
+			}
+			for j := range want.X[i] {
+				if sol.X[i][j] != want.X[i][j] {
+					t.Fatalf("rep %d: X[%d][%d] = %v, want %v (not bit-identical)",
+						rep, i, j, sol.X[i][j], want.X[i][j])
+				}
+			}
+		}
+	}
+	// After a warm-up, repeated integrations into the same storage must not
+	// allocate per step.
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := RK4Into(harmonic2, 0, 3, x0, 150, sol, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("RK4Into allocated %v objects per run on warm storage", allocs)
+	}
+}
+
+func TestRK4FinalMatchesRK4(t *testing.T) {
+	x0 := mat.Vec{0.3, -1.2}
+	want, err := RK4(harmonic2, 0, 2.5, x0, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make(mat.Vec, 2)
+	if err := RK4Final(harmonic2, 0, 2.5, x0, 97, dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	for j := range dst {
+		if dst[j] != want.Final()[j] {
+			t.Fatalf("final[%d] = %v, want %v (not bit-identical)", j, dst[j], want.Final()[j])
+		}
+	}
+	// dst may alias x0.
+	alias := x0.Clone()
+	if err := RK4Final(harmonic2, 0, 2.5, alias, 97, alias, nil); err != nil {
+		t.Fatal(err)
+	}
+	if alias[0] != want.Final()[0] || alias[1] != want.Final()[1] {
+		t.Fatal("aliased RK4Final differs")
+	}
+	if err := RK4Final(harmonic2, 0, 2.5, x0, 97, make(mat.Vec, 3), nil); err == nil {
+		t.Fatal("dst length mismatch not rejected")
+	}
+}
+
+func TestAppendCopiedStitching(t *testing.T) {
+	a, err := RK4(decay, 0, 1, mat.Vec{1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RK4(decay, 1, 2, a.Final(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &Solution{}
+	full.AppendCopied(a, false)
+	full.AppendCopied(b, true)
+	if len(full.Z) != 21 {
+		t.Fatalf("stitched grid size %d, want 21", len(full.Z))
+	}
+	if full.Z[10] != 1 || full.X[10][0] != a.Final()[0] {
+		t.Fatal("stitch point mismatch")
+	}
+	// Reset + refill reuses the retained vectors: mutate the source and
+	// confirm the stitched copy is deep.
+	full.Reset()
+	full.AppendCopied(a, false)
+	a.X[0][0] = 999
+	if full.X[0][0] == 999 {
+		t.Fatal("AppendCopied stored a view, not a copy")
+	}
+}

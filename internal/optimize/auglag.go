@@ -50,12 +50,13 @@ type AugLagOptions struct {
 
 // AugLagResult carries the outcome of a constrained solve.
 type AugLagResult struct {
-	X            mat.Vec // best feasible-ish point
-	F            float64 // objective value at X (without penalty)
-	MaxViolation float64 // worst relative constraint violation at X
-	Outer        int     // outer iterations performed
-	Evaluations  int     // total objective evaluations
-	Multipliers  mat.Vec // final Lagrange multiplier estimates
+	X               mat.Vec // best feasible-ish point
+	F               float64 // objective value at X (without penalty)
+	MaxViolation    float64 // worst relative constraint violation at X
+	Outer           int     // outer iterations performed
+	InnerIterations int     // inner-solver iterations summed over outer rounds
+	Evaluations     int     // total objective evaluations
+	Multipliers     mat.Vec // final Lagrange multiplier estimates
 }
 
 // AugmentedLagrangian minimizes f subject to box bounds and the given
@@ -147,6 +148,7 @@ func AugmentedLagrangian(f Objective, cons []ConstraintSpec, x0 mat.Vec, box Box
 
 		xNew, _, stats, err := inner(lagrangian, x, box, opts.Inner)
 		res.Evaluations += stats.Evaluations
+		res.InnerIterations += stats.Iterations
 		if err != nil && xNew == nil {
 			return res, err
 		}

@@ -243,3 +243,48 @@ func BenchmarkBatchOptimizeArch(b *testing.B) {
 		}
 	}
 }
+
+// TestBatchOptimizeEvaluatorPerWorker pins down the workspace-cache
+// concurrency contract: every optimization worker inside BatchOptimize
+// holds its own compact.Evaluator (no sharing, no locks — validated by CI's
+// -race run of this test), the transition cache sees heavy reuse, and the
+// work counters themselves are deterministic: the batched run reports
+// exactly the same solver work as a serial run of the same spec.
+func TestBatchOptimizeEvaluatorPerWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("optimization-heavy")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	mk := func() *Spec {
+		spec, err := Architecture(2, Peak)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Segments = 3
+		spec.OuterIterations = 1
+		return spec
+	}
+	serial, err := Optimize(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := BatchOptimize([]*Spec{mk(), mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range batched {
+		sameResult(t, "arch2", serial, r)
+		if r.Stats != serial.Stats {
+			t.Fatalf("slot %d: stats %+v != serial %+v", i, r.Stats, serial.Stats)
+		}
+	}
+	st := serial.Stats
+	if st.ModelSolves == 0 || st.InnerEvaluations == 0 {
+		t.Fatalf("stats not threaded: %+v", st)
+	}
+	if st.TransitionHits <= st.TransitionMisses {
+		t.Fatalf("expected dominant cache reuse, got %d hits / %d misses",
+			st.TransitionHits, st.TransitionMisses)
+	}
+}
