@@ -88,8 +88,26 @@ type (
 	TransientConfig = grid.TransientConfig
 	// TransientResult carries transient simulation snapshots.
 	TransientResult = grid.TransientResult
+	// TransientWorkspace is a factor-once step-wise transient session.
+	TransientWorkspace = grid.TransientWorkspace
+	// TransientEngine selects the transient linear-solver strategy.
+	TransientEngine = grid.TransientEngine
 	// TimeFieldFunc samples a quantity at (x, y, t).
 	TimeFieldFunc = grid.TimeFieldFunc
+	// Trace is a time-varying per-channel power schedule.
+	Trace = power.Trace
+	// TracePhase is one dwell of a power trace.
+	TracePhase = power.Phase
+	// PhaseLoad is one channel's heat input during a trace phase.
+	PhaseLoad = power.PhaseLoad
+	// RuntimeSpec describes a closed-loop runtime flow-control experiment.
+	RuntimeSpec = control.RuntimeSpec
+	// RuntimeResult carries both arms of a runtime experiment.
+	RuntimeResult = control.RuntimeResult
+	// RuntimeSeries is one arm's per-step trajectory.
+	RuntimeSeries = control.RuntimeSeries
+	// EpochDecision records one runtime-controller actuation.
+	EpochDecision = control.EpochDecision
 	// Summary holds distribution statistics of a temperature set.
 	Summary = metrics.Summary
 )
@@ -109,6 +127,10 @@ const (
 	SolverProjGrad = control.SolverProjGrad
 	// SolverNelderMead is the derivative-free baseline.
 	SolverNelderMead = control.SolverNelderMead
+	// EngineDirect is the factor-once sparse-LU transient engine.
+	EngineDirect = grid.EngineDirect
+	// EngineBiCGSTAB is the per-step Krylov transient baseline.
+	EngineBiCGSTAB = grid.EngineBiCGSTAB
 )
 
 // DefaultParams returns the Table I parameter set.
@@ -249,6 +271,50 @@ func OptimizeMinPumping(spec *Spec, maxGradientK float64) (*Result, error) {
 // modulation buys beyond flow clustering.
 func OptimizeFlowAllocation(spec *Spec, width, minScale, maxScale float64) (*FlowAllocationResult, error) {
 	return control.OptimizeFlowAllocation(spec, width, minScale, maxScale)
+}
+
+// OptimizeFlowAllocationProfiles is OptimizeFlowAllocation over an
+// arbitrary fixed width design (e.g. a design-time modulation optimum).
+func OptimizeFlowAllocationProfiles(spec *Spec, profiles []*Profile, minScale, maxScale float64) (*FlowAllocationResult, error) {
+	return control.OptimizeFlowAllocationProfiles(spec, profiles, minScale, maxScale)
+}
+
+// ConstantTrace wraps a static per-channel load set into a single-phase
+// power trace.
+func ConstantTrace(loads []PhaseLoad, duration float64) (*Trace, error) {
+	return power.ConstantTrace(loads, duration)
+}
+
+// DutyCycleTrace builds the classic periodic burst/idle workload from
+// base loads.
+func DutyCycleTrace(loads []PhaseLoad, period, onFraction, idleScale float64) (*Trace, error) {
+	return power.DutyCycleTrace(loads, period, onFraction, idleScale)
+}
+
+// RunRuntime executes a closed-loop runtime thermal-management
+// experiment: the transient grid plant runs a power trace twice — once
+// with the static design's uniform flow, once with a controller that
+// re-optimizes the per-channel flow allocation every epoch — and reports
+// both trajectories.
+func RunRuntime(spec *RuntimeSpec) (*RuntimeResult, error) {
+	return control.RunRuntime(spec)
+}
+
+// RunRuntimeContext is RunRuntime with cancellation between epochs.
+func RunRuntimeContext(ctx context.Context, spec *RuntimeSpec) (*RuntimeResult, error) {
+	return control.RunRuntimeContext(ctx, spec)
+}
+
+// BatchRuntime runs many runtime experiments concurrently on the bounded
+// worker pool; slot i corresponds to specs[i] and results are
+// bit-identical to a serial loop.
+func BatchRuntime(specs []*RuntimeSpec) ([]*RuntimeResult, error) {
+	return control.BatchRuntime(context.Background(), specs)
+}
+
+// BatchRuntimeContext is BatchRuntime with caller-controlled cancellation.
+func BatchRuntimeContext(ctx context.Context, specs []*RuntimeSpec) ([]*RuntimeResult, error) {
+	return control.BatchRuntime(ctx, specs)
 }
 
 // Report renders a Comparison as a human-readable block with the same

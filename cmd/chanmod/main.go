@@ -7,7 +7,12 @@
 //	chanmod -scenario testA|testB|arch1|arch2|arch3 [-mode peak|average]
 //	        [-segments 20] [-dpmax-bar 10] [-seed 2012] [-solver lbfgsb|projgrad|neldermead]
 //	chanmod -scenario-file design.json [-out-json result.json]
+//	chanmod -scenario-file design.json -runtime
 //	chanmod -write-example design.json
+//
+// -runtime needs a scenario file with a "trace" section: it simulates the
+// transient plant over the trace twice — static uniform flow vs the
+// per-epoch flow re-optimization controller — and reports both arms.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	channelmod "repro"
+	"repro/internal/cliutil"
 	"repro/internal/control"
 	"repro/internal/scenario"
 	"repro/internal/units"
@@ -32,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 2012, "random seed for testB")
 	solverStr := flag.String("solver", "lbfgsb", "inner solver: lbfgsb, projgrad, neldermead")
 	showStats := flag.Bool("stats", false, "print solver work statistics for the optimization")
+	runtime := flag.Bool("runtime", false, "run the static-vs-runtime flow-control comparison (needs -scenario-file with a trace)")
 	flag.Parse()
 
 	if *writeExample != "" {
@@ -46,6 +53,57 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote example scenario to %s\n", *writeExample)
+		return
+	}
+
+	var solver control.Solver
+	switch *solverStr {
+	case "lbfgsb":
+		solver = control.SolverLBFGSB
+	case "projgrad":
+		solver = control.SolverProjGrad
+	case "neldermead":
+		solver = control.SolverNelderMead
+	default:
+		fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solverStr)
+		os.Exit(2)
+	}
+
+	if *runtime {
+		if *scnFile == "" {
+			fmt.Fprintln(os.Stderr, "-runtime needs -scenario-file pointing at a scenario with a trace section")
+			os.Exit(2)
+		}
+		for _, ignored := range []string{"out-json", "stats", "segments", "dpmax-bar", "mode", "seed"} {
+			if cliutil.FlagWasSet(ignored) {
+				fmt.Fprintf(os.Stderr, "note: -%s is ignored with -runtime (the scenario file drives the experiment)\n", ignored)
+			}
+		}
+		fh, err := os.Open(*scnFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		_, file, err := scenario.Load(fh)
+		fh.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		rs, err := file.RuntimeSpec()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if cliutil.FlagWasSet("solver") {
+			rs.Spec.Solver = solver
+		}
+		res, err := channelmod.RunRuntime(rs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printRuntime(file.Name, rs, res)
 		return
 	}
 
@@ -75,16 +133,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	switch *solverStr {
-	case "lbfgsb":
-		spec.Solver = control.SolverLBFGSB
-	case "projgrad":
-		spec.Solver = control.SolverProjGrad
-	case "neldermead":
-		spec.Solver = control.SolverNelderMead
-	default:
-		fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solverStr)
-		os.Exit(2)
+	// A scenario file's own "solver" field wins unless -solver was given
+	// explicitly; built-in scenarios have no other source than the flag.
+	if *scnFile == "" || cliutil.FlagWasSet("solver") {
+		spec.Solver = solver
 	}
 
 	cmp, err := channelmod.Compare(spec)
@@ -129,6 +181,34 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote optimal design to %s\n", *outJSON)
+	}
+}
+
+// printRuntime reports the static-vs-runtime comparison: both arms'
+// trajectory metrics, the headline improvement, and the controller's
+// per-epoch flow decisions.
+func printRuntime(name string, rs *channelmod.RuntimeSpec, res *channelmod.RuntimeResult) {
+	nx, ny := rs.PlantResolution()
+	fmt.Printf("runtime flow control — scenario %s (%d channels, %d epochs over %s, plant %d×%d)\n",
+		name, len(rs.Spec.Channels), len(res.Epochs),
+		units.Duration(res.Controlled.Times[len(res.Controlled.Times)-1]), nx, ny)
+	row := func(arm string, s *channelmod.RuntimeSeries) {
+		fmt.Printf("  %-22s max ΔT = %6.2f K   mean ΔT = %6.2f K   max peak = %s\n",
+			arm, s.MaxGradient(), s.MeanGradient(), units.Temperature(s.MaxPeak()))
+	}
+	row("static uniform flow:", &res.Static)
+	row("runtime re-optimized:", &res.Controlled)
+	fmt.Printf("  worst-case gradient reduction: %.1f%%\n", 100*res.GradientImprovement())
+	fmt.Println("  epoch decisions (flow multipliers per channel):")
+	for _, d := range res.Epochs {
+		fmt.Printf("    t=%-8s [", units.Duration(d.Time))
+		for k, s := range d.FlowScales {
+			if k > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%.2f", s)
+		}
+		fmt.Printf("]  predicted ΔT %.2f K\n", d.PredictedGradientK)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	channelmod "repro"
+	"repro/internal/cliutil"
 	"repro/internal/units"
 )
 
@@ -25,6 +26,21 @@ func main() {
 	ny := flag.Int("ny", 0, "grid resolution across the flow (0 = default)")
 	layer := flag.String("layer", "top", "layer to render: top, bottom, coolant")
 	flag.Parse()
+
+	// Validate every flag before the (potentially minutes-long) grid
+	// solve: an unknown layer must fail here, not after the work is done.
+	switch *layer {
+	case "top", "bottom", "coolant":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown layer %q (want top, bottom or coolant)\n", *layer)
+		os.Exit(2)
+	}
+	// -mode only selects power maps for the arch stacks; an explicitly
+	// set mode on fig1a/fig1b would otherwise be silently ignored.
+	if modeSet := cliutil.FlagWasSet("mode"); modeSet && (*stackStr == "fig1a" || *stackStr == "fig1b") {
+		fmt.Fprintf(os.Stderr, "note: -mode %q is ignored for stack %q (fig1 stacks have fixed power maps)\n",
+			*modeStr, *stackStr)
+	}
 
 	s, err := buildStack(*stackStr, *modeStr, units.Micrometers(*widthUm))
 	if err != nil {
@@ -50,9 +66,6 @@ func main() {
 		m = f.Bottom
 	case "coolant":
 		m = f.Coolant
-	default:
-		fmt.Fprintf(os.Stderr, "unknown layer %q\n", *layer)
-		os.Exit(2)
 	}
 	lo, hi := f.SiliconExtrema()
 	title := fmt.Sprintf("%s / %s layer — T in [%s, %s], gradient %.2f K (flow: bottom -> top)",

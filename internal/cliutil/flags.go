@@ -1,0 +1,17 @@
+// Package cliutil holds tiny helpers shared by the cmd/ front-ends.
+package cliutil
+
+import "flag"
+
+// FlagWasSet reports whether the named flag was given on the command
+// line (as opposed to holding its default). It must be called after
+// flag.Parse.
+func FlagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

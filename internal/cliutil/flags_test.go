@@ -1,0 +1,26 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestFlagWasSet(t *testing.T) {
+	old := flag.CommandLine
+	defer func() { flag.CommandLine = old }()
+	flag.CommandLine = flag.NewFlagSet("test", flag.ContinueOnError)
+	flag.String("given", "d", "")
+	flag.String("defaulted", "d", "")
+	if err := flag.CommandLine.Parse([]string{"-given", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if !FlagWasSet("given") {
+		t.Error("explicitly set flag not detected")
+	}
+	if FlagWasSet("defaulted") {
+		t.Error("defaulted flag reported as set")
+	}
+	if FlagWasSet("nonexistent") {
+		t.Error("unknown flag reported as set")
+	}
+}

@@ -1,0 +1,223 @@
+package control
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/compact"
+	"repro/internal/microchannel"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// runtimeSpec builds a small two-channel experiment whose hotspot swaps
+// sides between phases — the workload class where runtime flow
+// re-allocation has something to exploit.
+func runtimeSpec(t testing.TB) *RuntimeSpec {
+	t.Helper()
+	p := compact.DefaultParams()
+	mk := func(wcm2 float64) *compact.Flux {
+		f, err := compact.NewUniformFlux(units.WattsPerCm2(wcm2)*p.ClusterWidth(), p.Length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	base := []ChannelLoad{
+		{FluxTop: mk(120), FluxBottom: mk(120)},
+		{FluxTop: mk(30), FluxBottom: mk(30)},
+	}
+	tr := &power.Trace{
+		Periodic: true,
+		Phases: []power.Phase{
+			{Duration: 0.02, Loads: []power.PhaseLoad{
+				{Top: mk(120), Bottom: mk(120)},
+				{Top: mk(30), Bottom: mk(30)},
+			}},
+			{Duration: 0.02, Loads: []power.PhaseLoad{
+				{Top: mk(30), Bottom: mk(30)},
+				{Top: mk(120), Bottom: mk(120)},
+			}},
+		},
+	}
+	uniform := make([]*microchannel.Profile, 2)
+	for k := range uniform {
+		pr, err := microchannel.NewUniform(50e-6, p.Length, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniform[k] = pr
+	}
+	return &RuntimeSpec{
+		Spec: &Spec{
+			Params:   p,
+			Channels: base,
+			Bounds:   microchannel.Bounds{Min: 10e-6, Max: 50e-6},
+			Segments: 4,
+			Solver:   SolverNelderMead,
+		},
+		Trace:    tr,
+		Profiles: uniform,
+		Dt:       2e-3,
+		Epoch:    0.01,
+		Horizon:  0.04,
+		NX:       16,
+	}
+}
+
+func TestRuntimeSpecValidate(t *testing.T) {
+	rs := runtimeSpec(t)
+	if err := rs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *rs
+	bad.Trace = &power.Trace{Phases: rs.Trace.Phases[:1]}
+	bad.Trace.Phases = []power.Phase{{Duration: 1, Loads: rs.Trace.Phases[0].Loads[:1]}}
+	if err := bad.Validate(); err == nil {
+		t.Error("channel-count mismatch must fail")
+	}
+	bad = *rs
+	bad.FlowScaleMin, bad.FlowScaleMax = 2, 1
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted scale range must fail")
+	}
+	bad = *rs
+	bad.Dt = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative dt must fail")
+	}
+	bad = *rs
+	bad.Profiles = rs.Profiles[:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("profile-count mismatch must fail")
+	}
+	if _, err := RunRuntime(&bad); err == nil {
+		t.Error("RunRuntime must validate")
+	}
+}
+
+func TestRunRuntimeImprovesOnStatic(t *testing.T) {
+	rs := runtimeSpec(t)
+	res, err := RunRuntime(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both arms cover the horizon: 20 steps + t=0 sample.
+	wantSamples := 1 + int(rs.Horizon/rs.Dt)
+	if len(res.Static.Times) != wantSamples || len(res.Controlled.Times) != wantSamples {
+		t.Fatalf("series lengths %d/%d, want %d",
+			len(res.Static.Times), len(res.Controlled.Times), wantSamples)
+	}
+	if len(res.Epochs) != 4 {
+		t.Fatalf("epoch count %d, want 4", len(res.Epochs))
+	}
+	for _, d := range res.Epochs {
+		if len(d.FlowScales) != 2 {
+			t.Fatalf("decision has %d scales", len(d.FlowScales))
+		}
+		sum := d.FlowScales[0] + d.FlowScales[1]
+		if math.Abs(sum-2) > 0.05 {
+			t.Fatalf("total flow not conserved: scales sum %v", sum)
+		}
+	}
+	// The asymmetric phases must push the controller off uniform flow.
+	first := res.Epochs[0].FlowScales
+	if math.Abs(first[0]-first[1]) < 0.05 {
+		t.Fatalf("controller stayed uniform on an asymmetric phase: %v", first)
+	}
+	// Runtime re-allocation must not lose to static flow on the
+	// worst-case gradient (the workload is built so it wins).
+	if res.Controlled.MaxGradient() > res.Static.MaxGradient()+1e-9 {
+		t.Fatalf("controlled max gradient %.3f K worse than static %.3f K",
+			res.Controlled.MaxGradient(), res.Static.MaxGradient())
+	}
+	if res.GradientImprovement() <= 0 {
+		t.Fatalf("no improvement: %v", res.GradientImprovement())
+	}
+	if res.Static.MeanGradient() <= 0 || res.Controlled.MaxPeak() <= 0 {
+		t.Fatal("degenerate series metrics")
+	}
+}
+
+func TestRunRuntimeStaticDesignPath(t *testing.T) {
+	rs := runtimeSpec(t)
+	rs.Profiles = nil // force the design-time optimization of the mean
+	rs.Horizon = 0.02
+	rs.Spec.OuterIterations = 2
+	rs.Spec.Inner.MaxIterations = 10
+	res, err := RunRuntime(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profiles) != 2 {
+		t.Fatalf("static design produced %d profiles", len(res.Profiles))
+	}
+	for _, p := range res.Profiles {
+		if err := p.Validate(rs.Spec.Bounds.Min, rs.Spec.Bounds.Max); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunRuntimeReoptimizeWidths(t *testing.T) {
+	rs := runtimeSpec(t)
+	rs.Horizon = 0.01 // one epoch keeps the doubly-nested solver cheap
+	rs.ReoptimizeWidths = true
+	res, err := RunRuntime(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 1 || res.Epochs[0].Widths == nil {
+		t.Fatal("width re-optimization must record the applied profiles")
+	}
+}
+
+func TestRunRuntimeCancellation(t *testing.T) {
+	rs := runtimeSpec(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunRuntimeContext(ctx, rs); err == nil {
+		t.Fatal("cancelled context must fail")
+	}
+}
+
+// Batch-parallel runtime sweeps must be deterministic and bit-identical
+// to serial execution (run under -race in CI).
+func TestBatchRuntimeDeterminism(t *testing.T) {
+	specs := []*RuntimeSpec{runtimeSpec(t), runtimeSpec(t), runtimeSpec(t)}
+	specs[1].Epoch = 0.02
+	specs[2].FlowScaleMin, specs[2].FlowScaleMax = 0.8, 1.25
+
+	serial := make([]*RuntimeResult, len(specs))
+	for i, rs := range specs {
+		r, err := RunRuntime(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = r
+	}
+	par, err := BatchRuntime(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		a, b := serial[i], par[i]
+		if len(a.Controlled.GradientK) != len(b.Controlled.GradientK) {
+			t.Fatalf("spec %d: series lengths differ", i)
+		}
+		for j := range a.Controlled.GradientK {
+			if a.Controlled.GradientK[j] != b.Controlled.GradientK[j] {
+				t.Fatalf("spec %d step %d: %v != %v (parallel result not bit-identical)",
+					i, j, a.Controlled.GradientK[j], b.Controlled.GradientK[j])
+			}
+		}
+		for j := range a.Epochs {
+			for k := range a.Epochs[j].FlowScales {
+				if a.Epochs[j].FlowScales[k] != b.Epochs[j].FlowScales[k] {
+					t.Fatalf("spec %d epoch %d: decisions differ", i, j)
+				}
+			}
+		}
+	}
+}

@@ -135,11 +135,7 @@ func OptimizeFlowAllocation(spec *Spec, width, minScale, maxScale float64) (*Flo
 	if !spec.Bounds.Contains(width) {
 		return nil, fmt.Errorf("control: width %g outside bounds", width)
 	}
-	if !(minScale > 0) || !(maxScale >= minScale) {
-		return nil, fmt.Errorf("control: invalid flow-scale range [%g, %g]", minScale, maxScale)
-	}
-	n := len(spec.Channels)
-	profiles := make([]*microchannel.Profile, n)
+	profiles := make([]*microchannel.Profile, len(spec.Channels))
 	for k := range profiles {
 		p, err := microchannel.NewUniform(width, spec.Params.Length, 1)
 		if err != nil {
@@ -147,6 +143,26 @@ func OptimizeFlowAllocation(spec *Spec, width, minScale, maxScale float64) (*Flo
 		}
 		profiles[k] = p
 	}
+	return OptimizeFlowAllocationProfiles(spec, profiles, minScale, maxScale)
+}
+
+// OptimizeFlowAllocationProfiles is OptimizeFlowAllocation over an
+// arbitrary fixed width design: the widths stay as given (e.g. the
+// modulated profiles of a design-time optimum) and only the per-channel
+// flow multipliers move. This is the per-epoch decision problem of the
+// runtime controller, where the fabricated geometry is immutable and the
+// coolant valves are the only actuators left.
+func OptimizeFlowAllocationProfiles(spec *Spec, profiles []*microchannel.Profile, minScale, maxScale float64) (*FlowAllocationResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(profiles) != len(spec.Channels) {
+		return nil, fmt.Errorf("control: %d profiles for %d channels", len(profiles), len(spec.Channels))
+	}
+	if !(minScale > 0) || !(maxScale >= minScale) {
+		return nil, fmt.Errorf("control: invalid flow-scale range [%g, %g]", minScale, maxScale)
+	}
+	n := len(spec.Channels)
 
 	evals := 0
 	ev := compact.NewEvaluator(spec.Params, spec.Steps)

@@ -78,6 +78,12 @@ type Stack struct {
 	// Width is the local channel width (m); constant functions reproduce
 	// uniform designs, profile-backed functions reproduce modulation.
 	Width FieldFunc
+	// FlowScale optionally multiplies the per-channel coolant flow rate
+	// (nil → 1 everywhere). It is sampled once per grid row at the row's
+	// axial midpoint — flow through a channel is constant along it — and
+	// mirrors compact.Channel.FlowScale: the runtime valve actuation of
+	// the Qian-style flow-allocation baseline.
+	FlowScale FieldFunc
 	// SolveTol overrides the linear-solver tolerance (0 → 1e-9).
 	SolveTol float64
 }
@@ -143,7 +149,23 @@ func (s *Stack) assemble() (*system, error) {
 
 	// Per-cell channel count and coolant capacity rate.
 	chPerCell := dy / p.Pitch
-	cvV := p.Coolant.VolumetricHeatCapacity() * p.FlowRatePerChannel * chPerCell
+	cvVNom := p.Coolant.VolumetricHeatCapacity() * p.FlowRatePerChannel * chPerCell
+
+	// Per-row flow multipliers, sampled at the axial midpoint: flow
+	// through a channel is constant along it, so one sample per row keeps
+	// the upwind advection mass-consistent cell to cell.
+	rowScale := make([]float64, ny)
+	for j := range rowScale {
+		rowScale[j] = 1
+		if s.FlowScale != nil {
+			y := (float64(j) + 0.5) * dy
+			sc := s.FlowScale(s.Cfg.LengthX/2, y)
+			if !(sc > 0) {
+				return nil, fmt.Errorf("grid: row %d flow scale %g must be positive", j, sc)
+			}
+			rowScale[j] = sc
+		}
+	}
 
 	// In-plane conduction conductances (per slab).
 	gx := p.SiliconConductivity * p.SlabHeight * dy / dx
@@ -152,6 +174,7 @@ func (s *Stack) assemble() (*system, error) {
 	b := sparse.NewBuilder(nTot, nTot)
 
 	for j := 0; j < ny; j++ {
+		cvV := cvVNom * rowScale[j]
 		for i := 0; i < nx; i++ {
 			x := (float64(i) + 0.5) * dx
 			y := (float64(j) + 0.5) * dy
@@ -339,7 +362,11 @@ func (f *Field) HeatAbsorbed(s *Stack) float64 {
 	cvV := p.Coolant.VolumetricHeatCapacity() * p.FlowRatePerChannel * chPerCell
 	var q float64
 	for j := 0; j < f.NY; j++ {
-		q += cvV * (f.Coolant[j][f.NX-1] - p.InletTemp)
+		scale := 1.0
+		if s.FlowScale != nil {
+			scale = s.FlowScale(s.Cfg.LengthX/2, (float64(j)+0.5)*f.DY)
+		}
+		q += cvV * scale * (f.Coolant[j][f.NX-1] - p.InletTemp)
 	}
 	return q
 }

@@ -127,8 +127,9 @@ func TestTransientInitialTemp(t *testing.T) {
 	s := uniformStack(50, 50e-6)
 	pw := units.WattsPerCm2(50)
 	constP := func(x, y, t float64) float64 { return pw }
+	t0 := 310.0
 	res, err := s.SolveTransient(constP, constP, TransientConfig{
-		Dt: 1e-3, Steps: 2, InitialTemp: 310,
+		Dt: 1e-3, Steps: 2, InitialTemp: &t0,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -142,5 +143,246 @@ func TestTransientInitialTemp(t *testing.T) {
 	}
 	if g[0] != 0 {
 		t.Fatal("uniform initial field must have zero gradient")
+	}
+}
+
+// A zero-value result must not panic — Final is documented to return nil.
+func TestTransientFinalZeroValue(t *testing.T) {
+	var r TransientResult
+	if r.Final() != nil {
+		t.Fatal("zero-value Final must be nil")
+	}
+	var rp *TransientResult
+	if rp.Final() != nil {
+		t.Fatal("nil-receiver Final must be nil")
+	}
+}
+
+// Every kelvin value must be expressible: nil means inlet, an explicit
+// pointer wins even for temperatures below the old code's impossible-to-
+// express values, and non-positive kelvin is rejected.
+func TestTransientInitialTempPresence(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	pw := units.WattsPerCm2(50)
+	constP := func(x, y, t float64) float64 { return pw }
+
+	res, err := s.SolveTransient(constP, constP, TransientConfig{Dt: 1e-3, Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Fields[0].Top[0][0]; got != s.Cfg.Params.InletTemp {
+		t.Fatalf("nil InitialTemp start %v, want inlet %v", got, s.Cfg.Params.InletTemp)
+	}
+
+	cold := 250.0
+	res, err = s.SolveTransient(constP, constP, TransientConfig{Dt: 1e-3, Steps: 1, InitialTemp: &cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Fields[0].Top[0][0]; got != cold {
+		t.Fatalf("explicit InitialTemp start %v, want %v", got, cold)
+	}
+
+	zero := 0.0
+	if _, err := s.SolveTransient(constP, constP, TransientConfig{Dt: 1e-3, Steps: 1, InitialTemp: &zero}); err == nil {
+		t.Fatal("0 K initial temperature must be rejected, not silently replaced")
+	}
+}
+
+// The factor-once direct engine and the per-step BiCGSTAB baseline must
+// integrate the same trajectory within the iterative tolerance.
+func TestTransientEngineEquivalence(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	s.Cfg.NX, s.Cfg.NY = 24, 3
+	pw := units.WattsPerCm2(50)
+	hot := func(x, y, tt float64) float64 {
+		if tt > 0.01 {
+			return 0.3 * pw
+		}
+		return pw
+	}
+	run := func(e TransientEngine) *TransientResult {
+		t.Helper()
+		res, err := s.SolveTransient(hot, hot, TransientConfig{
+			Dt: 2e-3, Steps: 12, Engine: e, SolveTol: 1e-11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	direct, krylov := run(EngineDirect), run(EngineBiCGSTAB)
+	for i := range direct.Fields {
+		df, kf := direct.Fields[i], krylov.Fields[i]
+		for j := 0; j < df.NY; j++ {
+			for k := 0; k < df.NX; k++ {
+				if math.Abs(df.Top[j][k]-kf.Top[j][k]) > 1e-6 {
+					t.Fatalf("snapshot %d cell (%d,%d): direct %v vs bicgstab %v",
+						i, k, j, df.Top[j][k], kf.Top[j][k])
+				}
+			}
+		}
+	}
+}
+
+// The step-wise workspace must reproduce SolveTransient exactly, and
+// Refresh must pick up actuation changes while keeping the state.
+func TestTransientWorkspaceStepwise(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	s.Cfg.NX, s.Cfg.NY = 20, 2
+	pw := units.WattsPerCm2(50)
+	constP := func(x, y, tt float64) float64 { return pw }
+	cfg := TransientConfig{Dt: 2e-3, Steps: 10}
+
+	ref, err := s.SolveTransient(constP, constP, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.NewTransientWorkspace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < cfg.Steps; n++ {
+		if err := w.Step(constP, constP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.StepCount() != cfg.Steps || math.Abs(w.Time()-2e-3*10) > 1e-12 {
+		t.Fatalf("clock: %d steps at t=%v", w.StepCount(), w.Time())
+	}
+	if got, want := w.PeakTemperature(), ref.Final().PeakTemperature(); got != want {
+		t.Fatalf("workspace peak %v vs SolveTransient %v", got, want)
+	}
+	if got, want := w.Gradient(), ref.Final().Gradient(); got != want {
+		t.Fatalf("workspace gradient %v vs SolveTransient %v", got, want)
+	}
+	fieldPeak := w.Field().PeakTemperature()
+	if fieldPeak != w.PeakTemperature() {
+		t.Fatalf("Field peak %v vs scalar accessor %v", fieldPeak, w.PeakTemperature())
+	}
+
+	// Actuation change: boost row-0 flow, keep state, step on. More
+	// coolant flow must cool the stack relative to continuing unchanged.
+	before := w.PeakTemperature()
+	s.FlowScale = func(x, y float64) float64 {
+		if y < s.Cfg.WidthY/2 {
+			return 2
+		}
+		return 1.5
+	}
+	if err := w.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if w.PeakTemperature() != before {
+		t.Fatal("Refresh must preserve the temperature state")
+	}
+	for n := 0; n < 40; n++ {
+		if err := w.Step(constP, constP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.PeakTemperature() >= before {
+		t.Fatalf("extra coolant flow did not cool: %v -> %v", before, w.PeakTemperature())
+	}
+}
+
+// Per-row flow scales must redistribute cooling: the boosted row runs
+// cooler than the starved one, and the steady solver sees the same field.
+func TestFlowScaleRedistributesCooling(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	s.Cfg.NY = 2
+	s.Cfg.WidthY = 2 * s.Cfg.WidthY
+	s.FlowScale = func(x, y float64) float64 {
+		if y < s.Cfg.WidthY/2 {
+			return 1.6
+		}
+		return 0.4
+	}
+	f, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 (scale 1.6) must end cooler at the outlet than row 1 (0.4).
+	if f.Coolant[0][f.NX-1] >= f.Coolant[1][f.NX-1] {
+		t.Fatalf("boosted row outlet %v not cooler than starved %v",
+			f.Coolant[0][f.NX-1], f.Coolant[1][f.NX-1])
+	}
+	if _, err := s.SolveTransient(
+		func(x, y, tt float64) float64 { return units.WattsPerCm2(50) },
+		func(x, y, tt float64) float64 { return units.WattsPerCm2(50) },
+		TransientConfig{Dt: 2e-3, Steps: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	s.FlowScale = func(x, y float64) float64 { return -1 }
+	if _, err := s.Solve(); err == nil {
+		t.Fatal("non-positive flow scale must fail")
+	}
+}
+
+// A long-horizon run under a trace that settles (burst activity, then a
+// constant hold) must converge to the steady solver's fixed point for the
+// final power level — the factorization stays exact over hundreds of
+// back-substitutions.
+func TestTransientSettlingTraceConvergence(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	pw := units.WattsPerCm2(50)
+	// Three bursts of varying intensity, then settle at 60% power.
+	settling := func(x, y, tt float64) float64 {
+		switch {
+		case tt < 0.005:
+			return pw
+		case tt < 0.01:
+			return 0.2 * pw
+		case tt < 0.015:
+			return 1.4 * pw
+		default:
+			return 0.6 * pw
+		}
+	}
+	res, err := s.SolveTransient(settling, settling, TransientConfig{
+		Dt: 5e-4, Steps: 400, RecordEvery: 400, // 200 ms ≫ the thermal time constant
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steadyStack := uniformStack(30, 50e-6) // 0.6 · 50 W/cm²
+	steady, err := steadyStack.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := res.Final()
+	if math.Abs(fin.PeakTemperature()-steady.PeakTemperature()) > 0.05 {
+		t.Fatalf("settled peak %.4f K vs steady %.4f K",
+			fin.PeakTemperature(), steady.PeakTemperature())
+	}
+	if math.Abs(fin.Gradient()-steady.Gradient()) > 0.05 {
+		t.Fatalf("settled gradient %.4f K vs steady %.4f K",
+			fin.Gradient(), steady.Gradient())
+	}
+}
+
+// The direct engine must not allocate once the workspace is warm.
+func TestTransientStepZeroAlloc(t *testing.T) {
+	s := uniformStack(50, 50e-6)
+	s.Cfg.NX, s.Cfg.NY = 24, 2
+	pw := units.WattsPerCm2(50)
+	constP := func(x, y, tt float64) float64 { return pw }
+	w, err := s.NewTransientWorkspace(TransientConfig{Dt: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Step(constP, constP); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := w.Step(constP, constP); err != nil {
+			t.Fatal(err)
+		}
+		_ = w.PeakTemperature()
+		_ = w.Gradient()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Step allocated %v times per run, want 0", allocs)
 	}
 }

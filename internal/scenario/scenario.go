@@ -12,6 +12,7 @@ import (
 	"repro/internal/compact"
 	"repro/internal/control"
 	"repro/internal/microchannel"
+	"repro/internal/power"
 	"repro/internal/units"
 )
 
@@ -32,20 +33,69 @@ type File struct {
 	EqualPressure bool `json:"equal_pressure,omitempty"`
 	// Solver is "lbfgsb" (default), "projgrad" or "neldermead".
 	Solver string `json:"solver,omitempty"`
-	// Channels lists the heat loads.
+	// Channels lists the heat loads (the static map, and the base map a
+	// trace's scale phases multiply).
 	Channels []Channel `json:"channels"`
+	// Trace optionally schedules time-varying power for transient and
+	// runtime-control experiments.
+	Trace *Trace `json:"trace,omitempty"`
+	// Runtime configures the transient runtime-controller experiment.
+	Runtime *Runtime `json:"runtime,omitempty"`
 }
 
-// Params mirrors compact.Params in engineering units.
+// Trace is the serialized power schedule: phases playing in order, each
+// holding either an explicit per-channel map or a multiplier of the base
+// channels.
+type Trace struct {
+	// Periodic wraps the schedule around its total duration; false holds
+	// the last phase.
+	Periodic bool `json:"periodic,omitempty"`
+	// Phases play in order.
+	Phases []Phase `json:"phases"`
+}
+
+// Phase is one dwell of the trace.
+type Phase struct {
+	// DurationMS is the dwell time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Scale multiplies the scenario's base channels. A pointer so an
+	// explicit 0 (idle) stays distinguishable from absence; exactly one
+	// of Scale and Channels must be set.
+	Scale *float64 `json:"scale,omitempty"`
+	// Channels gives explicit per-channel fluxes for this phase.
+	Channels []Channel `json:"channels,omitempty"`
+}
+
+// Runtime parameterizes the closed-loop flow-controller experiment; zero
+// values select the documented defaults.
+type Runtime struct {
+	// DtMS is the plant integration step in milliseconds (0 → 1).
+	DtMS float64 `json:"dt_ms,omitempty"`
+	// EpochMS is the control-epoch length in milliseconds (0 → 10).
+	EpochMS float64 `json:"epoch_ms,omitempty"`
+	// HorizonMS is the simulated span in milliseconds (0 → two trace
+	// durations).
+	HorizonMS float64 `json:"horizon_ms,omitempty"`
+	// FlowScaleRange bounds the per-channel flow multipliers
+	// ([0, 0] → [0.5, 2]).
+	FlowScaleRange [2]float64 `json:"flow_scale_range,omitempty"`
+	// NX is the grid resolution along the flow (0 → 40).
+	NX int `json:"nx,omitempty"`
+}
+
+// Params mirrors compact.Params in engineering units. Dimensions and
+// rates are strictly positive, so their zero value can double as "use the
+// Table I default"; the inlet temperature is a pointer because 0 °C is a
+// perfectly legal coolant temperature — presence, not value, selects it.
 type Params struct {
-	SiliconConductivity float64 `json:"silicon_conductivity_w_mk,omitempty"`
-	PitchUM             float64 `json:"pitch_um,omitempty"`
-	SlabHeightUM        float64 `json:"slab_height_um,omitempty"`
-	ChannelHeightUM     float64 `json:"channel_height_um,omitempty"`
-	LengthMM            float64 `json:"length_mm,omitempty"`
-	InletTempC          float64 `json:"inlet_temp_c,omitempty"`
-	FlowRateMLMin       float64 `json:"flow_rate_ml_min,omitempty"`
-	ClusterSize         int     `json:"cluster_size,omitempty"`
+	SiliconConductivity float64  `json:"silicon_conductivity_w_mk,omitempty"`
+	PitchUM             float64  `json:"pitch_um,omitempty"`
+	SlabHeightUM        float64  `json:"slab_height_um,omitempty"`
+	ChannelHeightUM     float64  `json:"channel_height_um,omitempty"`
+	LengthMM            float64  `json:"length_mm,omitempty"`
+	InletTempC          *float64 `json:"inlet_temp_c,omitempty"`
+	FlowRateMLMin       float64  `json:"flow_rate_ml_min,omitempty"`
+	ClusterSize         int      `json:"cluster_size,omitempty"`
 }
 
 // Channel is one column's heat load: per-segment areal fluxes in W/cm²
@@ -89,8 +139,8 @@ func (f *File) Spec() (*control.Spec, error) {
 	if f.Params.LengthMM > 0 {
 		p.Length = units.Millimeters(f.Params.LengthMM)
 	}
-	if f.Params.InletTempC != 0 {
-		p.InletTemp = units.Celsius(f.Params.InletTempC)
+	if f.Params.InletTempC != nil {
+		p.InletTemp = units.Celsius(*f.Params.InletTempC)
 	}
 	if f.Params.FlowRateMLMin > 0 {
 		p.FlowRatePerChannel = units.MilliLitersPerMinute(f.Params.FlowRateMLMin)
@@ -152,6 +202,87 @@ func (f *File) Spec() (*control.Spec, error) {
 		return nil, err
 	}
 	return spec, nil
+}
+
+// BuildTrace converts the file's trace section into a power.Trace against
+// the resolved parameters: scale phases multiply the base channels,
+// explicit-channel phases are converted like the base map.
+func (f *File) BuildTrace(spec *control.Spec) (*power.Trace, error) {
+	if f.Trace == nil {
+		return nil, fmt.Errorf("scenario: %q has no trace", f.Name)
+	}
+	if len(f.Trace.Phases) == 0 {
+		return nil, fmt.Errorf("scenario: %q trace has no phases", f.Name)
+	}
+	base := make([]power.PhaseLoad, len(spec.Channels))
+	for k, ch := range spec.Channels {
+		base[k] = power.PhaseLoad{Top: ch.FluxTop, Bottom: ch.FluxBottom}
+	}
+	clusterW := spec.Params.ClusterWidth()
+	tr := &power.Trace{Periodic: f.Trace.Periodic}
+	for i, ph := range f.Trace.Phases {
+		out := power.Phase{Duration: units.Milliseconds(ph.DurationMS)}
+		switch {
+		case ph.Scale != nil && ph.Channels != nil:
+			return nil, fmt.Errorf("scenario: trace phase %d sets both scale and channels", i)
+		case ph.Scale != nil:
+			if *ph.Scale < 0 {
+				return nil, fmt.Errorf("scenario: trace phase %d negative scale %g", i, *ph.Scale)
+			}
+			out.Loads = power.ScaleLoads(base, *ph.Scale)
+		case ph.Channels != nil:
+			if len(ph.Channels) != len(base) {
+				return nil, fmt.Errorf("scenario: trace phase %d has %d channels, base has %d",
+					i, len(ph.Channels), len(base))
+			}
+			out.Loads = make([]power.PhaseLoad, len(ph.Channels))
+			for k, ch := range ph.Channels {
+				top, err := fluxFromWcm2(ch.TopWcm2, clusterW, spec.Params.Length)
+				if err != nil {
+					return nil, fmt.Errorf("scenario: trace phase %d channel %d top: %w", i, k, err)
+				}
+				bottom, err := fluxFromWcm2(ch.BottomWcm2, clusterW, spec.Params.Length)
+				if err != nil {
+					return nil, fmt.Errorf("scenario: trace phase %d channel %d bottom: %w", i, k, err)
+				}
+				out.Loads[k] = power.PhaseLoad{Top: top, Bottom: bottom}
+			}
+		default:
+			return nil, fmt.Errorf("scenario: trace phase %d needs scale or channels", i)
+		}
+		tr.Phases = append(tr.Phases, out)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %q: %w", f.Name, err)
+	}
+	return tr, nil
+}
+
+// RuntimeSpec assembles the closed-loop runtime experiment from the
+// scenario: the base spec, the trace, and the runtime section's timing
+// (zero values fall through to the control package's defaults).
+func (f *File) RuntimeSpec() (*control.RuntimeSpec, error) {
+	spec, err := f.Spec()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := f.BuildTrace(spec)
+	if err != nil {
+		return nil, err
+	}
+	rs := &control.RuntimeSpec{Spec: spec, Trace: tr}
+	if rt := f.Runtime; rt != nil {
+		rs.Dt = units.Milliseconds(rt.DtMS)
+		rs.Epoch = units.Milliseconds(rt.EpochMS)
+		rs.Horizon = units.Milliseconds(rt.HorizonMS)
+		rs.FlowScaleMin = rt.FlowScaleRange[0]
+		rs.FlowScaleMax = rt.FlowScaleRange[1]
+		rs.NX = rt.NX
+	}
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	return rs, nil
 }
 
 func fluxFromWcm2(vals []float64, clusterWidth, length float64) (*compact.Flux, error) {
@@ -220,8 +351,11 @@ func WriteResult(w io.Writer, res Result) error {
 }
 
 // Example returns a ready-to-edit example scenario (two channels, one with
-// a hotspot), used by `chanmod -write-example`.
+// a hotspot, plus a periodic trace whose hotspot migrates between the
+// channels and a runtime-controller section), used by
+// `chanmod -write-example`.
 func Example() *File {
+	full, idle := 1.0, 0.2
 	return &File{
 		Name:     "example-two-channel",
 		Segments: 10,
@@ -230,5 +364,17 @@ func Example() *File {
 			{TopWcm2: []float64{30, 30, 180, 30, 30}, BottomWcm2: []float64{30, 30, 30, 30, 30}},
 		},
 		EqualPressure: true,
+		Trace: &Trace{
+			Periodic: true,
+			Phases: []Phase{
+				{DurationMS: 20, Scale: &full},
+				{DurationMS: 20, Scale: &idle},
+				{DurationMS: 20, Channels: []Channel{
+					{TopWcm2: []float64{30, 30, 180, 30, 30}, BottomWcm2: []float64{30, 30, 30, 30, 30}},
+					{TopWcm2: []float64{50, 50, 50, 50, 50}, BottomWcm2: []float64{50, 50, 50, 50, 50}},
+				}},
+			},
+		},
+		Runtime: &Runtime{EpochMS: 10, HorizonMS: 120, FlowScaleRange: [2]float64{0.5, 2}},
 	}
 }

@@ -131,6 +131,143 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// 0 °C inlet coolant must be expressible — the old `!= 0` sentinel
+// silently replaced it with the Table I default (27 °C).
+func TestInletTempZeroCelsius(t *testing.T) {
+	src := `{
+	  "name": "chilled",
+	  "params": {"inlet_temp_c": 0},
+	  "channels": [{"top_wcm2": [50], "bottom_wcm2": [50]}]
+	}`
+	spec, _, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(spec.Params.InletTemp-273.15) > 1e-9 {
+		t.Fatalf("0 °C inlet resolved to %v K, want 273.15", spec.Params.InletTemp)
+	}
+	// Absent still selects the default.
+	spec, _, err = Load(strings.NewReader(`{"channels":[{"top_wcm2":[50],"bottom_wcm2":[50]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Params.InletTemp != 300 {
+		t.Fatalf("absent inlet resolved to %v K, want 300", spec.Params.InletTemp)
+	}
+}
+
+func TestBuildTraceAndRuntimeSpec(t *testing.T) {
+	src := `{
+	  "name": "traced",
+	  "channels": [
+	    {"top_wcm2": [100], "bottom_wcm2": [100]},
+	    {"top_wcm2": [30], "bottom_wcm2": [30]}
+	  ],
+	  "trace": {
+	    "periodic": true,
+	    "phases": [
+	      {"duration_ms": 10, "scale": 1},
+	      {"duration_ms": 10, "scale": 0},
+	      {"duration_ms": 5, "channels": [
+	        {"top_wcm2": [30], "bottom_wcm2": [30]},
+	        {"top_wcm2": [100], "bottom_wcm2": [100]}
+	      ]}
+	    ]
+	  },
+	  "runtime": {"dt_ms": 2, "epoch_ms": 10, "horizon_ms": 50, "flow_scale_range": [0.5, 2], "nx": 16}
+	}`
+	spec, f, err := Load(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := f.BuildTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Channels() != 2 || len(tr.Phases) != 3 || !tr.Periodic {
+		t.Fatalf("trace shape: %d channels, %d phases", tr.Channels(), len(tr.Phases))
+	}
+	if math.Abs(tr.Duration()-0.025) > 1e-12 {
+		t.Fatalf("duration %v", tr.Duration())
+	}
+	// Scale 0 (explicit idle) must survive decoding — a presence bug
+	// would drop the phase or misread it as full power.
+	if got := tr.Phases[1].Loads[0].Top.At(0); got != 0 {
+		t.Fatalf("idle phase flux %v, want 0", got)
+	}
+	// The explicit phase swaps the hotspot to channel 1.
+	if tr.Phases[2].Loads[1].Top.At(0) <= tr.Phases[2].Loads[0].Top.At(0) {
+		t.Fatal("explicit phase channels not decoded")
+	}
+
+	rs, err := f.RuntimeSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Dt != 0.002 || rs.Epoch != 0.01 || rs.Horizon != 0.05 || rs.NX != 16 {
+		t.Fatalf("runtime timing: %+v", rs)
+	}
+	if rs.FlowScaleMin != 0.5 || rs.FlowScaleMax != 2 {
+		t.Fatalf("scale range: %+v", rs)
+	}
+}
+
+func TestBuildTraceErrors(t *testing.T) {
+	base := `"channels": [{"top_wcm2": [50], "bottom_wcm2": [50]}]`
+	cases := []string{
+		`{` + base + `}`, // no trace at all
+		`{` + base + `, "trace": {"phases": []}}`,
+		`{` + base + `, "trace": {"phases": [{"duration_ms": 1}]}}`,                                                                                             // neither scale nor channels
+		`{` + base + `, "trace": {"phases": [{"duration_ms": 1, "scale": -1}]}}`,                                                                                // negative scale
+		`{` + base + `, "trace": {"phases": [{"duration_ms": 0, "scale": 1}]}}`,                                                                                 // zero duration
+		`{` + base + `, "trace": {"phases": [{"duration_ms": 1, "scale": 1, "channels": []}]}}`,                                                                 // scale and channels both set
+		`{` + base + `, "trace": {"phases": [{"duration_ms": 1, "channels": [{"top_wcm2": [1], "bottom_wcm2": [1]}, {"top_wcm2": [1], "bottom_wcm2": [1]}]}]}}`, // channel count mismatch
+	}
+	for i, src := range cases {
+		spec, f, err := Load(strings.NewReader(src))
+		if err != nil {
+			t.Fatalf("case %d: unexpected load error %v", i, err)
+		}
+		if _, err := f.BuildTrace(spec); err == nil {
+			t.Errorf("case %d must fail", i)
+		}
+	}
+	// RuntimeSpec surfaces trace errors too.
+	_, f, err := Load(strings.NewReader(`{` + base + `}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RuntimeSpec(); err == nil {
+		t.Error("runtime spec without trace must fail")
+	}
+}
+
+// The shipped example must exercise the full schema: loadable, a valid
+// runtime spec, and stable through a save/load cycle.
+func TestExampleRuntimeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, Example()); err != nil {
+		t.Fatal(err)
+	}
+	_, f, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Trace == nil || f.Runtime == nil {
+		t.Fatal("example lost trace/runtime sections")
+	}
+	rs, err := f.RuntimeSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Trace.Phases[1].Loads[0].Top.At(0); got >= rs.Trace.Phases[0].Loads[0].Top.At(0) {
+		t.Fatal("idle phase must be weaker than the full-power phase")
+	}
+}
+
 func TestResultProjection(t *testing.T) {
 	p, err := microchannel.NewProfile([]float64{50e-6, 20e-6}, 0.01)
 	if err != nil {

@@ -1,0 +1,203 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// randDominant builds a random strictly diagonally dominant sparse matrix
+// (the class the grid assembles), so LU without pivoting is well posed.
+func randDominant(n int, rng *rand.Rand) *CSR {
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		var off float64
+		for k := 0; k < 4; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.Float64()*2 - 1
+			b.Add(i, j, v)
+			off += math.Abs(v)
+		}
+		b.Add(i, i, off+1+rng.Float64())
+	}
+	return b.Build()
+}
+
+func residual(a *CSR, x, rhs mat.Vec) float64 {
+	r := a.MulVec(nil, x)
+	for i := range r {
+		r[i] = rhs[i] - r[i]
+	}
+	return r.Norm2() / rhs.Norm2()
+}
+
+func TestLUSolvesRandomDominantSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 40, 150} {
+		a := randDominant(n, rng)
+		f, err := FactorLU(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rhs := make(mat.Vec, n)
+		for i := range rhs {
+			rhs[i] = rng.Float64()*10 - 5
+		}
+		x, err := f.Solve(rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := residual(a, x, rhs); res > 1e-12 {
+			t.Errorf("n=%d: direct residual %g", n, res)
+		}
+	}
+}
+
+func TestLUMatchesBiCGSTAB(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randDominant(80, rng)
+	rhs := make(mat.Vec, 80)
+	for i := range rhs {
+		rhs[i] = rng.Float64()
+	}
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd, err := f.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := BiCGSTAB(a, rhs, SolveOptions{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xd {
+		if math.Abs(xd[i]-it.X[i]) > 1e-8*(1+math.Abs(xd[i])) {
+			t.Fatalf("x[%d]: LU %g vs BiCGSTAB %g", i, xd[i], it.X[i])
+		}
+	}
+}
+
+func TestLUPermutedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 60
+	a := randDominant(n, rng)
+	rhs := make(mat.Vec, n)
+	for i := range rhs {
+		rhs[i] = rng.Float64() - 0.5
+	}
+	perm := rng.Perm(n)
+	fp, err := FactorLUPermuted(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xp, err := fp.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xn, err := fn.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xp {
+		if math.Abs(xp[i]-xn[i]) > 1e-10*(1+math.Abs(xn[i])) {
+			t.Fatalf("x[%d]: permuted %g vs natural %g", i, xp[i], xn[i])
+		}
+	}
+	if res := residual(a, xp, rhs); res > 1e-12 {
+		t.Fatalf("permuted residual %g", res)
+	}
+}
+
+func TestLUSolveIntoAliasAndReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 30
+	a := randDominant(n, rng)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One factorization, many right-hand sides; dst aliases b.
+	for trial := 0; trial < 5; trial++ {
+		b := make(mat.Vec, n)
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		want := b.Clone()
+		if err := f.SolveInto(b, b); err != nil {
+			t.Fatal(err)
+		}
+		if res := residual(a, b, want); res > 1e-12 {
+			t.Fatalf("trial %d: residual %g", trial, res)
+		}
+	}
+}
+
+func TestLUSolveIntoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 64
+	a := randDominant(n, rng)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make(mat.Vec, n)
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	x := make(mat.Vec, n)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := f.SolveInto(x, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveInto allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestLUErrors(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.Add(0, 0, 1)
+	if _, err := FactorLU(b.Build()); err == nil {
+		t.Error("non-square must fail")
+	}
+
+	// Structurally singular: row 1 has no diagonal path.
+	s := NewBuilder(2, 2)
+	s.Add(0, 0, 1)
+	s.Add(1, 0, 1)
+	if _, err := FactorLU(s.Build()); err == nil {
+		t.Error("singular matrix must fail")
+	}
+
+	ok := NewBuilder(2, 2)
+	ok.Add(0, 0, 2)
+	ok.Add(1, 1, 3)
+	f, err := FactorLU(ok.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SolveInto(make(mat.Vec, 1), make(mat.Vec, 2)); err == nil {
+		t.Error("short dst must fail")
+	}
+	if _, err := FactorLUPermuted(ok.Build(), []int{0}); err == nil {
+		t.Error("short perm must fail")
+	}
+	if _, err := FactorLUPermuted(ok.Build(), []int{0, 0}); err == nil {
+		t.Error("duplicate perm must fail")
+	}
+	if _, err := FactorLUPermuted(ok.Build(), []int{0, 5}); err == nil {
+		t.Error("out-of-range perm must fail")
+	}
+}

@@ -63,6 +63,12 @@ func WattsPerCm2(wcm2 float64) float64 { return wcm2 * 1e4 }
 // ToWattsPerCm2 converts a heat flux density in W/m² to W/cm².
 func ToWattsPerCm2(wm2 float64) float64 { return wm2 * 1e-4 }
 
+// Milliseconds converts a duration in milliseconds to seconds.
+func Milliseconds(ms float64) float64 { return ms * 1e-3 }
+
+// ToMilliseconds converts a duration in seconds to milliseconds.
+func ToMilliseconds(s float64) float64 { return s * 1e3 }
+
 // Celsius converts a temperature in degrees Celsius to kelvin.
 func Celsius(c float64) float64 { return c + ZeroCelsiusK }
 
@@ -109,6 +115,25 @@ func (p Pressure) String() string {
 		return fmt.Sprintf("%.3g kPa", v*1e-3)
 	default:
 		return fmt.Sprintf("%.3g Pa", v)
+	}
+}
+
+// Duration is a time span in seconds with formatting helpers.
+type Duration float64
+
+// String renders the duration with an auto-selected engineering unit.
+func (d Duration) String() string {
+	v := float64(d)
+	abs := math.Abs(v)
+	switch {
+	case abs == 0:
+		return "0 s"
+	case abs < 1e-3:
+		return fmt.Sprintf("%.3g µs", v*1e6)
+	case abs < 1:
+		return fmt.Sprintf("%.3g ms", v*1e3)
+	default:
+		return fmt.Sprintf("%.3g s", v)
 	}
 }
 

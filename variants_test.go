@@ -67,4 +67,86 @@ func TestPublicTransient(t *testing.T) {
 		t.Fatalf("public transient fixed point %v vs steady %v",
 			tr.Final().PeakTemperature(), steady.PeakTemperature())
 	}
+
+	// The step-wise workspace and the direct/iterative engine selector
+	// are part of the public surface too.
+	ws, err := s.NewTransientWorkspace(TransientConfig{Dt: 5e-3, Engine: EngineDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := ws.Step(constP, constP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(ws.PeakTemperature()-steady.PeakTemperature()) > 0.3 {
+		t.Fatalf("workspace fixed point %v vs steady %v", ws.PeakTemperature(), steady.PeakTemperature())
+	}
+}
+
+// The runtime flow-control experiment must be drivable end to end from
+// the public API: trace constructors, RuntimeSpec, RunRuntime.
+func TestPublicRuntimeExperiment(t *testing.T) {
+	p := DefaultParams()
+	hot, err := UniformLoad(130, p.ClusterWidth(), p.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cool, err := UniformLoad(30, p.ClusterWidth(), p.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := &Trace{
+		Periodic: true,
+		Phases: []TracePhase{
+			{Duration: 0.015, Loads: []PhaseLoad{
+				{Top: hot.FluxTop, Bottom: hot.FluxBottom},
+				{Top: cool.FluxTop, Bottom: cool.FluxBottom},
+			}},
+			{Duration: 0.015, Loads: []PhaseLoad{
+				{Top: cool.FluxTop, Bottom: cool.FluxBottom},
+				{Top: hot.FluxTop, Bottom: hot.FluxBottom},
+			}},
+		},
+	}
+	profiles := make([]*Profile, 2)
+	for k := range profiles {
+		pr, err := NewUniformProfile(50e-6, p.Length, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles[k] = pr
+	}
+	rs := &RuntimeSpec{
+		Spec: &Spec{
+			Params:   p,
+			Channels: []ChannelLoad{hot, cool},
+			Bounds:   DefaultBounds(),
+			Segments: 4,
+		},
+		Trace:    trace,
+		Profiles: profiles,
+		Dt:       2e-3,
+		Epoch:    0.01,
+		Horizon:  0.03,
+		NX:       12,
+	}
+	res, err := RunRuntime(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 3 {
+		t.Fatalf("epochs %d, want 3", len(res.Epochs))
+	}
+	if res.Controlled.MaxGradient() > res.Static.MaxGradient()+1e-9 {
+		t.Fatalf("runtime arm lost: %.3f K vs %.3f K",
+			res.Controlled.MaxGradient(), res.Static.MaxGradient())
+	}
+	batch, err := BatchRuntime([]*RuntimeSpec{rs, rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0].Controlled.MaxGradient() != batch[1].Controlled.MaxGradient() {
+		t.Fatal("identical specs must produce identical batched results")
+	}
 }
