@@ -40,12 +40,14 @@ import (
 	"repro/internal/control"
 	"repro/internal/convection"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/floorplan"
 	"repro/internal/fluids"
 	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/microchannel"
 	"repro/internal/power"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
@@ -111,6 +113,88 @@ type (
 	// Summary holds distribution statistics of a temperature set.
 	Summary = metrics.Summary
 )
+
+// Job-engine aliases: every workload of the library is expressible as a
+// declarative, content-addressed Job executed by an Engine (see
+// internal/engine). The CLIs and the chanmodd daemon are thin clients of
+// this API.
+type (
+	// Job is a declarative, hashable description of one workload.
+	Job = engine.Job
+	// JobKind selects a job's workload class.
+	JobKind = engine.Kind
+	// JobResult is a job's typed outcome.
+	JobResult = engine.Result
+	// JobInfo describes how a job submission was served.
+	JobInfo = engine.Info
+	// Engine executes jobs behind an LRU content-addressed result cache
+	// with singleflight deduplication.
+	Engine = engine.Engine
+	// EngineCacheStats snapshots an engine's cache counters.
+	EngineCacheStats = engine.CacheStats
+	// Scenario is the JSON-serializable problem payload of a Job.
+	Scenario = scenario.File
+	// OptimizeJobSpec selects the optimize kind's variant.
+	OptimizeJobSpec = engine.OptimizeSpec
+	// SweepJobSpec configures the sweep kind.
+	SweepJobSpec = engine.SweepSpec
+	// ExperimentJobSpec configures the arch-experiment kind.
+	ExperimentJobSpec = engine.ExperimentSpec
+	// MapJobSpec configures the thermalmap kind.
+	MapJobSpec = engine.MapSpec
+	// TransientJobSpec configures the transient kind.
+	TransientJobSpec = engine.TransientSpec
+	// ScenarioResult is the JSON projection of an optimization outcome.
+	ScenarioResult = scenario.Result
+	// SweepJobResult is the sweep kind's typed payload.
+	SweepJobResult = engine.SweepResult
+	// ExperimentJobResult is the arch-experiment kind's typed payload.
+	ExperimentJobResult = engine.ExperimentResult
+	// MapJobResult is the thermalmap kind's typed payload.
+	MapJobResult = engine.MapResult
+	// TransientJobRun is the transient kind's typed payload.
+	TransientJobRun = control.TransientRun
+	// RuntimeJobResult is the runtime kind's typed payload.
+	RuntimeJobResult = engine.RuntimeJobResult
+	// PreparedJob is a canonicalized job bound to its content address.
+	PreparedJob = engine.Prepared
+)
+
+// PrepareJob canonicalizes a job once and computes its content address;
+// pass the result to Engine.RunPrepared to skip re-canonicalization on
+// hot request paths.
+func PrepareJob(job *Job) (*PreparedJob, error) { return engine.PrepareJob(job) }
+
+// Job kinds.
+const (
+	JobCompare        = engine.KindCompare
+	JobOptimize       = engine.KindOptimize
+	JobSweep          = engine.KindSweep
+	JobArchExperiment = engine.KindArchExperiment
+	JobThermalMap     = engine.KindThermalMap
+	JobTransient      = engine.KindTransient
+	JobRuntime        = engine.KindRuntime
+)
+
+// NewEngine returns a job engine with the given result-cache capacity
+// (entries < 1 selects the default).
+func NewEngine(cacheEntries int) *Engine { return engine.New(cacheEntries) }
+
+// RunJob canonicalizes and executes a job on a process-wide shared
+// engine, serving repeated or concurrent identical submissions from its
+// content-addressed cache.
+func RunJob(ctx context.Context, job *Job) (*JobResult, error) {
+	return defaultEngine.Run(ctx, job)
+}
+
+// RunJobInfo is RunJob plus cache/dedup provenance.
+func RunJobInfo(ctx context.Context, job *Job) (*JobResult, JobInfo, error) {
+	return defaultEngine.RunInfo(ctx, job)
+}
+
+// defaultEngine backs RunJob; CLIs and tests needing isolation or a
+// different capacity construct their own via NewEngine.
+var defaultEngine = engine.New(0)
 
 // Solver selects the inner NLP solver of the optimizer.
 type Solver = control.Solver

@@ -2,6 +2,11 @@
 // command line and prints the three-way comparison plus the resolved width
 // profiles.
 //
+// It is a thin front-end of the job engine: flags (or a scenario file)
+// assemble a compare or runtime Job, the engine executes it, and only
+// the rendering lives here. The same jobs are reachable over HTTP via
+// cmd/chanmodd.
+//
 // Usage:
 //
 //	chanmod -scenario testA|testB|arch1|arch2|arch3 [-mode peak|average]
@@ -16,24 +21,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	channelmod "repro"
 	"repro/internal/cliutil"
-	"repro/internal/control"
 	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
-func main() {
+func main() { cliutil.Main(run) }
+
+func run() error {
 	scn := flag.String("scenario", "testA", "scenario: testA, testB, arch1, arch2, arch3")
 	scnFile := flag.String("scenario-file", "", "load the scenario from a JSON file instead")
 	outJSON := flag.String("out-json", "", "write the optimal design as JSON to this file")
 	writeExample := flag.String("write-example", "", "write an example scenario JSON to this file and exit")
 	modeStr := flag.String("mode", "peak", "power mode for arch scenarios: peak or average")
-	segments := flag.Int("segments", control.DefaultSegments, "width segments per channel")
+	segments := flag.Int("segments", 20, "width segments per channel")
 	dpMaxBar := flag.Float64("dpmax-bar", 10, "pressure budget in bar")
 	seed := flag.Int64("seed", 2012, "random seed for testB")
 	solverStr := flag.String("solver", "lbfgsb", "inner solver: lbfgsb, projgrad, neldermead")
@@ -44,108 +51,46 @@ func main() {
 	if *writeExample != "" {
 		f, err := os.Create(*writeExample)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := scenario.Save(f, scenario.Example()); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("wrote example scenario to %s\n", *writeExample)
-		return
+		return nil
 	}
 
-	var solver control.Solver
 	switch *solverStr {
-	case "lbfgsb":
-		solver = control.SolverLBFGSB
-	case "projgrad":
-		solver = control.SolverProjGrad
-	case "neldermead":
-		solver = control.SolverNelderMead
+	case "lbfgsb", "projgrad", "neldermead":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown solver %q\n", *solverStr)
-		os.Exit(2)
+		return cliutil.UsageErrorf("unknown solver %q", *solverStr)
 	}
 
 	if *runtime {
-		if *scnFile == "" {
-			fmt.Fprintln(os.Stderr, "-runtime needs -scenario-file pointing at a scenario with a trace section")
-			os.Exit(2)
-		}
-		for _, ignored := range []string{"out-json", "stats", "segments", "dpmax-bar", "mode", "seed"} {
-			if cliutil.FlagWasSet(ignored) {
-				fmt.Fprintf(os.Stderr, "note: -%s is ignored with -runtime (the scenario file drives the experiment)\n", ignored)
-			}
-		}
-		fh, err := os.Open(*scnFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		_, file, err := scenario.Load(fh)
-		fh.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		rs, err := file.RuntimeSpec()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		if cliutil.FlagWasSet("solver") {
-			rs.Spec.Solver = solver
-		}
-		res, err := channelmod.RunRuntime(rs)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		printRuntime(file.Name, rs, res)
-		return
+		return runRuntime(*scnFile, *solverStr)
 	}
 
-	var spec *channelmod.Spec
-	var err error
-	name := *scn
-	if *scnFile != "" {
-		fh, ferr := os.Open(*scnFile)
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, ferr)
-			os.Exit(1)
-		}
-		var file *scenario.File
-		spec, file, err = scenario.Load(fh)
-		fh.Close()
-		if err == nil {
-			name = file.Name
-		}
-	} else {
-		spec, err = buildSpec(*scn, *modeStr, *seed)
-		if err == nil {
-			spec.Segments = *segments
-			spec.MaxPressure = units.Bar(*dpMaxBar)
-		}
-	}
+	file, err := assembleScenario(*scn, *scnFile, *modeStr, *solverStr, *segments, *dpMaxBar, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
-	// A scenario file's own "solver" field wins unless -solver was given
-	// explicitly; built-in scenarios have no other source than the flag.
-	if *scnFile == "" || cliutil.FlagWasSet("solver") {
-		spec.Solver = solver
+	// Resolve the spec here too: the CLI reports problem shape before
+	// solving, and scenario mistakes must exit as usage errors.
+	spec, err := file.Spec()
+	if err != nil {
+		return cliutil.AsUsage(err)
 	}
 
-	cmp, err := channelmod.Compare(spec)
+	job := &channelmod.Job{Kind: channelmod.JobCompare, Scenario: *file}
+	res, err := channelmod.RunJob(context.Background(), job)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
+	cmp := res.Compare
+
 	fmt.Printf("scenario %s (%d channels, %d segments, solver %s)\n",
-		name, len(spec.Channels), spec.Segments, spec.Solver)
+		file.Name, len(spec.Channels), spec.Segments, spec.Solver)
 	fmt.Print(channelmod.Report(cmp))
 	fmt.Println("optimal width profiles, inlet -> outlet (µm):")
 	for k, p := range cmp.Optimal.Profiles {
@@ -172,26 +117,111 @@ func main() {
 	if *outJSON != "" {
 		f, err := os.Create(*outJSON)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
-		if err := scenario.WriteResult(f, scenario.NewResult(name, cmp.Optimal)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := scenario.WriteResult(f, scenario.NewResult(file.Name, cmp.Optimal)); err != nil {
+			return err
 		}
 		fmt.Printf("wrote optimal design to %s\n", *outJSON)
 	}
+	return nil
+}
+
+// assembleScenario turns the command line into the job's scenario
+// payload: either the parsed scenario file (with an explicit -solver
+// winning over the file's), or a preset scenario built from the flags.
+func assembleScenario(preset, path, mode, solver string, segments int, dpMaxBar float64, seed int64) (*scenario.File, error) {
+	if path != "" {
+		fh, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer fh.Close()
+		_, file, err := scenario.Load(fh)
+		if err != nil {
+			return nil, cliutil.AsUsage(err)
+		}
+		// A scenario file's own "solver" field wins unless -solver was
+		// given explicitly.
+		if cliutil.FlagWasSet("solver") {
+			file.Solver = solver
+		}
+		return file, nil
+	}
+	switch preset {
+	case "testA", "testB", "arch1", "arch2", "arch3":
+	default:
+		return nil, cliutil.UsageErrorf("unknown scenario %q", preset)
+	}
+	switch mode {
+	case "peak", "average":
+	default:
+		return nil, cliutil.UsageErrorf("unknown mode %q", mode)
+	}
+	f := &scenario.File{
+		Name:           preset,
+		Preset:         preset,
+		Segments:       segments,
+		MaxPressureBar: dpMaxBar,
+		Solver:         solver,
+	}
+	if preset == "testB" {
+		// Presence-decoded: -seed 0 is a legal seed with its own draw,
+		// distinct from "use the canonical 2012".
+		f.Seed = &seed
+	}
+	if preset == "arch1" || preset == "arch2" || preset == "arch3" {
+		f.Mode = mode
+	}
+	return f, nil
+}
+
+// runRuntime executes the closed-loop flow-control experiment of a
+// scenario file as a runtime Job.
+func runRuntime(path, solver string) error {
+	if path == "" {
+		return cliutil.UsageErrorf("-runtime needs -scenario-file pointing at a scenario with a trace section")
+	}
+	for _, ignored := range []string{"out-json", "stats", "segments", "dpmax-bar", "mode", "seed"} {
+		if cliutil.FlagWasSet(ignored) {
+			fmt.Fprintf(os.Stderr, "note: -%s is ignored with -runtime (the scenario file drives the experiment)\n", ignored)
+		}
+	}
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	_, file, err := scenario.Load(fh)
+	if err != nil {
+		return cliutil.AsUsage(err)
+	}
+	if cliutil.FlagWasSet("solver") {
+		file.Solver = solver
+	}
+	// Surface scenario mistakes as usage errors before the engine runs.
+	if _, err := file.RuntimeSpec(); err != nil {
+		return cliutil.AsUsage(err)
+	}
+
+	job := &channelmod.Job{Kind: channelmod.JobRuntime, Scenario: *file}
+	res, err := channelmod.RunJob(context.Background(), job)
+	if err != nil {
+		return err
+	}
+	printRuntime(file.Name, res.Runtime)
+	return nil
 }
 
 // printRuntime reports the static-vs-runtime comparison: both arms'
 // trajectory metrics, the headline improvement, and the controller's
 // per-epoch flow decisions.
-func printRuntime(name string, rs *channelmod.RuntimeSpec, res *channelmod.RuntimeResult) {
-	nx, ny := rs.PlantResolution()
+func printRuntime(name string, rr *channelmod.RuntimeJobResult) {
+	res := rr.Result
 	fmt.Printf("runtime flow control — scenario %s (%d channels, %d epochs over %s, plant %d×%d)\n",
-		name, len(rs.Spec.Channels), len(res.Epochs),
-		units.Duration(res.Controlled.Times[len(res.Controlled.Times)-1]), nx, ny)
+		name, rr.Channels, len(res.Epochs),
+		units.Duration(res.Controlled.Times[len(res.Controlled.Times)-1]), rr.NX, rr.NY)
 	row := func(arm string, s *channelmod.RuntimeSeries) {
 		fmt.Printf("  %-22s max ΔT = %6.2f K   mean ΔT = %6.2f K   max peak = %s\n",
 			arm, s.MaxGradient(), s.MeanGradient(), units.Temperature(s.MaxPeak()))
@@ -209,26 +239,5 @@ func printRuntime(name string, rs *channelmod.RuntimeSpec, res *channelmod.Runti
 			fmt.Printf("%.2f", s)
 		}
 		fmt.Printf("]  predicted ΔT %.2f K\n", d.PredictedGradientK)
-	}
-}
-
-func buildSpec(scenario, modeStr string, seed int64) (*channelmod.Spec, error) {
-	mode := channelmod.Peak
-	if modeStr == "average" {
-		mode = channelmod.Average
-	} else if modeStr != "peak" {
-		return nil, fmt.Errorf("unknown mode %q", modeStr)
-	}
-	switch scenario {
-	case "testA":
-		return channelmod.TestA()
-	case "testB":
-		cfg := channelmod.DefaultTestB()
-		cfg.Seed = seed
-		return channelmod.TestB(cfg)
-	case "arch1", "arch2", "arch3":
-		return channelmod.Architecture(int(scenario[4]-'0'), mode)
-	default:
-		return nil, fmt.Errorf("unknown scenario %q", scenario)
 	}
 }

@@ -2,15 +2,23 @@
 // evaluation (see DESIGN.md's per-experiment index) and prints the
 // paper-vs-measured comparison rows consumed by EXPERIMENTS.md.
 //
+// Every experiment is a thin front-end of the job engine: the runner
+// assembles declarative Jobs (the same JSON-expressible jobs chanmod and
+// chanmodd accept), one shared engine executes them — deduplicating any
+// overlap through its content-addressed cache — and only the rendering
+// lives here.
+//
 // Usage:
 //
-//	experiments [-exp all|fig1a|fig1b|testA|testB|profiles|fig8|fig9|validate] [-quick]
+//	experiments [-exp all|fig1a|fig1b|testA|testB|profiles|fig8|fig9|validate|baselines|runtime] [-quick]
 //
 // -quick shrinks solver budgets for a fast smoke run; the published
 // numbers in EXPERIMENTS.md come from the default budgets.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run for
-// performance work on the solve stack.
+// performance work on the solve stack. All exits route through a single
+// run() error, so the profiling defers always flush — a failing run is
+// exactly the one worth profiling.
 package main
 
 import (
@@ -24,16 +32,18 @@ import (
 
 	channelmod "repro"
 	"repro/internal/batch"
+	"repro/internal/cliutil"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
-func main() {
-	// All failure paths return through realMain so the profiling defers
-	// always flush — a failing run is exactly the one worth profiling.
-	os.Exit(realMain())
-}
+func main() { cliutil.Main(run) }
 
-func realMain() int {
+// eng is the process-wide job engine: experiments sharing a sub-problem
+// (e.g. an optimization a map job also needs) pay for it once.
+var eng = channelmod.NewEngine(0)
+
+func run() error {
 	exp := flag.String("exp", "all", "experiment id (all, fig1a, fig1b, testA, testB, profiles, fig8, fig9, validate, baselines, runtime)")
 	quick := flag.Bool("quick", false, "reduced budgets for a fast smoke run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -43,13 +53,11 @@ func realMain() int {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			return 1
+			return fmt.Errorf("cpuprofile: %w", err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
-			return 1
+			return fmt.Errorf("cpuprofile: %w", err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -86,27 +94,25 @@ func realMain() int {
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)
 			if err := runners[name](*quick); err != nil {
-				fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
-				return 1
+				return fmt.Errorf("experiment %s failed: %w", name, err)
 			}
 			fmt.Println()
 		}
-		return 0
+		return nil
 	}
-	run, ok := runners[*exp]
+	runExp, ok := runners[*exp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %s, all)\n",
+		return cliutil.UsageErrorf("unknown experiment %q (want one of %s, all)",
 			*exp, strings.Join(order, ", "))
-		return 2
 	}
-	if err := run(*quick); err != nil {
-		fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", *exp, err)
-		return 1
+	if err := runExp(*quick); err != nil {
+		return fmt.Errorf("experiment %s failed: %w", *exp, err)
 	}
-	return 0
+	return nil
 }
 
-func tuneSpec(s *channelmod.Spec, quick bool) *channelmod.Spec {
+// tunedScenario applies the quick-run solve budget to a scenario.
+func tunedScenario(s channelmod.Scenario, quick bool) channelmod.Scenario {
 	if quick {
 		s.Segments = 8
 		s.OuterIterations = 3
@@ -115,17 +121,19 @@ func tuneSpec(s *channelmod.Spec, quick bool) *channelmod.Spec {
 }
 
 func runFig1a(quick bool) error {
-	s, err := channelmod.Fig1Uniform()
-	if err != nil {
-		return err
-	}
+	m := &channelmod.MapJobSpec{}
 	if quick {
-		s.Cfg.NX, s.Cfg.NY = 28, 10
+		m.NX, m.NY = 28, 10
 	}
-	f, err := channelmod.ThermalMap(s)
+	res, err := eng.Run(context.Background(), &channelmod.Job{
+		Kind:     channelmod.JobThermalMap,
+		Scenario: channelmod.Scenario{Preset: "fig1a"},
+		Map:      m,
+	})
 	if err != nil {
 		return err
 	}
+	f := res.Map.Field
 	lo, hi := f.SiliconExtrema()
 	fmt.Printf("Fig 1(a): uniform combined 50 W/cm², 14x15 mm stack, max-width channels\n")
 	fmt.Printf("  silicon T range: %s .. %s (gradient %.2f K)\n",
@@ -136,17 +144,19 @@ func runFig1a(quick bool) error {
 }
 
 func runFig1b(quick bool) error {
-	s, err := channelmod.Fig1Niagara()
-	if err != nil {
-		return err
-	}
+	m := &channelmod.MapJobSpec{}
 	if quick {
-		s.Cfg.NX, s.Cfg.NY = 28, 10
+		m.NX, m.NY = 28, 10
 	}
-	f, err := channelmod.ThermalMap(s)
+	res, err := eng.Run(context.Background(), &channelmod.Job{
+		Kind:     channelmod.JobThermalMap,
+		Scenario: channelmod.Scenario{Preset: "fig1b"},
+		Map:      m,
+	})
 	if err != nil {
 		return err
 	}
+	f := res.Map.Field
 	lo, hi := f.SiliconExtrema()
 	fmt.Printf("Fig 1(b): UltraSPARC T1 power map (combined 8-64 W/cm²)\n")
 	fmt.Printf("  silicon T range: %s .. %s (gradient %.2f K)\n",
@@ -155,11 +165,15 @@ func runFig1b(quick bool) error {
 	return nil
 }
 
-func compareAndPrint(name string, spec *channelmod.Spec, paperUniform, paperOptimal float64) (*channelmod.Comparison, error) {
-	cmp, err := channelmod.Compare(spec)
+func compareAndPrint(name string, scn channelmod.Scenario, paperUniform, paperOptimal float64) (*channelmod.Comparison, error) {
+	res, err := eng.Run(context.Background(), &channelmod.Job{
+		Kind:     channelmod.JobCompare,
+		Scenario: scn,
+	})
 	if err != nil {
 		return nil, err
 	}
+	cmp := res.Compare
 	fmt.Printf("%s\n%s", name, channelmod.Report(cmp))
 	if paperUniform > 0 {
 		fmt.Printf("  paper: uniform %.0f K -> optimal %.0f K (-%.0f%%); measured: %.1f K -> %.1f K (-%.0f%%)\n",
@@ -170,50 +184,38 @@ func compareAndPrint(name string, spec *channelmod.Spec, paperUniform, paperOpti
 }
 
 func runTestA(quick bool) error {
-	spec, err := channelmod.TestA()
-	if err != nil {
-		return err
-	}
-	_, err = compareAndPrint("Test A (Fig. 5a): uniform 50 W/cm² both layers", tuneSpec(spec, quick), 28, 19)
+	_, err := compareAndPrint("Test A (Fig. 5a): uniform 50 W/cm² both layers",
+		tunedScenario(channelmod.Scenario{Preset: "testA"}, quick), 28, 19)
 	return err
 }
 
 func runTestB(quick bool) error {
-	spec, err := channelmod.TestB(channelmod.DefaultTestB())
-	if err != nil {
-		return err
-	}
-	_, err = compareAndPrint("Test B (Fig. 5b): random fluxes in [50, 250] W/cm² (seed 2012)",
-		tuneSpec(spec, quick), 72, 48)
+	_, err := compareAndPrint("Test B (Fig. 5b): random fluxes in [50, 250] W/cm² (seed 2012)",
+		tunedScenario(channelmod.Scenario{Preset: "testB"}, quick), 72, 48)
 	return err
 }
 
 func runProfiles(quick bool) error {
 	cases := []struct {
-		name string
-		mk   func() (*channelmod.Spec, error)
+		name   string
+		preset string
 	}{
-		{"Test A", channelmod.TestA},
-		{"Test B", func() (*channelmod.Spec, error) { return channelmod.TestB(channelmod.DefaultTestB()) }},
+		{"Test A", "testA"},
+		{"Test B", "testB"},
 	}
-	specs := make([]*channelmod.Spec, len(cases))
-	for i, tc := range cases {
-		spec, err := tc.mk()
-		if err != nil {
-			return err
-		}
-		specs[i] = tuneSpec(spec, quick)
-	}
-	return batch.Stream(context.Background(), len(specs),
-		func(ctx context.Context, i int) (*channelmod.Result, error) {
-			opt, err := channelmod.OptimizeContext(ctx, specs[i])
+	return batch.Stream(context.Background(), len(cases),
+		func(ctx context.Context, i int) (*channelmod.JobResult, error) {
+			res, err := eng.Run(ctx, &channelmod.Job{
+				Kind:     channelmod.JobOptimize,
+				Scenario: tunedScenario(channelmod.Scenario{Preset: cases[i].preset}, quick),
+			})
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", cases[i].name, err)
 			}
-			return opt, nil
+			return res, nil
 		},
-		func(i int, opt *channelmod.Result) error {
-			w := opt.Profiles[0]
+		func(i int, res *channelmod.JobResult) error {
+			w := res.Optimize.Profiles[0]
 			fmt.Printf("Fig 6 (%s): optimal width profile, inlet -> outlet (µm):\n  ", cases[i].name)
 			for j := 0; j < w.Segments(); j++ {
 				fmt.Printf("%5.1f", w.Width(j)*1e6)
@@ -226,52 +228,28 @@ func runProfiles(quick bool) error {
 func runFig8(quick bool) error {
 	// Publication budget: 12 segments and 4 multiplier updates; the
 	// gradient numbers move by well under 0.5 K versus the full
-	// 20-segment runs. The six arch/mode cases are independent, so they
-	// evaluate concurrently on the batch pool; each block prints as soon
-	// as it and all earlier blocks finish, so the ~minutes-long full run
-	// shows progress incrementally.
-	segments := 12
+	// 20-segment runs. The six arch/mode cases are independent jobs of
+	// the engine's batch pipeline, so they evaluate concurrently.
+	scn := channelmod.Scenario{Segments: 12, OuterIterations: 4}
 	if quick {
-		segments = 6
+		scn.Segments, scn.OuterIterations = 6, 2
 	}
-	type combo struct {
-		arch int
-		mode channelmod.Mode
-	}
-	var combos []combo
-	for arch := 1; arch <= 3; arch++ {
-		for _, mode := range []channelmod.Mode{channelmod.Peak, channelmod.Average} {
-			combos = append(combos, combo{arch, mode})
-		}
-	}
-	specs := make([]*channelmod.Spec, len(combos))
-	for i, c := range combos {
-		spec, err := channelmod.Architecture(c.arch, c.mode)
-		if err != nil {
-			return err
-		}
-		spec.Segments = segments
-		spec.OuterIterations = 4
-		if quick {
-			spec.OuterIterations = 2
-		}
-		specs[i] = spec
+	res, err := eng.Run(context.Background(), &channelmod.Job{
+		Kind:       channelmod.JobArchExperiment,
+		Scenario:   scn,
+		Experiment: &channelmod.ExperimentJobSpec{},
+	})
+	if err != nil {
+		return err
 	}
 	var labels []string
 	var values []float64
-	err := batch.Stream(context.Background(), len(specs),
-		func(ctx context.Context, i int) (*channelmod.Comparison, error) {
-			return channelmod.CompareContext(ctx, specs[i])
-		},
-		func(i int, cmp *channelmod.Comparison) error {
-			fmt.Printf("Arch %d / %s power:\n%s", combos[i].arch, combos[i].mode, channelmod.Report(cmp))
-			tag := fmt.Sprintf("arch%d-%s", combos[i].arch, combos[i].mode)
-			labels = append(labels, tag+"-min", tag+"-max", tag+"-opt")
-			values = append(values, cmp.MinWidth.GradientK, cmp.MaxWidth.GradientK, cmp.Optimal.GradientK)
-			return nil
-		})
-	if err != nil {
-		return err
+	for _, c := range res.Experiment.Cases {
+		fmt.Printf("Arch %d / %s power:\n%s", c.Arch, c.Mode, channelmod.Report(c.Comparison))
+		tag := fmt.Sprintf("arch%d-%s", c.Arch, c.Mode)
+		labels = append(labels, tag+"-min", tag+"-max", tag+"-opt")
+		values = append(values, c.Comparison.MinWidth.GradientK,
+			c.Comparison.MaxWidth.GradientK, c.Comparison.Optimal.GradientK)
 	}
 	fmt.Println("Fig 8 bars (thermal gradient, K):")
 	fmt.Print(channelmod.RenderBars(labels, values, "K"))
@@ -280,40 +258,32 @@ func runFig8(quick bool) error {
 }
 
 func runFig9(quick bool) error {
-	mode := channelmod.Peak
-	spec, err := channelmod.Architecture(1, mode)
-	if err != nil {
-		return err
-	}
-	tuneSpec(spec, quick)
-	opt, err := channelmod.Optimize(spec)
-	if err != nil {
-		return err
+	scn := tunedScenario(channelmod.Scenario{Preset: "arch1", Mode: "peak"}, quick)
+	nx := 0
+	if quick {
+		nx = 25
 	}
 	cases := []struct {
-		name     string
-		profiles []*channelmod.Profile
-		width    float64
+		name   string
+		widths string
 	}{
-		{"minimum width", nil, spec.Bounds.Min},
-		{"optimal modulation", opt.Profiles, 0},
-		{"maximum width", nil, spec.Bounds.Max},
+		{"minimum width", "min"},
+		{"optimal modulation", "optimal"},
+		{"maximum width", "max"},
 	}
 	// Identical scale across the three maps, like the paper's Fig. 9
 	// ([30, 55] °C there).
 	lo, hi := units.Celsius(25), units.Celsius(65)
 	for _, c := range cases {
-		gs, err := channelmod.ArchThermalMap(1, mode, c.profiles, c.width)
+		res, err := eng.Run(context.Background(), &channelmod.Job{
+			Kind:     channelmod.JobThermalMap,
+			Scenario: scn,
+			Map:      &channelmod.MapJobSpec{Widths: c.widths, NX: nx},
+		})
 		if err != nil {
 			return err
 		}
-		if quick {
-			gs.Cfg.NX = 25
-		}
-		f, err := channelmod.ThermalMap(gs)
-		if err != nil {
-			return err
-		}
+		f := res.Map.Field
 		fmt.Printf("Fig 9 — Arch 1 top die, %s: gradient %.2f K, peak %s\n",
 			c.name, f.Gradient(), units.Temperature(f.PeakTemperature()))
 		fmt.Print(channelmod.RenderHeatmap(f.Top, "", lo, hi))
@@ -324,52 +294,35 @@ func runFig9(quick bool) error {
 // runBaselines is experiment A4: width modulation vs the related-work
 // alternatives on the Arch 3 stack — uniform widths with per-channel flow
 // allocation (Qian-style clustering), and the dual min-pumping variant on
-// Test A.
+// Test A. Four optimize jobs, one engine batch.
 func runBaselines(quick bool) error {
-	spec, err := channelmod.Architecture(3, channelmod.Peak)
-	if err != nil {
-		return err
-	}
-	spec.Segments = 10
-	spec.OuterIterations = 3
+	arch := channelmod.Scenario{Preset: "arch3", Mode: "peak", Segments: 10, OuterIterations: 3}
+	testA := channelmod.Scenario{Preset: "testA", Segments: 10}
 	if quick {
-		spec.Segments = 6
-		spec.OuterIterations = 2
+		arch.Segments, arch.OuterIterations = 6, 2
+		testA.Segments = 6
 	}
-
-	uniform, err := channelmod.Baseline(spec, spec.Bounds.Max)
+	jobs := []*channelmod.Job{
+		{Kind: channelmod.JobOptimize, Scenario: arch,
+			Optimize: &channelmod.OptimizeJobSpec{Variant: "baseline"}},
+		{Kind: channelmod.JobOptimize, Scenario: arch,
+			Optimize: &channelmod.OptimizeJobSpec{Variant: "flow-allocation"}},
+		{Kind: channelmod.JobOptimize, Scenario: arch},
+		{Kind: channelmod.JobOptimize, Scenario: testA,
+			Optimize: &channelmod.OptimizeJobSpec{Variant: "min-pumping", MaxGradientK: 25}},
+	}
+	results, err := eng.RunAll(context.Background(), jobs)
 	if err != nil {
 		return err
 	}
-	flow, err := channelmod.OptimizeFlowAllocation(spec, spec.Bounds.Max, 0.5, 2.0)
-	if err != nil {
-		return err
-	}
-	mod, err := channelmod.Optimize(spec)
-	if err != nil {
-		return err
-	}
+	uniform, flow, mod, dual := results[0], results[1], results[2], results[3]
 	fmt.Println("A4: modulation vs flow-clustering baseline (Arch 3, peak power)")
-	fmt.Printf("  uniform width + uniform flow:   ΔT = %6.2f K\n", uniform.GradientK)
+	fmt.Printf("  uniform width + uniform flow:   ΔT = %6.2f K\n", uniform.Optimize.GradientK)
 	fmt.Printf("  uniform width + flow clustering: ΔT = %6.2f K (Qian-style; scales %v)\n",
-		flow.GradientK, fmtScales(flow.FlowScales))
-	fmt.Printf("  width modulation (this paper):   ΔT = %6.2f K\n", mod.GradientK)
-
-	// Dual variant on Test A.
-	ta, err := channelmod.TestA()
-	if err != nil {
-		return err
-	}
-	ta.Segments = 10
-	if quick {
-		ta.Segments = 6
-	}
-	dual, err := channelmod.OptimizeMinPumping(ta, 25)
-	if err != nil {
-		return err
-	}
+		flow.Optimize.GradientK, fmtScales(flow.FlowScales))
+	fmt.Printf("  width modulation (this paper):   ΔT = %6.2f K\n", mod.Optimize.GradientK)
 	fmt.Printf("  dual problem (Test A, ΔT ≤ 25 K): achieved ΔT = %.2f K at ΔP = %.2f bar\n",
-		dual.GradientK, units.ToBar(dual.MaxPressureDrop()))
+		dual.Optimize.GradientK, units.ToBar(dual.Optimize.MaxPressureDrop()))
 	return nil
 }
 
@@ -377,71 +330,12 @@ func runBaselines(quick bool) error {
 // across a four-channel stack (the workload class of Qian et al., JLPEA
 // 2011), simulated on the factor-once transient plant twice — the
 // static-optimal design with uniform flow, and the same design with
-// per-epoch runtime flow re-allocation. Both arms are batch-evaluated
-// over two flow-actuation ranges to show the valve authority's effect.
+// per-epoch runtime flow re-allocation. The whole experiment is scenario
+// JSON: one declarative file, two runtime jobs differing only in the
+// valve-authority range, batch-evaluated by the engine.
 func runRuntime(quick bool) error {
-	nChannels := 4
-	nx, dt := 40, 1e-3
-	segments, outer := 8, 3
-	if quick {
-		nx, dt = 16, 2e-3
-		segments, outer = 4, 2
-	}
-
-	p := channelmod.DefaultParams()
-	mkLoad := func(wcm2 float64) (channelmod.ChannelLoad, error) {
-		return channelmod.UniformLoad(wcm2, p.ClusterWidth(), p.Length)
-	}
-	base := make([]channelmod.ChannelLoad, nChannels)
-	for k := range base {
-		ld, err := mkLoad(40)
-		if err != nil {
-			return err
-		}
-		base[k] = ld
-	}
-	// The hotspot (160 W/cm²) visits each channel for 15 ms, then the
-	// schedule repeats.
-	var phases []channelmod.TracePhase
-	for hot := 0; hot < nChannels; hot++ {
-		loads := make([]channelmod.PhaseLoad, nChannels)
-		for k := range loads {
-			wcm2 := 40.0
-			if k == hot {
-				wcm2 = 160
-			}
-			ld, err := mkLoad(wcm2)
-			if err != nil {
-				return err
-			}
-			loads[k] = channelmod.PhaseLoad{Top: ld.FluxTop, Bottom: ld.FluxBottom}
-		}
-		phases = append(phases, channelmod.TracePhase{Duration: 0.015, Loads: loads})
-	}
-	trace := &channelmod.Trace{Phases: phases, Periodic: true}
-
-	spec := &channelmod.Spec{
-		Params:          p,
-		Channels:        base,
-		Bounds:          channelmod.DefaultBounds(),
-		Segments:        segments,
-		OuterIterations: outer,
-	}
-	// The static design depends only on the trace's time-average, not on
-	// the valve range — optimize it once and share it across the ranges.
-	meanLoads, err := trace.MeanLoads()
-	if err != nil {
-		return err
-	}
-	designSpec := *spec
-	designSpec.Channels = make([]channelmod.ChannelLoad, len(meanLoads))
-	for k, ld := range meanLoads {
-		designSpec.Channels[k] = channelmod.ChannelLoad{FluxTop: ld.Top, FluxBottom: ld.Bottom}
-	}
-	design, err := channelmod.Optimize(&designSpec)
-	if err != nil {
-		return err
-	}
+	const nChannels = 4
+	scn := runtimeScenario(quick)
 
 	ranges := []struct {
 		name   string
@@ -450,28 +344,22 @@ func runRuntime(quick bool) error {
 		{"moderate valves [0.5, 2.0]", 0.5, 2.0},
 		{"weak valves     [0.8, 1.25]", 0.8, 1.25},
 	}
-	specs := make([]*channelmod.RuntimeSpec, len(ranges))
+	jobs := make([]*channelmod.Job, len(ranges))
 	for i, r := range ranges {
-		specs[i] = &channelmod.RuntimeSpec{
-			Spec:         spec,
-			Trace:        trace,
-			Profiles:     design.Profiles,
-			Dt:           dt,
-			Epoch:        0.005,
-			Horizon:      2 * trace.Duration(),
-			FlowScaleMin: r.lo,
-			FlowScaleMax: r.hi,
-			NX:           nx,
-		}
+		s := scn
+		rt := *s.Runtime
+		rt.FlowScaleRange = [2]float64{r.lo, r.hi}
+		s.Runtime = &rt
+		jobs[i] = &channelmod.Job{Kind: channelmod.JobRuntime, Scenario: s}
 	}
-	results, err := channelmod.BatchRuntime(specs)
+	results, err := eng.RunAll(context.Background(), jobs)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("E10: runtime flow re-optimization vs static design (hotspot migrating over %d channels)\n", nChannels)
 	for i, r := range ranges {
-		res := results[i]
+		res := results[i].Runtime.Result
 		fmt.Printf("  %s:\n", r.name)
 		fmt.Printf("    static uniform flow:   max ΔT = %6.2f K   mean ΔT = %6.2f K   max peak = %s\n",
 			res.Static.MaxGradient(), res.Static.MeanGradient(), units.Temperature(res.Static.MaxPeak()))
@@ -480,12 +368,51 @@ func runRuntime(quick bool) error {
 		fmt.Printf("    worst-case gradient reduction: %.1f%%\n", 100*res.GradientImprovement())
 	}
 	// Trajectory of the stronger-valve run: s = static, r = runtime.
-	res := results[0]
+	res := results[0].Runtime.Result
 	fmt.Print(channelmod.RenderProfiles(res.Static.Times, map[byte][]float64{
 		's': res.Static.GradientK,
 		'r': res.Controlled.GradientK,
 	}, "  thermal gradient vs time (s = static flow, r = runtime re-optimized; x in seconds)"))
 	return nil
+}
+
+// runtimeScenario builds the E10 scenario as data: four channels at a
+// 40 W/cm² base, a periodic trace whose 160 W/cm² hotspot visits each
+// channel for 15 ms, and the plant/controller timing.
+func runtimeScenario(quick bool) channelmod.Scenario {
+	const nChannels = 4
+	uniform := func(wcm2 float64) scenario.Channel {
+		return scenario.Channel{TopWcm2: []float64{wcm2}, BottomWcm2: []float64{wcm2}}
+	}
+	base := make([]scenario.Channel, nChannels)
+	for k := range base {
+		base[k] = uniform(40)
+	}
+	var phases []scenario.Phase
+	for hot := 0; hot < nChannels; hot++ {
+		chans := make([]scenario.Channel, nChannels)
+		for k := range chans {
+			wcm2 := 40.0
+			if k == hot {
+				wcm2 = 160
+			}
+			chans[k] = uniform(wcm2)
+		}
+		phases = append(phases, scenario.Phase{DurationMS: 15, Channels: chans})
+	}
+	scn := channelmod.Scenario{
+		Name:            "e10-migrating-hotspot",
+		Segments:        8,
+		Channels:        base,
+		Trace:           &scenario.Trace{Periodic: true, Phases: phases},
+		Runtime:         &scenario.Runtime{DtMS: 1, EpochMS: 5, NX: 40},
+		OuterIterations: 3,
+	}
+	if quick {
+		scn.Segments, scn.OuterIterations = 4, 2
+		scn.Runtime.DtMS, scn.Runtime.NX = 2, 16
+	}
+	return scn
 }
 
 func fmtScales(s []float64) string {
@@ -498,37 +425,20 @@ func fmtScales(s []float64) string {
 
 func runValidate(quick bool) error {
 	// Sec. III validation: compact analytical model vs the grid simulator
-	// (3D-ICE substitute) on the uniform Test-A structure.
-	spec, err := channelmod.TestA()
+	// (3D-ICE substitute) on the uniform Test-A structure — a baseline
+	// optimize job and a thermalmap job over the same scenario.
+	scn := channelmod.Scenario{Preset: "testA", Segments: 1}
+	jobs := []*channelmod.Job{
+		{Kind: channelmod.JobOptimize, Scenario: scn,
+			Optimize: &channelmod.OptimizeJobSpec{Variant: "baseline"}},
+		{Kind: channelmod.JobThermalMap, Scenario: scn,
+			Map: &channelmod.MapJobSpec{Widths: "max", NX: 50, NY: 1}},
+	}
+	results, err := eng.RunAll(context.Background(), jobs)
 	if err != nil {
 		return err
 	}
-	spec.Segments = 1
-	res, err := channelmod.Baseline(spec, spec.Bounds.Max)
-	if err != nil {
-		return err
-	}
-	p := spec.Params
-	gs := &channelmod.GridStack{
-		Cfg: channelmod.GridConfig{
-			Params:  p,
-			LengthX: p.Length,
-			WidthY:  p.ClusterWidth(),
-			NX:      50,
-			NY:      1,
-		},
-		PowerTop: func(x, y float64) float64 {
-			return units.WattsPerCm2(50)
-		},
-		PowerBottom: func(x, y float64) float64 {
-			return units.WattsPerCm2(50)
-		},
-		Width: func(x, y float64) float64 { return spec.Bounds.Max },
-	}
-	f, err := channelmod.ThermalMap(gs)
-	if err != nil {
-		return err
-	}
+	res, f := results[0].Optimize, results[1].Map.Field
 	fmt.Printf("Sec. III validation (compact analytical vs finite-volume grid):\n")
 	fmt.Printf("  gradient: compact %.2f K vs grid %.2f K (Δ %.1f%%)\n",
 		res.GradientK, f.Gradient(), 100*(res.GradientK-f.Gradient())/f.Gradient())

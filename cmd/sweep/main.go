@@ -3,125 +3,88 @@
 // effort), the control-discretization sweep (A1: segments vs achieved
 // gradient) and a flow-rate sweep.
 //
-// Sweep points are independent problems, so every sweep builds its spec
-// list up front and evaluates the points concurrently on the batch worker
-// pool (batch.Stream). Rows print in sweep order, each as soon as it and
-// all earlier points are done — long sweeps show progress incrementally,
-// and a failing point still prints the rows before it.
+// It is a thin front-end of the job engine: the flags assemble a sweep
+// Job over the Test-A scenario, the engine batch-evaluates the points on
+// the bounded worker pool, and only the rendering lives here. -json
+// emits the machine-readable projection instead of the table; SIGINT
+// cancels the batch cooperatively.
 //
 // Usage:
 //
-//	sweep -kind pressure|segments|flow [-points 5]
+//	sweep -kind pressure|segments|flow [-points 5] [-json]
 package main
 
 import (
-	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	channelmod "repro"
-	"repro/internal/batch"
-	"repro/internal/units"
+	"repro/internal/cliutil"
 )
 
-func main() {
+func main() { cliutil.Main(run) }
+
+func run() error {
 	kind := flag.String("kind", "pressure", "sweep kind: pressure, segments, flow")
 	points := flag.Int("points", 5, "number of sweep points")
+	asJSON := flag.Bool("json", false, "emit the sweep as JSON instead of a table")
 	flag.Parse()
 
-	var err error
+	// The scenario carries the per-kind solve tuning the ablations have
+	// always used; the sweep section carries the axis.
+	scn := channelmod.Scenario{Name: "sweep-" + *kind, Preset: "testA"}
 	switch *kind {
 	case "pressure":
-		err = sweepPressure(*points)
-	case "segments":
-		err = sweepSegments()
-	case "flow":
-		err = sweepFlow(*points)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown sweep %q\n", *kind)
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
-
-func sweepPressure(points int) error {
-	fmt.Println("A2: gradient vs pressure budget (Test A)")
-	fmt.Println("  ΔPmax(bar)   ΔT(K)   ΔPused(bar)")
-	bars := make([]float64, points)
-	specs := make([]*channelmod.Spec, points)
-	for i := 0; i < points; i++ {
-		bars[i] = 1.0 * float64(int(1)<<uint(i)) // 1, 2, 4, 8, 16 ...
-		spec, err := channelmod.TestA()
-		if err != nil {
-			return err
-		}
-		spec.Segments = 10
 		// Tight budgets leave the optimum pressed hard against the ΔP
 		// boundary; give the multiplier loop more updates to settle.
-		spec.OuterIterations = 10
-		spec.MaxPressure = units.Bar(bars[i])
-		specs[i] = spec
+		scn.Segments, scn.OuterIterations = 10, 10
+	case "segments":
+		scn.OuterIterations = 4
+	case "flow":
+		scn.Segments = 1
+	default:
+		return cliutil.UsageErrorf("unknown sweep %q", *kind)
 	}
-	return batch.Stream(context.Background(), len(specs),
-		func(ctx context.Context, i int) (*channelmod.Result, error) {
-			return channelmod.OptimizeContext(ctx, specs[i])
-		},
-		func(i int, res *channelmod.Result) error {
-			fmt.Printf("  %8.1f   %6.2f   %8.2f\n", bars[i], res.GradientK,
-				units.ToBar(res.MaxPressureDrop()))
-			return nil
-		})
-}
+	job := &channelmod.Job{
+		Kind:     channelmod.JobSweep,
+		Scenario: scn,
+		Sweep:    &channelmod.SweepJobSpec{Kind: *kind, Points: *points},
+	}
 
-func sweepSegments() error {
-	fmt.Println("A1: gradient vs control discretization (Test A)")
-	fmt.Println("  segments   ΔT(K)   evaluations")
-	ks := []int{2, 5, 10, 20, 40}
-	specs := make([]*channelmod.Spec, len(ks))
-	for i, k := range ks {
-		spec, err := channelmod.TestA()
-		if err != nil {
-			return err
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	res, err := channelmod.RunJob(ctx, job)
+	if err != nil {
+		return err
+	}
+
+	rows := res.JSON().Sweep
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+	switch *kind {
+	case "pressure":
+		fmt.Println("A2: gradient vs pressure budget (Test A)")
+		fmt.Println("  ΔPmax(bar)   ΔT(K)   ΔPused(bar)")
+		for _, r := range rows.Rows {
+			fmt.Printf("  %8.1f   %6.2f   %8.2f\n", r.PressureBar, r.GradientK, r.PressureUsedBar)
 		}
-		spec.Segments = k
-		spec.OuterIterations = 4
-		specs[i] = spec
+	case "segments":
+		fmt.Println("A1: gradient vs control discretization (Test A)")
+		fmt.Println("  segments   ΔT(K)   evaluations")
+		for _, r := range rows.Rows {
+			fmt.Printf("  %8d   %6.2f   %11d\n", r.Segments, r.GradientK, r.Evaluations)
+		}
+	case "flow":
+		fmt.Println("flow-rate sweep: uniform max-width gradient vs per-channel flow (Test A)")
+		fmt.Println("  flow(ml/min)   ΔT(K)   coolant-outlet(°C)")
+		for _, r := range rows.Rows {
+			fmt.Printf("  %10.2f   %6.2f   %14.2f\n", r.FlowMLMin, r.GradientK, r.OutletC)
+		}
 	}
-	return batch.Stream(context.Background(), len(specs),
-		func(ctx context.Context, i int) (*channelmod.Result, error) {
-			return channelmod.OptimizeContext(ctx, specs[i])
-		},
-		func(i int, res *channelmod.Result) error {
-			fmt.Printf("  %8d   %6.2f   %11d\n", ks[i], res.GradientK, res.Evaluations)
-			return nil
-		})
-}
-
-func sweepFlow(points int) error {
-	fmt.Println("flow-rate sweep: uniform max-width gradient vs per-channel flow (Test A)")
-	fmt.Println("  flow(ml/min)   ΔT(K)   coolant-outlet(°C)")
-	mls := make([]float64, points)
-	for i := range mls {
-		mls[i] = 0.24 * float64(i+1) // 0.24 .. 1.2 ml/min
-	}
-	return batch.Stream(context.Background(), points,
-		func(_ context.Context, i int) (*channelmod.Result, error) {
-			spec, err := channelmod.TestA()
-			if err != nil {
-				return nil, err
-			}
-			spec.Params.FlowRatePerChannel = units.MilliLitersPerMinute(mls[i])
-			spec.Segments = 1
-			return channelmod.Baseline(spec, spec.Bounds.Max)
-		},
-		func(i int, res *channelmod.Result) error {
-			tc := res.Solution.Channels[0].TC
-			fmt.Printf("  %10.2f   %6.2f   %14.2f\n", mls[i], res.GradientK,
-				units.ToCelsius(tc[len(tc)-1]))
-			return nil
-		})
+	return nil
 }

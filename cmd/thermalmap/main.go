@@ -2,6 +2,10 @@
 // stacks with the finite-volume grid simulator (the Fig. 1 / Fig. 9
 // rendering path).
 //
+// It is a thin front-end of the job engine: the flags assemble a
+// thermalmap Job, the engine solves it, and only the ASCII rendering
+// lives here.
+//
 // Usage:
 //
 //	thermalmap -stack fig1a|fig1b|arch1|arch2|arch3 [-mode peak|average]
@@ -9,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +23,9 @@ import (
 	"repro/internal/units"
 )
 
-func main() {
+func main() { cliutil.Main(run) }
+
+func run() error {
 	stackStr := flag.String("stack", "fig1a", "stack: fig1a, fig1b, arch1, arch2, arch3")
 	modeStr := flag.String("mode", "peak", "power mode for arch stacks")
 	widthUm := flag.Float64("width-um", 50, "uniform channel width in µm")
@@ -32,8 +39,17 @@ func main() {
 	switch *layer {
 	case "top", "bottom", "coolant":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown layer %q (want top, bottom or coolant)\n", *layer)
-		os.Exit(2)
+		return cliutil.UsageErrorf("unknown layer %q (want top, bottom or coolant)", *layer)
+	}
+	switch *modeStr {
+	case "peak", "average":
+	default:
+		return cliutil.UsageErrorf("unknown mode %q", *modeStr)
+	}
+	switch *stackStr {
+	case "fig1a", "fig1b", "arch1", "arch2", "arch3":
+	default:
+		return cliutil.UsageErrorf("unknown stack %q", *stackStr)
 	}
 	// -mode only selects power maps for the arch stacks; an explicitly
 	// set mode on fig1a/fig1b would otherwise be silently ignored.
@@ -42,22 +58,28 @@ func main() {
 			*modeStr, *stackStr)
 	}
 
-	s, err := buildStack(*stackStr, *modeStr, units.Micrometers(*widthUm))
+	job := &channelmod.Job{
+		Kind: channelmod.JobThermalMap,
+		Scenario: channelmod.Scenario{
+			Name:   *stackStr,
+			Preset: *stackStr,
+			Mode:   *modeStr,
+		},
+		Map: &channelmod.MapJobSpec{
+			WidthUM: *widthUm,
+			NX:      *nx,
+			NY:      *ny,
+		},
+	}
+	if *stackStr == "fig1a" || *stackStr == "fig1b" {
+		job.Scenario.Mode = "" // fixed power maps; the engine rejects inert knobs
+	}
+	res, err := channelmod.RunJob(context.Background(), job)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
-	if *nx > 0 {
-		s.Cfg.NX = *nx
-	}
-	if *ny > 0 {
-		s.Cfg.NY = *ny
-	}
-	f, err := channelmod.ThermalMap(s)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+
+	f := res.Map.Field
 	var m [][]float64
 	switch *layer {
 	case "top":
@@ -71,33 +93,5 @@ func main() {
 	title := fmt.Sprintf("%s / %s layer — T in [%s, %s], gradient %.2f K (flow: bottom -> top)",
 		*stackStr, *layer, units.Temperature(lo), units.Temperature(hi), f.Gradient())
 	fmt.Print(channelmod.RenderHeatmap(m, title, 0, 0))
-}
-
-func buildStack(stack, modeStr string, width float64) (*channelmod.GridStack, error) {
-	mode := channelmod.Peak
-	if modeStr == "average" {
-		mode = channelmod.Average
-	} else if modeStr != "peak" {
-		return nil, fmt.Errorf("unknown mode %q", modeStr)
-	}
-	switch stack {
-	case "fig1a":
-		s, err := channelmod.Fig1Uniform()
-		if err != nil {
-			return nil, err
-		}
-		s.Width = func(x, y float64) float64 { return width }
-		return s, nil
-	case "fig1b":
-		s, err := channelmod.Fig1Niagara()
-		if err != nil {
-			return nil, err
-		}
-		s.Width = func(x, y float64) float64 { return width }
-		return s, nil
-	case "arch1", "arch2", "arch3":
-		return channelmod.ArchThermalMap(int(stack[4]-'0'), mode, nil, width)
-	default:
-		return nil, fmt.Errorf("unknown stack %q", stack)
-	}
+	return nil
 }

@@ -1,7 +1,70 @@
 // Package cliutil holds tiny helpers shared by the cmd/ front-ends.
+//
+// Every command routes its exits through Main so that deferred cleanup
+// (profile flushes, file closes, daemon shutdown) always runs: run
+// functions return errors instead of calling os.Exit or log.Fatal, and
+// Main maps them to exit codes after the defers have unwound.
 package cliutil
 
-import "flag"
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// usageError marks a command-line usage failure (exit code 2, like
+// flag.Parse's own errors).
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// UsageErrorf builds a usage error: bad flag values, unknown scenario
+// names, inconsistent flag combinations.
+func UsageErrorf(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// AsUsage wraps an existing error as a usage failure, keeping its text.
+func AsUsage(err error) error {
+	if err == nil {
+		return nil
+	}
+	return usageError{err}
+}
+
+// IsUsage reports whether err (or anything it wraps) is a usage error.
+func IsUsage(err error) bool {
+	var u usageError
+	return errors.As(err, &u)
+}
+
+// Main runs a command body and exits the process with 0 on success, 2 on
+// usage errors and 1 otherwise. It is the single os.Exit of every
+// command: by the time it runs, run's defers (profile flushes, file
+// closes) have already unwound, so a failing run can never truncate its
+// own diagnostics.
+func Main(run func() error) {
+	err := run()
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, err)
+	if IsUsage(err) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// SignalContext returns a context cancelled by SIGINT/SIGTERM, for
+// commands whose long-running batches support cooperative cancellation.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
 
 // FlagWasSet reports whether the named flag was given on the command
 // line (as opposed to holding its default). It must be called after

@@ -257,19 +257,73 @@ func RunRuntimeContext(ctx context.Context, rs *RuntimeSpec) (*RuntimeResult, er
 	return res, nil
 }
 
-// staticDesign optimizes the width profiles against the trace's
-// time-average loads — the best design a static (design-time-only) flow
-// of information can produce.
-func (rs *RuntimeSpec) staticDesign() ([]*microchannel.Profile, error) {
-	mean, err := rs.Trace.MeanLoads()
+// TransientRun is the outcome of a static-actuation transient
+// simulation: the plant integrated over the trace with fixed profiles and
+// uniform flow, no controller in the loop.
+type TransientRun struct {
+	// Profiles is the width design the plant ran.
+	Profiles []*microchannel.Profile
+	// Series is the per-step trajectory.
+	Series RuntimeSeries
+}
+
+// SimulateTransient integrates the transient plant over the trace with
+// static actuation only (the open-loop arm of the runtime experiment).
+// A nil rs.Profiles designs the widths against the trace's time-average
+// loads first, exactly like RunRuntime.
+func SimulateTransient(rs *RuntimeSpec) (*TransientRun, error) {
+	return SimulateTransientContext(context.Background(), rs)
+}
+
+// SimulateTransientContext is SimulateTransient with cancellation between
+// epochs.
+func SimulateTransientContext(ctx context.Context, rs *RuntimeSpec) (*TransientRun, error) {
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	profiles := rs.Profiles
+	if profiles == nil {
+		static, err := rs.staticDesign()
+		if err != nil {
+			return nil, err
+		}
+		profiles = static
+	}
+	series, _, err := rs.runArm(ctx, profiles, nil)
+	if err != nil {
+		return nil, fmt.Errorf("control: transient simulation: %w", err)
+	}
+	return &TransientRun{Profiles: profiles, Series: *series}, nil
+}
+
+// TraceDesign runs the design-time optimization of a trace-driven
+// experiment: the modulation problem against the trace's time-average
+// loads — the best design a static (design-time-only) flow of
+// information can produce. RunRuntime and SimulateTransient perform
+// exactly this when given no Profiles; callers running several
+// experiments over one trace can solve it once and share the result.
+func TraceDesign(spec *Spec, tr *power.Trace) (*Result, error) {
+	mean, err := tr.MeanLoads()
 	if err != nil {
 		return nil, err
 	}
-	spec := *rs.Spec
-	spec.Channels = loadsToChannels(mean)
-	opt, err := Optimize(&spec)
+	s := *spec
+	s.Channels = loadsToChannels(mean)
+	opt, err := Optimize(&s)
 	if err != nil {
 		return nil, fmt.Errorf("control: runtime static design: %w", err)
+	}
+	return opt, nil
+}
+
+// staticDesign resolves the profiles of the trace design.
+func (rs *RuntimeSpec) staticDesign() ([]*microchannel.Profile, error) {
+	opt, err := TraceDesign(rs.Spec, rs.Trace)
+	if err != nil {
+		return nil, err
 	}
 	return opt.Profiles, nil
 }

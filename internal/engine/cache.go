@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a mutex-guarded LRU map from content hash to *Result.
+// Entries are immutable by convention: the engine hands the same *Result
+// to every caller, so nobody may mutate a returned result.
+type lruCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type lruEntry struct {
+	hash string
+	res  *Result
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result and refreshes its recency.
+func (c *lruCache) get(hash string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[hash]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// add inserts (or refreshes) a result, evicting the least recently used
+// entry beyond capacity.
+func (c *lruCache) add(hash string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[hash]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).res = res
+		return
+	}
+	c.items[hash] = c.ll.PushFront(&lruEntry{hash: hash, res: res})
+	for c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).hash)
+		c.evictions++
+	}
+}
+
+// stats returns the current entry count and lifetime eviction count.
+func (c *lruCache) stats() (entries int, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.evictions
+}

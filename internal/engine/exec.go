@@ -1,0 +1,409 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/microchannel"
+	"repro/internal/units"
+)
+
+// exec dispatches an already-canonical job to its executor. Every
+// executor is deterministic (seeded randomness only) and fans its
+// independent solves out on the bounded worker pool, so a cold run, a
+// warm cache hit and a coalesced submission all observe bit-identical
+// payloads.
+func (e *Engine) exec(ctx context.Context, job *Job, hash string) (*Result, error) {
+	res := &Result{Kind: job.Kind, Hash: hash}
+	var err error
+	switch job.Kind {
+	case KindCompare:
+		err = e.execCompare(ctx, job, res)
+	case KindOptimize:
+		err = e.execOptimize(ctx, job, res)
+	case KindSweep:
+		err = e.execSweep(ctx, job, res)
+	case KindArchExperiment:
+		err = e.execArchExperiment(ctx, job, res)
+	case KindThermalMap:
+		err = e.execThermalMap(ctx, job, res)
+	case KindTransient:
+		err = e.execTransient(ctx, job, res)
+	case KindRuntime:
+		err = e.execRuntime(ctx, job, res)
+	default:
+		err = fmt.Errorf("engine: unknown job kind %q", job.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (e *Engine) execCompare(ctx context.Context, job *Job, res *Result) error {
+	spec, err := job.Scenario.Spec()
+	if err != nil {
+		return err
+	}
+	cmp, err := core.CompareContext(ctx, spec)
+	if err != nil {
+		return err
+	}
+	res.Compare = cmp
+	return nil
+}
+
+func (e *Engine) execOptimize(ctx context.Context, job *Job, res *Result) error {
+	spec, err := job.Scenario.Spec()
+	if err != nil {
+		return err
+	}
+	o := job.Optimize
+	width := spec.Bounds.Max
+	if o.WidthUM > 0 {
+		width = units.Micrometers(o.WidthUM)
+	}
+	switch o.Variant {
+	case VariantModulation:
+		r, err := control.OptimizeContext(ctx, spec)
+		if err != nil {
+			return err
+		}
+		res.Optimize = r
+	case VariantBaseline:
+		r, err := control.Baseline(spec, width)
+		if err != nil {
+			return err
+		}
+		res.Optimize = r
+	case VariantFlowAllocation:
+		lo, hi := o.FlowScaleRange[0], o.FlowScaleRange[1]
+		r, err := control.OptimizeFlowAllocation(spec, width, lo, hi)
+		if err != nil {
+			return err
+		}
+		res.Optimize = &r.Result
+		res.FlowScales = r.FlowScales
+	case VariantMinPumping:
+		r, err := control.OptimizeMinPumping(spec, o.MaxGradientK)
+		if err != nil {
+			return err
+		}
+		res.Optimize = r
+	case VariantTraceDesign:
+		tr, err := job.Scenario.BuildTrace(spec)
+		if err != nil {
+			return err
+		}
+		r, err := control.TraceDesign(spec, tr)
+		if err != nil {
+			return err
+		}
+		res.Optimize = r
+	default:
+		return fmt.Errorf("engine: unknown optimize variant %q", o.Variant)
+	}
+	return nil
+}
+
+func (e *Engine) execSweep(ctx context.Context, job *Job, res *Result) error {
+	s := job.Sweep
+	var n int
+	switch s.Kind {
+	case SweepPressure:
+		n = len(s.PressureBars)
+	case SweepSegments:
+		n = len(s.Segments)
+	case SweepFlow:
+		n = len(s.FlowMLMin)
+	default:
+		return fmt.Errorf("engine: unknown sweep kind %q", s.Kind)
+	}
+	points, err := batch.Map(ctx, n, func(ctx context.Context, i int) (SweepPoint, error) {
+		// Each point rebuilds its spec from the scenario: spec
+		// construction is cheap next to a solve and keeps the points
+		// fully independent across workers.
+		spec, err := job.Scenario.Spec()
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		pt := SweepPoint{}
+		switch s.Kind {
+		case SweepPressure:
+			pt.PressureBar = s.PressureBars[i]
+			spec.MaxPressure = units.Bar(pt.PressureBar)
+			pt.Result, err = control.OptimizeContext(ctx, spec)
+		case SweepSegments:
+			pt.Segments = s.Segments[i]
+			spec.Segments = pt.Segments
+			pt.Result, err = control.OptimizeContext(ctx, spec)
+		case SweepFlow:
+			pt.FlowMLMin = s.FlowMLMin[i]
+			spec.Params.FlowRatePerChannel = units.MilliLitersPerMinute(pt.FlowMLMin)
+			pt.Result, err = control.Baseline(spec, spec.Bounds.Max)
+		}
+		if err != nil {
+			return SweepPoint{}, fmt.Errorf("engine: sweep point %d: %w", i, err)
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return err
+	}
+	res.Sweep = &SweepResult{Kind: s.Kind, Points: points}
+	return nil
+}
+
+func (e *Engine) execArchExperiment(ctx context.Context, job *Job, res *Result) error {
+	type combo struct {
+		arch int
+		mode string
+	}
+	var combos []combo
+	for _, a := range job.Experiment.Archs {
+		for _, m := range job.Experiment.Modes {
+			combos = append(combos, combo{a, m})
+		}
+	}
+	cases, err := batch.Map(ctx, len(combos), func(ctx context.Context, i int) (ExperimentCase, error) {
+		// Each case is the corresponding arch-preset scenario: the
+		// experiment grid reuses the preset override machinery verbatim.
+		f := job.Scenario
+		f.Preset = fmt.Sprintf("arch%d", combos[i].arch)
+		f.Mode = combos[i].mode
+		spec, err := f.Spec()
+		if err != nil {
+			return ExperimentCase{}, err
+		}
+		cmp, err := core.CompareContext(ctx, spec)
+		if err != nil {
+			return ExperimentCase{}, fmt.Errorf("engine: arch %d / %s: %w", combos[i].arch, combos[i].mode, err)
+		}
+		return ExperimentCase{Arch: combos[i].arch, Mode: combos[i].mode, Comparison: cmp}, nil
+	})
+	if err != nil {
+		return err
+	}
+	res.Experiment = &ExperimentResult{Cases: cases}
+	return nil
+}
+
+func (e *Engine) execThermalMap(ctx context.Context, job *Job, res *Result) error {
+	m := job.Map
+	var (
+		stack    *grid.Stack
+		profiles []*microchannel.Profile
+		err      error
+	)
+	switch job.Scenario.Preset {
+	case "fig1a", "fig1b":
+		cfg := core.Fig1Config{NX: m.NX, NY: m.NY, Width: units.Micrometers(m.WidthUM)}
+		if job.Scenario.Preset == "fig1a" {
+			stack, err = core.Fig1UniformStack(cfg)
+		} else {
+			stack, err = core.Fig1NiagaraStack(cfg)
+		}
+	case "arch1", "arch2", "arch3":
+		stack, profiles, err = e.archMapStack(ctx, job)
+	default:
+		stack, profiles, err = e.channelMapStack(ctx, job)
+	}
+	if err != nil {
+		return err
+	}
+	f, err := stack.Solve()
+	if err != nil {
+		return err
+	}
+	res.Map = &MapResult{Field: f, Profiles: profiles}
+	return nil
+}
+
+// archMapStack assembles the Fig. 9-style grid stack of an arch preset:
+// uniform or bound widths directly, or the scenario's optimal modulation
+// via a nested optimize job (cache-shared with any direct submission of
+// that job).
+func (e *Engine) archMapStack(ctx context.Context, job *Job) (*grid.Stack, []*microchannel.Profile, error) {
+	m := job.Map
+	arch := int(job.Scenario.Preset[4] - '0')
+	mode, err := job.Scenario.FloorplanMode()
+	if err != nil {
+		return nil, nil, err
+	}
+	spec, err := job.Scenario.Spec()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch m.Widths {
+	case WidthsUniform:
+		s, err := core.ArchGridStack(arch, mode, nil, units.Micrometers(m.WidthUM), m.NX, m.NY)
+		return s, nil, err
+	case WidthsMin:
+		s, err := core.ArchGridStack(arch, mode, nil, spec.Bounds.Min, m.NX, m.NY)
+		return s, nil, err
+	case WidthsMax:
+		s, err := core.ArchGridStack(arch, mode, nil, spec.Bounds.Max, m.NX, m.NY)
+		return s, nil, err
+	case WidthsOptimal:
+		profiles, err := e.optimalProfiles(ctx, job)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := core.ArchGridStack(arch, mode, profiles, 0, m.NX, m.NY)
+		return s, profiles, err
+	default:
+		return nil, nil, fmt.Errorf("engine: unknown map widths %q", m.Widths)
+	}
+}
+
+// channelMapStack assembles a grid stack straight from the scenario's
+// channel columns (testA/testB presets or explicit channels): one grid
+// row per channel, power densities from the channel fluxes. This is the
+// Sec. III validation geometry generalized to any scenario.
+func (e *Engine) channelMapStack(ctx context.Context, job *Job) (*grid.Stack, []*microchannel.Profile, error) {
+	m := job.Map
+	spec, err := job.Scenario.Spec()
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(spec.Channels)
+	p := spec.Params
+	clusterW := p.ClusterWidth()
+	chOf := func(y float64) int {
+		k := int(y / clusterW)
+		if k < 0 {
+			k = 0
+		}
+		if k >= n {
+			k = n - 1
+		}
+		return k
+	}
+
+	var profiles []*microchannel.Profile
+	width := func(x, y float64) float64 { return units.Micrometers(m.WidthUM) }
+	switch m.Widths {
+	case WidthsUniform:
+	case WidthsMin:
+		width = func(x, y float64) float64 { return spec.Bounds.Min }
+	case WidthsMax:
+		width = func(x, y float64) float64 { return spec.Bounds.Max }
+	case WidthsOptimal:
+		profiles, err = e.optimalProfiles(ctx, job)
+		if err != nil {
+			return nil, nil, err
+		}
+		width = func(x, y float64) float64 { return profiles[chOf(y)].At(x) }
+	default:
+		return nil, nil, fmt.Errorf("engine: unknown map widths %q", m.Widths)
+	}
+
+	nx, ny := m.NX, m.NY
+	if nx <= 0 {
+		nx = 50
+	}
+	if ny <= 0 {
+		ny = n
+	}
+	stack := &grid.Stack{
+		Cfg: grid.Config{
+			Params:  p,
+			LengthX: p.Length,
+			WidthY:  float64(n) * clusterW,
+			NX:      nx,
+			NY:      ny,
+		},
+		PowerTop: func(x, y float64) float64 {
+			return spec.Channels[chOf(y)].FluxTop.At(x) / clusterW
+		},
+		PowerBottom: func(x, y float64) float64 {
+			return spec.Channels[chOf(y)].FluxBottom.At(x) / clusterW
+		},
+		Width: width,
+	}
+	if err := stack.Cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return stack, profiles, nil
+}
+
+// optimalProfiles resolves the scenario's optimal modulation through a
+// nested optimize job on this engine, so a thermal map of the optimum
+// shares the cache entry with a direct optimization of the same
+// scenario.
+func (e *Engine) optimalProfiles(ctx context.Context, job *Job) ([]*microchannel.Profile, error) {
+	sub := &Job{Kind: KindOptimize, Scenario: job.Scenario}
+	res, err := e.Run(ctx, sub)
+	if err != nil {
+		return nil, fmt.Errorf("engine: map design optimization: %w", err)
+	}
+	return res.Optimize.Profiles, nil
+}
+
+func (e *Engine) execTransient(ctx context.Context, job *Job, res *Result) error {
+	rs, err := job.Scenario.RuntimeSpec()
+	if err != nil {
+		return err
+	}
+	if w := job.Transient.WidthUM; w > 0 {
+		profiles := make([]*microchannel.Profile, len(rs.Spec.Channels))
+		for k := range profiles {
+			p, err := microchannel.NewUniform(units.Micrometers(w), rs.Spec.Params.Length, 1)
+			if err != nil {
+				return err
+			}
+			profiles[k] = p
+		}
+		rs.Profiles = profiles
+	} else if rs.Profiles, err = e.traceDesign(ctx, job); err != nil {
+		return err
+	}
+	run, err := control.SimulateTransientContext(ctx, rs)
+	if err != nil {
+		return err
+	}
+	res.Transient = run
+	return nil
+}
+
+// traceDesign resolves the scenario's design-time modulation (the
+// profiles a trace-driven plant runs) through a nested trace-design
+// optimize job, so experiments sharing a trace — e.g. the two E10
+// valve-authority ranges — solve the design once and share the cache
+// entry.
+func (e *Engine) traceDesign(ctx context.Context, job *Job) ([]*microchannel.Profile, error) {
+	sub := &Job{
+		Kind:     KindOptimize,
+		Scenario: job.Scenario,
+		Optimize: &OptimizeSpec{Variant: VariantTraceDesign},
+	}
+	// The controller timing does not shape the design; dropping it here
+	// keeps the sub-job's address shared across plant configurations.
+	sub.Scenario.Runtime = nil
+	res, err := e.Run(ctx, sub)
+	if err != nil {
+		return nil, fmt.Errorf("engine: trace design: %w", err)
+	}
+	return res.Optimize.Profiles, nil
+}
+
+func (e *Engine) execRuntime(ctx context.Context, job *Job, res *Result) error {
+	rs, err := job.Scenario.RuntimeSpec()
+	if err != nil {
+		return err
+	}
+	if rs.Profiles, err = e.traceDesign(ctx, job); err != nil {
+		return err
+	}
+	r, err := control.RunRuntimeContext(ctx, rs)
+	if err != nil {
+		return err
+	}
+	nx, ny := rs.PlantResolution()
+	res.Runtime = &RuntimeJobResult{Result: r, Channels: len(rs.Spec.Channels), NX: nx, NY: ny}
+	return nil
+}

@@ -1,0 +1,371 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/mat"
+	"repro/internal/microchannel"
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+// Result is a job's typed outcome. Exactly one kind-specific payload is
+// set. Results returned by an Engine are shared across callers and must
+// be treated as immutable.
+type Result struct {
+	// Kind mirrors the job's kind.
+	Kind Kind
+	// Hash is the job's content address.
+	Hash string
+	// Compare is the compare kind's payload.
+	Compare *core.Comparison
+	// Optimize is the optimize kind's payload (all variants).
+	Optimize *control.Result
+	// FlowScales carries the flow-allocation variant's resolved
+	// per-channel multipliers (nil for the other variants).
+	FlowScales []float64
+	// Sweep is the sweep kind's payload.
+	Sweep *SweepResult
+	// Experiment is the arch-experiment kind's payload.
+	Experiment *ExperimentResult
+	// Map is the thermalmap kind's payload.
+	Map *MapResult
+	// Transient is the transient kind's payload.
+	Transient *control.TransientRun
+	// Runtime is the runtime kind's payload.
+	Runtime *RuntimeJobResult
+}
+
+// SweepResult is one evaluated sweep: the axis and its points in order.
+type SweepResult struct {
+	// Kind is the swept axis (pressure, segments, flow).
+	Kind string
+	// Points are the evaluated points in sweep order.
+	Points []SweepPoint
+}
+
+// SweepPoint is one sweep point: the swept coordinate and its solve.
+type SweepPoint struct {
+	// PressureBar, Segments and FlowMLMin hold the swept coordinate
+	// (only the axis' field is meaningful).
+	PressureBar float64
+	Segments    int
+	FlowMLMin   float64
+	// Result is the point's evaluation.
+	Result *control.Result
+}
+
+// ExperimentResult is the arch-experiment grid in case order
+// (architectures outer, modes inner).
+type ExperimentResult struct {
+	Cases []ExperimentCase
+}
+
+// ExperimentCase is one architecture × power-mode comparison.
+type ExperimentCase struct {
+	Arch       int
+	Mode       string
+	Comparison *core.Comparison
+}
+
+// MapResult is a resolved thermal map plus the width design it ran.
+type MapResult struct {
+	// Field is the solved temperature field.
+	Field *grid.Field
+	// Profiles are the per-channel width profiles when the map ran an
+	// optimal-modulation design (nil for uniform/min/max widths).
+	Profiles []*microchannel.Profile
+}
+
+// RuntimeJobResult is the runtime kind's payload: the two-arm experiment
+// plus the plant shape for reporting.
+type RuntimeJobResult struct {
+	Result *control.RuntimeResult
+	// Channels is the scenario's channel count.
+	Channels int
+	// NX and NY are the transient plant's grid resolution.
+	NX, NY int
+}
+
+// ---------------------------------------------------------------------
+// JSON projections (engineering units), the daemon's wire format.
+
+// ResultJSON is the serializable projection of a Result.
+type ResultJSON struct {
+	Kind       Kind            `json:"kind"`
+	Hash       string          `json:"hash"`
+	Compare    *CompareJSON    `json:"compare,omitempty"`
+	Optimize   *OptimizeJSON   `json:"optimize,omitempty"`
+	Sweep      *SweepJSON      `json:"sweep,omitempty"`
+	Experiment *ExperimentJSON `json:"experiment,omitempty"`
+	Map        *MapJSON        `json:"map,omitempty"`
+	Transient  *TransientJSON  `json:"transient,omitempty"`
+	Runtime    *RuntimeJSON    `json:"runtime,omitempty"`
+}
+
+// CompareJSON projects a three-way comparison.
+type CompareJSON struct {
+	MinWidth             scenario.Result `json:"min_width"`
+	MaxWidth             scenario.Result `json:"max_width"`
+	Optimal              scenario.Result `json:"optimal"`
+	UniformGradientK     float64         `json:"uniform_gradient_k"`
+	GradientReductionPct float64         `json:"gradient_reduction_pct"`
+}
+
+// OptimizeJSON projects an optimization outcome (any variant).
+type OptimizeJSON struct {
+	scenario.Result
+	FlowScales []float64 `json:"flow_scales,omitempty"`
+}
+
+// SweepJSON projects a sweep.
+type SweepJSON struct {
+	Kind string         `json:"kind"`
+	Rows []SweepRowJSON `json:"rows"`
+}
+
+// SweepRowJSON is one sweep row; only the swept axis' coordinate field
+// is populated.
+type SweepRowJSON struct {
+	PressureBar float64 `json:"pressure_bar,omitempty"`
+	Segments    int     `json:"segments,omitempty"`
+	FlowMLMin   float64 `json:"flow_ml_min,omitempty"`
+
+	GradientK       float64 `json:"gradient_k"`
+	PeakC           float64 `json:"peak_c"`
+	PressureUsedBar float64 `json:"pressure_used_bar"`
+	Evaluations     int     `json:"evaluations"`
+	OutletC         float64 `json:"outlet_c,omitempty"`
+}
+
+// ExperimentJSON projects the arch-experiment grid.
+type ExperimentJSON struct {
+	Cases []ExperimentCaseJSON `json:"cases"`
+}
+
+// ExperimentCaseJSON is one architecture × mode case.
+type ExperimentCaseJSON struct {
+	Arch    int         `json:"arch"`
+	Mode    string      `json:"mode"`
+	Compare CompareJSON `json:"compare"`
+}
+
+// MapJSON projects a thermal map in °C.
+type MapJSON struct {
+	NX         int         `json:"nx"`
+	NY         int         `json:"ny"`
+	GradientK  float64     `json:"gradient_k"`
+	PeakC      float64     `json:"peak_c"`
+	MinC       float64     `json:"min_c"`
+	MaxC       float64     `json:"max_c"`
+	TopC       [][]float64 `json:"top_c"`
+	BottomC    [][]float64 `json:"bottom_c"`
+	CoolantC   [][]float64 `json:"coolant_c"`
+	ProfilesUM [][]float64 `json:"profiles_um,omitempty"`
+}
+
+// SeriesJSON projects one transient trajectory.
+type SeriesJSON struct {
+	TimesS    []float64 `json:"times_s"`
+	GradientK []float64 `json:"gradient_k"`
+	PeakC     []float64 `json:"peak_c"`
+}
+
+// TransientJSON projects an open-loop transient run.
+type TransientJSON struct {
+	Series     SeriesJSON  `json:"series"`
+	ProfilesUM [][]float64 `json:"profiles_um"`
+}
+
+// EpochJSON projects one runtime-controller decision.
+type EpochJSON struct {
+	TimeS              float64   `json:"t_s"`
+	FlowScales         []float64 `json:"flow_scales"`
+	PredictedGradientK float64   `json:"predicted_gradient_k"`
+}
+
+// RuntimeJSON projects the two-arm runtime experiment.
+type RuntimeJSON struct {
+	Static         SeriesJSON  `json:"static"`
+	Controlled     SeriesJSON  `json:"controlled"`
+	Epochs         []EpochJSON `json:"epochs"`
+	ImprovementPct float64     `json:"improvement_pct"`
+	ProfilesUM     [][]float64 `json:"profiles_um"`
+	PlantNX        int         `json:"plant_nx"`
+	PlantNY        int         `json:"plant_ny"`
+}
+
+// JSON projects the result into its serializable wire form.
+func (r *Result) JSON() *ResultJSON {
+	out := &ResultJSON{Kind: r.Kind, Hash: r.Hash}
+	switch {
+	case r.Compare != nil:
+		cj := compareJSON(r.Compare)
+		out.Compare = &cj
+	case r.Optimize != nil:
+		out.Optimize = &OptimizeJSON{
+			Result:     scenario.NewResult("", r.Optimize),
+			FlowScales: r.FlowScales,
+		}
+	case r.Sweep != nil:
+		out.Sweep = sweepJSON(r.Sweep)
+	case r.Experiment != nil:
+		ej := &ExperimentJSON{}
+		for _, c := range r.Experiment.Cases {
+			ej.Cases = append(ej.Cases, ExperimentCaseJSON{
+				Arch: c.Arch, Mode: c.Mode, Compare: compareJSON(c.Comparison),
+			})
+		}
+		out.Experiment = ej
+	case r.Map != nil:
+		out.Map = mapJSON(r.Map)
+	case r.Transient != nil:
+		out.Transient = &TransientJSON{
+			Series:     seriesJSON(&r.Transient.Series),
+			ProfilesUM: profilesUM(r.Transient.Profiles),
+		}
+	case r.Runtime != nil:
+		out.Runtime = runtimeJSON(r.Runtime)
+	}
+	return out
+}
+
+// MarshalJSON encodes the projection, so a *Result can be handed
+// directly to an encoder.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.JSON())
+}
+
+func compareJSON(c *core.Comparison) CompareJSON {
+	return CompareJSON{
+		MinWidth:             scenario.NewResult("", c.MinWidth),
+		MaxWidth:             scenario.NewResult("", c.MaxWidth),
+		Optimal:              scenario.NewResult("", c.Optimal),
+		UniformGradientK:     c.UniformGradient(),
+		GradientReductionPct: 100 * c.GradientReduction(),
+	}
+}
+
+func sweepJSON(s *SweepResult) *SweepJSON {
+	out := &SweepJSON{Kind: s.Kind}
+	for _, p := range s.Points {
+		row := SweepRowJSON{
+			PressureBar:     p.PressureBar,
+			Segments:        p.Segments,
+			FlowMLMin:       p.FlowMLMin,
+			GradientK:       p.Result.GradientK,
+			PeakC:           units.ToCelsius(p.Result.PeakK),
+			PressureUsedBar: units.ToBar(p.Result.MaxPressureDrop()),
+			Evaluations:     p.Result.Evaluations,
+		}
+		if s.Kind == SweepFlow {
+			row.OutletC = units.ToCelsius(outletTemperature(p.Result))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// outletTemperature returns the first channel's coolant outlet
+// temperature (kelvin).
+func outletTemperature(r *control.Result) float64 {
+	if r.Solution == nil || len(r.Solution.Channels) == 0 {
+		return 0
+	}
+	tc := r.Solution.Channels[0].TC
+	if len(tc) == 0 {
+		return 0
+	}
+	return tc[len(tc)-1]
+}
+
+func mapJSON(m *MapResult) *MapJSON {
+	f := m.Field
+	lo, hi := f.SiliconExtrema()
+	return &MapJSON{
+		NX:         f.NX,
+		NY:         f.NY,
+		GradientK:  f.Gradient(),
+		PeakC:      units.ToCelsius(f.PeakTemperature()),
+		MinC:       units.ToCelsius(lo),
+		MaxC:       units.ToCelsius(hi),
+		TopC:       gridCelsius(f.Top),
+		BottomC:    gridCelsius(f.Bottom),
+		CoolantC:   gridCelsius(f.Coolant),
+		ProfilesUM: profilesUM(m.Profiles),
+	}
+}
+
+func seriesJSON(s *control.RuntimeSeries) SeriesJSON {
+	return SeriesJSON{
+		TimesS:    vecCopy(s.Times),
+		GradientK: vecCopy(s.GradientK),
+		PeakC:     vecCelsius(s.PeakK),
+	}
+}
+
+func runtimeJSON(r *RuntimeJobResult) *RuntimeJSON {
+	out := &RuntimeJSON{
+		Static:         seriesJSON(&r.Result.Static),
+		Controlled:     seriesJSON(&r.Result.Controlled),
+		ImprovementPct: 100 * r.Result.GradientImprovement(),
+		ProfilesUM:     profilesUM(r.Result.Profiles),
+		PlantNX:        r.NX,
+		PlantNY:        r.NY,
+	}
+	for _, d := range r.Result.Epochs {
+		out.Epochs = append(out.Epochs, EpochJSON{
+			TimeS:              d.Time,
+			FlowScales:         append([]float64(nil), d.FlowScales...),
+			PredictedGradientK: d.PredictedGradientK,
+		})
+	}
+	return out
+}
+
+func profilesUM(ps []*microchannel.Profile) [][]float64 {
+	if ps == nil {
+		return nil
+	}
+	out := make([][]float64, len(ps))
+	for i, p := range ps {
+		ws := p.Widths()
+		um := make([]float64, len(ws))
+		for j, w := range ws {
+			um[j] = units.ToMicrometers(w)
+		}
+		out[i] = um
+	}
+	return out
+}
+
+func gridCelsius(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = units.ToCelsius(v)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func vecCopy(v mat.Vec) []float64 { return append([]float64(nil), v...) }
+
+func vecCelsius(v mat.Vec) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = units.ToCelsius(x)
+	}
+	return out
+}
+
+// String summarizes the result for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("engine.Result{kind=%s hash=%.12s…}", r.Kind, r.Hash)
+}

@@ -11,6 +11,8 @@ import (
 
 	"repro/internal/compact"
 	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/floorplan"
 	"repro/internal/microchannel"
 	"repro/internal/power"
 	"repro/internal/units"
@@ -18,24 +20,44 @@ import (
 
 // File is the on-disk scenario description.
 type File struct {
-	// Name labels the scenario.
+	// Name labels the scenario. It is cosmetic: two files differing only
+	// in Name describe the same problem (the engine's content hash
+	// ignores it).
 	Name string `json:"name"`
+	// Preset selects one of the paper's built-in problems instead of an
+	// explicit channel list: "testA", "testB", "arch1", "arch2" or
+	// "arch3". The grid-map-only presets "fig1a" and "fig1b" are
+	// understood by thermal-map jobs but carry no optimizable channels.
+	Preset string `json:"preset,omitempty"`
+	// Mode selects the power map of arch presets: "peak" (default) or
+	// "average".
+	Mode string `json:"mode,omitempty"`
+	// Seed overrides the testB preset's random seed. A pointer so an
+	// explicit 0 (a legal seed with its own draw) stays distinguishable
+	// from absence (→ the canonical 2012).
+	Seed *int64 `json:"seed,omitempty"`
 	// Params holds the stack geometry in engineering units; zero values
 	// select the Table I defaults.
 	Params Params `json:"params"`
 	// BoundsUM are the width bounds [min, max] in µm (zero → [10, 50]).
 	BoundsUM [2]float64 `json:"bounds_um"`
-	// Segments is the control discretization (zero → 20).
+	// Segments is the control discretization (zero → 20). For arch
+	// presets it changes only the width discretization; the power-map
+	// integration stays at the experiments' canonical 20 segments.
 	Segments int `json:"segments,omitempty"`
+	// OuterIterations bounds the augmented-Lagrangian outer loop
+	// (zero → the solver default).
+	OuterIterations int `json:"outer_iterations,omitempty"`
 	// MaxPressureBar is ΔPmax in bar (zero → 10).
 	MaxPressureBar float64 `json:"max_pressure_bar,omitempty"`
-	// EqualPressure enforces equal drops across channels.
+	// EqualPressure enforces equal drops across channels. Arch presets
+	// always couple their shared reservoir, regardless of this field.
 	EqualPressure bool `json:"equal_pressure,omitempty"`
 	// Solver is "lbfgsb" (default), "projgrad" or "neldermead".
 	Solver string `json:"solver,omitempty"`
 	// Channels lists the heat loads (the static map, and the base map a
-	// trace's scale phases multiply).
-	Channels []Channel `json:"channels"`
+	// trace's scale phases multiply). Mutually exclusive with Preset.
+	Channels []Channel `json:"channels,omitempty"`
 	// Trace optionally schedules time-varying power for transient and
 	// runtime-control experiments.
 	Trace *Trace `json:"trace,omitempty"`
@@ -121,8 +143,80 @@ func Load(r io.Reader) (*control.Spec, *File, error) {
 	return spec, &f, nil
 }
 
+// SpecPresets lists the presets Spec understands, in documentation order.
+var SpecPresets = []string{"testA", "testB", "arch1", "arch2", "arch3"}
+
+// MapPresets lists the additional grid-map-only presets thermal-map jobs
+// understand on top of SpecPresets.
+var MapPresets = []string{"fig1a", "fig1b"}
+
+// IsMapOnlyPreset reports whether the preset names a grid-map stack with
+// no optimizable channel structure.
+func IsMapOnlyPreset(preset string) bool {
+	return preset == "fig1a" || preset == "fig1b"
+}
+
+// FloorplanMode resolves the file's power-mode string ("" and "peak" →
+// Peak, "average" → Average).
+func (f *File) FloorplanMode() (floorplan.Mode, error) {
+	switch f.Mode {
+	case "", "peak":
+		return floorplan.Peak, nil
+	case "average":
+		return floorplan.Average, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown power mode %q (want peak or average)", f.Mode)
+	}
+}
+
+// presetSpec builds the preset's canonical control.Spec before the file's
+// overrides are applied.
+func (f *File) presetSpec() (*control.Spec, error) {
+	if len(f.Channels) != 0 {
+		return nil, fmt.Errorf("scenario: %q sets both preset %q and explicit channels", f.Name, f.Preset)
+	}
+	// The preset loads bake in the Table I pitch, cluster size and die
+	// length; overriding those silently would desynchronize the loads
+	// from the geometry.
+	switch {
+	case f.Params.PitchUM != 0:
+		return nil, fmt.Errorf("scenario: preset %q cannot override pitch_um (the preset loads bake it in)", f.Preset)
+	case f.Params.LengthMM != 0:
+		return nil, fmt.Errorf("scenario: preset %q cannot override length_mm (the preset loads bake it in)", f.Preset)
+	case f.Params.ClusterSize != 0:
+		return nil, fmt.Errorf("scenario: preset %q cannot override cluster_size (the preset loads bake it in)", f.Preset)
+	}
+	mode, err := f.FloorplanMode()
+	if err != nil {
+		return nil, err
+	}
+	switch f.Preset {
+	case "testA":
+		return core.TestASpec()
+	case "testB":
+		cfg := power.DefaultTestB()
+		if f.Seed != nil {
+			cfg.Seed = *f.Seed
+		}
+		return core.TestBSpec(cfg)
+	case "arch1", "arch2", "arch3":
+		// The power-map discretization is pinned to the experiments'
+		// canonical 20 segments; f.Segments below only changes the
+		// width-control discretization (matching the historical CLI
+		// behavior of overriding Segments after construction).
+		return core.ArchSpec(int(f.Preset[4]-'0'), mode, control.DefaultSegments)
+	case "fig1a", "fig1b":
+		return nil, fmt.Errorf("scenario: preset %q is a grid-map stack, not an optimizable scenario", f.Preset)
+	default:
+		return nil, fmt.Errorf("scenario: unknown preset %q", f.Preset)
+	}
+}
+
 // Spec converts the file into a validated control.Spec.
 func (f *File) Spec() (*control.Spec, error) {
+	if f.Preset != "" {
+		return f.specFromPreset()
+	}
 	p := compact.DefaultParams()
 	if f.Params.SiliconConductivity > 0 {
 		p.SiliconConductivity = f.Params.SiliconConductivity
@@ -174,30 +268,89 @@ func (f *File) Spec() (*control.Spec, error) {
 		loads[k] = control.ChannelLoad{FluxTop: top, FluxBottom: bottom}
 	}
 
-	var solver control.Solver
-	switch f.Solver {
-	case "", "lbfgsb":
-		solver = control.SolverLBFGSB
-	case "projgrad":
-		solver = control.SolverProjGrad
-	case "neldermead":
-		solver = control.SolverNelderMead
-	default:
-		return nil, fmt.Errorf("scenario: unknown solver %q", f.Solver)
+	solver, err := parseSolver(f.Solver)
+	if err != nil {
+		return nil, err
 	}
 
 	spec := &control.Spec{
-		Params:        p,
-		Channels:      loads,
-		Bounds:        bounds,
-		Segments:      f.Segments,
-		MaxPressure:   units.Bar(f.MaxPressureBar),
-		EqualPressure: f.EqualPressure,
-		Solver:        solver,
+		Params:          p,
+		Channels:        loads,
+		Bounds:          bounds,
+		Segments:        f.Segments,
+		OuterIterations: f.OuterIterations,
+		MaxPressure:     units.Bar(f.MaxPressureBar),
+		EqualPressure:   f.EqualPressure,
+		Solver:          solver,
 	}
 	if f.MaxPressureBar == 0 {
 		spec.MaxPressure = 0 // control applies the 10-bar default
 	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func parseSolver(name string) (control.Solver, error) {
+	switch name {
+	case "", "lbfgsb":
+		return control.SolverLBFGSB, nil
+	case "projgrad":
+		return control.SolverProjGrad, nil
+	case "neldermead":
+		return control.SolverNelderMead, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown solver %q", name)
+	}
+}
+
+// specFromPreset builds the preset spec and layers the file's overrides
+// (bounds, discretization, budget, solver) on top.
+func (f *File) specFromPreset() (*control.Spec, error) {
+	spec, err := f.presetSpec()
+	if err != nil {
+		return nil, err
+	}
+	// Non-geometry parameter overrides still apply to presets.
+	if f.Params.SiliconConductivity > 0 {
+		spec.Params.SiliconConductivity = f.Params.SiliconConductivity
+	}
+	if f.Params.SlabHeightUM > 0 {
+		spec.Params.SlabHeight = units.Micrometers(f.Params.SlabHeightUM)
+	}
+	if f.Params.ChannelHeightUM > 0 {
+		spec.Params.ChannelHeight = units.Micrometers(f.Params.ChannelHeightUM)
+	}
+	if f.Params.InletTempC != nil {
+		spec.Params.InletTemp = units.Celsius(*f.Params.InletTempC)
+	}
+	if f.Params.FlowRateMLMin > 0 {
+		spec.Params.FlowRatePerChannel = units.MilliLitersPerMinute(f.Params.FlowRateMLMin)
+	}
+	if f.BoundsUM[0] != 0 || f.BoundsUM[1] != 0 {
+		spec.Bounds = microchannel.Bounds{
+			Min: units.Micrometers(f.BoundsUM[0]),
+			Max: units.Micrometers(f.BoundsUM[1]),
+		}
+	}
+	if f.Segments > 0 {
+		spec.Segments = f.Segments
+	}
+	if f.OuterIterations > 0 {
+		spec.OuterIterations = f.OuterIterations
+	}
+	if f.MaxPressureBar > 0 {
+		spec.MaxPressure = units.Bar(f.MaxPressureBar)
+	}
+	if f.EqualPressure {
+		spec.EqualPressure = true
+	}
+	solver, err := parseSolver(f.Solver)
+	if err != nil {
+		return nil, err
+	}
+	spec.Solver = solver
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
