@@ -1,33 +1,3 @@
-// Package channelmod is the public API of the reproduction of
-// "Thermal Balancing of Liquid-Cooled 3D-MPSoCs Using Channel Modulation"
-// (Sabry, Sridhar, Atienza — DATE 2012).
-//
-// The library models inter-tier microchannel liquid cooling of two-tier 3D
-// ICs with an analytical state-space thermal model along the coolant flow,
-// and selects channel-width profiles wC(z) (the paper's design-time
-// "channel modulation") that minimize the on-die thermal gradient subject
-// to fabrication bounds and pressure-drop constraints.
-//
-// # Quick start
-//
-//	spec, _ := channelmod.TestA()                  // single channel, 50 W/cm²
-//	cmp, _ := channelmod.Compare(spec)             // min / max / optimal widths
-//	fmt.Println(cmp.Report())
-//
-// The three fundamental operations are:
-//
-//   - Baseline — evaluate a uniform-width design,
-//   - Optimize — solve the optimal channel modulation problem,
-//   - Compare  — run the paper's standard three-way evaluation.
-//
-// BatchCompare and BatchOptimize run many independent specs concurrently
-// on a bounded worker pool with results bit-identical to serial loops —
-// the fast path for sweeps and multi-scenario studies.
-//
-// Scenario constructors (TestA, TestB, Architecture) rebuild the paper's
-// experiments; custom stacks are assembled from Params, Flux and
-// ChannelLoad directly. ThermalMap runs the finite-volume grid simulator
-// (the 3D-ICE stand-in) to produce full 2D temperature maps.
 package channelmod
 
 import (
@@ -158,6 +128,15 @@ type (
 	RuntimeJobResult = engine.RuntimeJobResult
 	// PreparedJob is a canonicalized job bound to its content address.
 	PreparedJob = engine.Prepared
+	// JobPointEvent is one per-point completion of a streamed composite
+	// job (see RunJobStream).
+	JobPointEvent = engine.PointEvent
+	// JobPointEventJSON is the serializable projection of a
+	// JobPointEvent — the daemon's per-point wire format.
+	JobPointEventJSON = engine.PointEventJSON
+	// JobResultJSON is the serializable projection of a JobResult — the
+	// daemon's result wire format.
+	JobResultJSON = engine.ResultJSON
 )
 
 // PrepareJob canonicalizes a job once and computes its content address;
@@ -190,6 +169,15 @@ func RunJob(ctx context.Context, job *Job) (*JobResult, error) {
 // RunJobInfo is RunJob plus cache/dedup provenance.
 func RunJobInfo(ctx context.Context, job *Job) (*JobResult, JobInfo, error) {
 	return defaultEngine.RunInfo(ctx, job)
+}
+
+// RunJobStream is RunJob with incremental per-point delivery: composite
+// jobs (sweeps, the arch-experiment grid, nested design solves) call
+// emit with one JobPointEvent per completed point, in point order,
+// while later points are still being computed. A non-nil error from
+// emit cancels the job and is returned.
+func RunJobStream(ctx context.Context, job *Job, emit func(JobPointEvent) error) (*JobResult, JobInfo, error) {
+	return defaultEngine.RunStream(ctx, job, emit)
 }
 
 // defaultEngine backs RunJob; CLIs and tests needing isolation or a

@@ -1,40 +1,41 @@
 // Command chanmodd serves the job engine over HTTP: every workload of
 // the library (compare, optimize, sweep, arch-experiment, thermalmap,
-// transient, runtime) is a declarative JSON Job, submitted, polled and
-// fetched by content address. Identical jobs — across clients and across
-// time — cost one solve: concurrent submissions coalesce onto one
-// in-flight execution (singleflight) and repeated submissions are served
-// bit-identically from the LRU result cache.
+// transient, runtime) is a declarative JSON Job, submitted, polled,
+// fetched and streamed by content address. Identical jobs — across
+// clients and across time — cost one solve: concurrent submissions
+// coalesce onto one in-flight execution (singleflight) and repeated
+// submissions are served bit-identically from the LRU result cache.
+// Composite jobs decompose into per-point sub-jobs, so overlapping
+// sweeps share their common points and the per-job event stream
+// reports each point's own cache provenance.
 //
 // Usage:
 //
 //	chanmodd [-addr 127.0.0.1:8080] [-cache 128]
 //
-// Endpoints:
+// Endpoints (see internal/daemon and DESIGN.md §9.3/§10):
 //
-//	POST /v1/jobs          submit a Job JSON; returns {"id", "status"} immediately
-//	GET  /v1/jobs/{id}     poll a submission's status
-//	GET  /v1/results/{id}  fetch a cached result by content address (404 until done)
-//	POST /v1/run           run a Job synchronously; X-Cache: hit|coalesced|miss
-//	GET  /v1/stats         cache and worker-pool statistics
-//	GET  /healthz          liveness probe
+//	POST /v1/jobs             submit a Job JSON; returns {"id", "status"} immediately
+//	GET  /v1/jobs/{id}        poll a submission's status
+//	GET  /v1/jobs/{id}/events stream per-point completions (SSE; ?format=ndjson for NDJSON)
+//	GET  /v1/results/{id}     fetch a cached result by content address (404 until done)
+//	POST /v1/run              run a Job synchronously; X-Cache: hit|coalesced|miss
+//	GET  /v1/stats            cache and worker-pool statistics
+//	GET  /healthz             liveness probe
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	channelmod "repro"
 	"repro/internal/cliutil"
+	"repro/internal/daemon"
 )
 
 func main() { cliutil.Main(run) }
@@ -44,9 +45,9 @@ func run() error {
 	cacheN := flag.Int("cache", 0, "result-cache capacity in entries (0 = default)")
 	flag.Parse()
 
-	s := newServer(channelmod.NewEngine(*cacheN))
+	s := daemon.New(channelmod.NewEngine(*cacheN))
 	httpSrv := &http.Server{
-		Handler:           s.routes(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -68,306 +69,4 @@ func run() error {
 		defer cancel()
 		return httpSrv.Shutdown(shutdownCtx)
 	}
-}
-
-// maxJobBytes bounds a submitted job document.
-const maxJobBytes = 8 << 20
-
-// jobStatus is a submission's lifecycle state.
-type jobStatus string
-
-const (
-	statusQueued  jobStatus = "queued"
-	statusRunning jobStatus = "running"
-	statusDone    jobStatus = "done"
-	statusFailed  jobStatus = "failed"
-)
-
-// jobState is the daemon-side record of one submitted content address.
-type jobState struct {
-	ID     string             `json:"id"`
-	Kind   channelmod.JobKind `json:"kind"`
-	Status jobStatus          `json:"status"`
-	Error  string             `json:"error,omitempty"`
-	// ResultURL is set once the result is fetchable.
-	ResultURL string `json:"result_url,omitempty"`
-}
-
-// maxTracked bounds the submission registry: beyond it, the oldest
-// completed (done/failed) states are pruned. States still queued or
-// running are never dropped, so the registry can only exceed the bound
-// while that many jobs are genuinely in flight.
-const maxTracked = 1024
-
-// server owns the engine and the submission registry.
-type server struct {
-	eng *channelmod.Engine
-
-	mu    sync.Mutex
-	jobs  map[string]*jobState
-	order []string // insertion order, for registry pruning
-
-	submitted atomic.Uint64
-	running   atomic.Int64
-	done      atomic.Uint64
-	failed    atomic.Uint64
-}
-
-func newServer(eng *channelmod.Engine) *server {
-	return &server{eng: eng, jobs: make(map[string]*jobState)}
-}
-
-// track registers a new state under s.mu and prunes the oldest
-// completed entries beyond maxTracked.
-func (s *server) track(hash string, st *jobState) {
-	if _, exists := s.jobs[hash]; !exists {
-		s.order = append(s.order, hash)
-	}
-	s.jobs[hash] = st
-	if len(s.jobs) <= maxTracked {
-		return
-	}
-	kept := s.order[:0]
-	excess := len(s.jobs) - maxTracked
-	for _, h := range s.order {
-		old, ok := s.jobs[h]
-		if excess > 0 && ok && (old.Status == statusDone || old.Status == statusFailed) {
-			delete(s.jobs, h)
-			excess--
-			continue
-		}
-		if ok {
-			kept = append(kept, h)
-		}
-	}
-	s.order = kept
-}
-
-func (s *server) routes() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handlePoll)
-	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-	})
-	return mux
-}
-
-// decodeJob reads, parses and canonicalizes the request body into a
-// prepared job (canonical form + content address), canonicalizing
-// exactly once per request.
-func decodeJob(w http.ResponseWriter, r *http.Request) (*channelmod.PreparedJob, error) {
-	var job channelmod.Job
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&job); err != nil {
-		return nil, fmt.Errorf("decode job: %w", err)
-	}
-	return channelmod.PrepareJob(&job)
-}
-
-// handleSubmit enqueues a job asynchronously and returns its content
-// address for polling. Resubmitting a queued/running address — or a
-// done one whose result is still cached — is idempotent; resubmitting a
-// failed address, or a done one whose result the LRU has since evicted,
-// re-executes it.
-func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	p, err := decodeJob(w, r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	s.mu.Lock()
-	if st, known := s.jobs[p.Hash]; known && st.Status != statusFailed {
-		_, cached := s.eng.Lookup(p.Hash)
-		if st.Status != statusDone || cached {
-			snapshot := *st
-			s.mu.Unlock()
-			writeJSON(w, http.StatusOK, snapshot)
-			return
-		}
-		// Done but evicted: fall through and recompute.
-	}
-	st := &jobState{ID: p.Hash, Kind: p.Job.Kind, Status: statusQueued}
-	s.track(p.Hash, st)
-	snapshot := *st
-	s.mu.Unlock()
-	s.submitted.Add(1)
-
-	go s.execute(p)
-	writeJSON(w, http.StatusAccepted, snapshot)
-}
-
-// execute runs a submission to completion in the background. The
-// engine's singleflight layer guarantees that two states racing for the
-// same address still cost one solve.
-func (s *server) execute(p *channelmod.PreparedJob) {
-	s.setStatus(p.Hash, statusRunning, nil)
-	s.running.Add(1)
-	_, _, err := s.eng.RunPrepared(context.Background(), p)
-	s.running.Add(-1)
-	if err != nil {
-		s.failed.Add(1)
-		s.setStatus(p.Hash, statusFailed, err)
-		return
-	}
-	s.done.Add(1)
-	s.setStatus(p.Hash, statusDone, nil)
-}
-
-func (s *server) setStatus(hash string, status jobStatus, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.jobs[hash]
-	if !ok {
-		return
-	}
-	// Never downgrade a completed job: when one of several callers
-	// racing for the same address errors out (e.g. its request was
-	// cancelled) after another succeeded, the successful, cached outcome
-	// is the job's state.
-	if st.Status == statusDone && status == statusFailed {
-		return
-	}
-	st.Status = status
-	// A re-executed address must not drag an earlier attempt's error (or
-	// a stale result URL) along.
-	st.Error = ""
-	st.ResultURL = ""
-	if err != nil {
-		st.Error = err.Error()
-	}
-	if status == statusDone {
-		st.ResultURL = "/v1/results/" + hash
-	}
-}
-
-func (s *server) handlePoll(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	st, ok := s.jobs[id]
-	var snapshot jobState
-	if ok {
-		snapshot = *st
-	}
-	s.mu.Unlock()
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
-		return
-	}
-	writeJSON(w, http.StatusOK, snapshot)
-}
-
-// handleResult serves a result straight from the content-addressed
-// cache. 404 means "not (or no longer) cached" — poll the job, or
-// resubmit.
-func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	res, ok := s.eng.Lookup(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no cached result for %q", id))
-		return
-	}
-	writeJSON(w, http.StatusOK, res.JSON())
-}
-
-// handleRun executes a job synchronously and reports how it was served
-// in the X-Cache header: "hit" (cache), "coalesced" (deduplicated onto a
-// concurrent identical run) or "miss" (computed here).
-func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
-	p, err := decodeJob(w, r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	s.mu.Lock()
-	if _, known := s.jobs[p.Hash]; !known {
-		s.track(p.Hash, &jobState{ID: p.Hash, Kind: p.Job.Kind, Status: statusRunning})
-		s.submitted.Add(1)
-	}
-	s.mu.Unlock()
-
-	// The execution is detached from the request context: a
-	// disconnecting client must not abort a solve that coalesced
-	// followers are waiting on (and that will populate the cache either
-	// way). The client simply stops reading; the job runs to completion.
-	s.running.Add(1)
-	res, info, err := s.eng.RunPrepared(context.WithoutCancel(r.Context()), p)
-	s.running.Add(-1)
-	if err != nil {
-		s.failed.Add(1)
-		s.setStatus(p.Hash, statusFailed, err)
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	s.done.Add(1)
-	s.setStatus(p.Hash, statusDone, nil)
-	switch {
-	case info.CacheHit:
-		w.Header().Set("X-Cache", "hit")
-	case info.Coalesced:
-		w.Header().Set("X-Cache", "coalesced")
-	default:
-		w.Header().Set("X-Cache", "miss")
-	}
-	writeJSON(w, http.StatusOK, res.JSON())
-}
-
-// statsResponse is the /v1/stats payload.
-type statsResponse struct {
-	Cache channelmod.EngineCacheStats `json:"cache"`
-	Pool  poolStats                   `json:"pool"`
-	Jobs  jobCounts                   `json:"jobs"`
-}
-
-type poolStats struct {
-	// GOMAXPROCS bounds the machine-wide solve concurrency (the batch
-	// layer's borrow quota).
-	GOMAXPROCS int `json:"gomaxprocs"`
-	// Running counts requests currently executing (or waiting on) a job.
-	Running int64 `json:"running"`
-}
-
-type jobCounts struct {
-	Submitted uint64 `json:"submitted"`
-	Done      uint64 `json:"done"`
-	Failed    uint64 `json:"failed"`
-	Tracked   int    `json:"tracked"`
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	tracked := len(s.jobs)
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, statsResponse{
-		Cache: s.eng.Stats(),
-		Pool: poolStats{
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			Running:    s.running.Load(),
-		},
-		Jobs: jobCounts{
-			Submitted: s.submitted.Load(),
-			Done:      s.done.Load(),
-			Failed:    s.failed.Load(),
-			Tracked:   tracked,
-		},
-	})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		// Headers are gone; nothing useful left to send.
-		fmt.Fprintf(os.Stderr, "chanmodd: encode response: %v\n", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

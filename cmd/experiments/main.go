@@ -228,16 +228,22 @@ func runProfiles(quick bool) error {
 func runFig8(quick bool) error {
 	// Publication budget: 12 segments and 4 multiplier updates; the
 	// gradient numbers move by well under 0.5 K versus the full
-	// 20-segment runs. The six arch/mode cases are independent jobs of
-	// the engine's batch pipeline, so they evaluate concurrently.
+	// 20-segment runs. The six arch/mode cases are per-point compare
+	// sub-jobs of one streamed experiment job: they evaluate
+	// concurrently, print as they complete, and are cache-shared with
+	// any direct compare of the same architecture.
 	scn := channelmod.Scenario{Segments: 12, OuterIterations: 4}
 	if quick {
 		scn.Segments, scn.OuterIterations = 6, 2
 	}
-	res, err := eng.Run(context.Background(), &channelmod.Job{
+	res, _, err := eng.RunStream(context.Background(), &channelmod.Job{
 		Kind:       channelmod.JobArchExperiment,
 		Scenario:   scn,
 		Experiment: &channelmod.ExperimentJobSpec{},
+	}, func(ev channelmod.JobPointEvent) error {
+		c := ev.Case
+		fmt.Printf("Arch %d / %s power:\n%s", c.Arch, c.Mode, channelmod.Report(c.Comparison))
+		return nil
 	})
 	if err != nil {
 		return err
@@ -245,7 +251,6 @@ func runFig8(quick bool) error {
 	var labels []string
 	var values []float64
 	for _, c := range res.Experiment.Cases {
-		fmt.Printf("Arch %d / %s power:\n%s", c.Arch, c.Mode, channelmod.Report(c.Comparison))
 		tag := fmt.Sprintf("arch%d-%s", c.Arch, c.Mode)
 		labels = append(labels, tag+"-min", tag+"-max", tag+"-opt")
 		values = append(values, c.Comparison.MinWidth.GradientK,

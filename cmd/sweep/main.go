@@ -4,9 +4,15 @@
 // gradient) and a flow-rate sweep.
 //
 // It is a thin front-end of the job engine: the flags assemble a sweep
-// Job over the Test-A scenario, the engine batch-evaluates the points on
-// the bounded worker pool, and only the rendering lives here. -json
-// emits the machine-readable projection instead of the table; SIGINT
+// Job over the Test-A scenario, the engine solves each point as its own
+// content-addressed sub-job on the bounded worker pool, and rows print
+// incrementally as points complete — an interrupted sweep has already
+// shown every finished point. The per-point cache lives in the process
+// (and in chanmodd for daemon clients), so overlapping sweeps within
+// one run — or against a daemon — re-solve only the points the cache
+// does not hold; a fresh CLI invocation starts cold. -json emits one
+// NDJSON point event per row (index, per-point content address, cache
+// provenance, and the row under "sweep") instead of the table; SIGINT
 // cancels the batch cooperatively.
 //
 // Usage:
@@ -29,7 +35,7 @@ func main() { cliutil.Main(run) }
 func run() error {
 	kind := flag.String("kind", "pressure", "sweep kind: pressure, segments, flow")
 	points := flag.Int("points", 5, "number of sweep points")
-	asJSON := flag.Bool("json", false, "emit the sweep as JSON instead of a table")
+	asJSON := flag.Bool("json", false, "emit NDJSON point events instead of the table")
 	flag.Parse()
 
 	// The scenario carries the per-kind solve tuning the ablations have
@@ -55,36 +61,35 @@ func run() error {
 
 	ctx, stop := cliutil.SignalContext()
 	defer stop()
-	res, err := channelmod.RunJob(ctx, job)
-	if err != nil {
-		return err
-	}
 
-	rows := res.JSON().Sweep
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(rows)
+	enc := json.NewEncoder(os.Stdout) // one event per line (NDJSON)
+	if !*asJSON {
+		switch *kind {
+		case "pressure":
+			fmt.Println("A2: gradient vs pressure budget (Test A)")
+			fmt.Println("  ΔPmax(bar)   ΔT(K)   ΔPused(bar)")
+		case "segments":
+			fmt.Println("A1: gradient vs control discretization (Test A)")
+			fmt.Println("  segments   ΔT(K)   evaluations")
+		case "flow":
+			fmt.Println("flow-rate sweep: uniform max-width gradient vs per-channel flow (Test A)")
+			fmt.Println("  flow(ml/min)   ΔT(K)   coolant-outlet(°C)")
+		}
 	}
-	switch *kind {
-	case "pressure":
-		fmt.Println("A2: gradient vs pressure budget (Test A)")
-		fmt.Println("  ΔPmax(bar)   ΔT(K)   ΔPused(bar)")
-		for _, r := range rows.Rows {
+	_, _, err := channelmod.RunJobStream(ctx, job, func(ev channelmod.JobPointEvent) error {
+		if *asJSON {
+			return enc.Encode(ev.JSON())
+		}
+		r := ev.JSON().Sweep
+		switch *kind {
+		case "pressure":
 			fmt.Printf("  %8.1f   %6.2f   %8.2f\n", r.PressureBar, r.GradientK, r.PressureUsedBar)
-		}
-	case "segments":
-		fmt.Println("A1: gradient vs control discretization (Test A)")
-		fmt.Println("  segments   ΔT(K)   evaluations")
-		for _, r := range rows.Rows {
+		case "segments":
 			fmt.Printf("  %8d   %6.2f   %11d\n", r.Segments, r.GradientK, r.Evaluations)
-		}
-	case "flow":
-		fmt.Println("flow-rate sweep: uniform max-width gradient vs per-channel flow (Test A)")
-		fmt.Println("  flow(ml/min)   ΔT(K)   coolant-outlet(°C)")
-		for _, r := range rows.Rows {
+		case "flow":
 			fmt.Printf("  %10.2f   %6.2f   %14.2f\n", r.FlowMLMin, r.GradientK, r.OutletC)
 		}
-	}
-	return nil
+		return nil
+	})
+	return err
 }

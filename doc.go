@@ -1,0 +1,71 @@
+// Package channelmod is the public API of the reproduction of
+// "Thermal Balancing of Liquid-Cooled 3D-MPSoCs Using Channel Modulation"
+// (Sabry, Sridhar, Atienza — DATE 2012).
+//
+// The library models inter-tier microchannel liquid cooling of two-tier 3D
+// ICs with an analytical state-space thermal model along the coolant flow,
+// and selects channel-width profiles wC(z) (the paper's design-time
+// "channel modulation") that minimize the on-die thermal gradient subject
+// to fabrication bounds and pressure-drop constraints.
+//
+// # Quick start
+//
+//	spec, _ := channelmod.TestA()                  // single channel, 50 W/cm²
+//	cmp, _ := channelmod.Compare(spec)             // min / max / optimal widths
+//	fmt.Print(channelmod.Report(cmp))
+//
+// The three fundamental operations are:
+//
+//   - Baseline — evaluate a uniform-width design,
+//   - Optimize — solve the optimal channel modulation problem,
+//   - Compare  — run the paper's standard three-way evaluation.
+//
+// BatchCompare and BatchOptimize run many independent specs concurrently
+// on a bounded worker pool with results bit-identical to serial loops —
+// the fast path for sweeps and multi-scenario studies.
+//
+// Scenario constructors (TestA, TestB, Architecture) rebuild the paper's
+// experiments; custom stacks are assembled from Params, Flux and
+// ChannelLoad directly. ThermalMap runs the finite-volume grid simulator
+// (the 3D-ICE stand-in) to produce full 2D temperature maps.
+//
+// # The job engine
+//
+// Above the typed operations sits a declarative layer: every workload of
+// the library is expressible as a Job — a JSON-serializable value holding
+// a kind (compare, optimize, sweep, arch-experiment, thermalmap,
+// transient, runtime), a Scenario payload and a kind-specific option
+// block. Jobs canonicalize (cosmetics cleared, defaults resolved, inert
+// knobs stripped) and hash to a SHA-256 content address, so two
+// submissions describing the same computation are the same job.
+//
+//	job := &channelmod.Job{
+//	    Kind:     channelmod.JobCompare,
+//	    Scenario: channelmod.Scenario{Preset: "testA"},
+//	}
+//	res, err := channelmod.RunJob(ctx, job)
+//
+// RunJob executes on a process-wide Engine: an LRU result cache keyed by
+// content address plus singleflight deduplication, so repeated or
+// concurrent identical submissions cost one solve. NewEngine builds an
+// isolated engine; PrepareJob splits canonicalization off hot request
+// paths (Engine.RunPrepared).
+//
+// Composite jobs — parameter sweeps, the Fig. 8 arch-experiment grid,
+// and the nested design solves of thermalmap/transient/runtime jobs —
+// decompose into per-point sub-jobs, each content-addressed and cached
+// individually: two overlapping sweeps re-solve only the points they do
+// not share, and the parent result is a cheap reduction over the
+// per-point cache entries. RunJobStream (and Engine.RunStream) delivers
+// those points incrementally, in order, as they complete:
+//
+//	_, _, err := channelmod.RunJobStream(ctx, job, func(ev channelmod.JobPointEvent) error {
+//	    fmt.Printf("point %d/%d (%s)\n", ev.Index+1, ev.Total, ev.Info.CacheString())
+//	    return nil
+//	})
+//
+// The cmd/chanmodd daemon serves the same jobs over HTTP, including a
+// per-job event stream (SSE or NDJSON) with per-point cache provenance;
+// the CLIs (cmd/chanmod, cmd/sweep, cmd/experiments, cmd/thermalmap) are
+// thin front-ends assembling jobs from flags.
+package channelmod

@@ -1,0 +1,116 @@
+package channelmod
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIDocumented is the godoc gate for the root package: every
+// exported identifier — types (including aliases), functions, methods,
+// constants and variables — must carry a doc comment, either on the
+// declaration group or on the individual spec. CI runs this test as a
+// dedicated step, so an undocumented addition to the public API fails
+// the build, not just a review.
+func TestPublicAPIDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse package: %v", err)
+	}
+	pkg, ok := pkgs["channelmod"]
+	if !ok {
+		t.Fatalf("package channelmod not found (got %v)", pkgs)
+	}
+	p := doc.New(pkg, "repro", 0)
+
+	if strings.TrimSpace(p.Doc) == "" {
+		t.Error("package channelmod has no package comment")
+	}
+	var missing []string
+	addValue := func(kind string, v *doc.Value) {
+		if !valueDocumented(v) {
+			missing = append(missing, kind+" "+strings.Join(exportedNames(v), ", "))
+		}
+	}
+	for _, v := range p.Consts {
+		addValue("const", v)
+	}
+	for _, v := range p.Vars {
+		addValue("var", v)
+	}
+	for _, f := range p.Funcs {
+		if ast.IsExported(f.Name) && strings.TrimSpace(f.Doc) == "" {
+			missing = append(missing, "func "+f.Name)
+		}
+	}
+	for _, typ := range p.Types {
+		if ast.IsExported(typ.Name) && strings.TrimSpace(typ.Doc) == "" {
+			missing = append(missing, "type "+typ.Name)
+		}
+		for _, v := range typ.Consts {
+			addValue("const", v)
+		}
+		for _, v := range typ.Vars {
+			addValue("var", v)
+		}
+		for _, f := range append(append([]*doc.Func{}, typ.Funcs...), typ.Methods...) {
+			if ast.IsExported(f.Name) && strings.TrimSpace(f.Doc) == "" {
+				missing = append(missing, "func "+typ.Name+"."+f.Name)
+			}
+		}
+	}
+	for _, m := range missing {
+		t.Errorf("undocumented exported identifier: %s", m)
+	}
+}
+
+// valueDocumented accepts a group-level doc comment, or — when the
+// group has none — a per-spec doc or trailing comment on every exported
+// name in the declaration.
+func valueDocumented(v *doc.Value) bool {
+	if strings.TrimSpace(v.Doc) != "" {
+		return true
+	}
+	for _, spec := range v.Decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		exported := false
+		for _, n := range vs.Names {
+			if ast.IsExported(n.Name) {
+				exported = true
+			}
+		}
+		if exported && vs.Doc == nil && vs.Comment == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// exportedNames lists the exported identifiers of a value declaration,
+// for error reporting.
+func exportedNames(v *doc.Value) []string {
+	var out []string
+	for _, spec := range v.Decl.Specs {
+		if vs, ok := spec.(*ast.ValueSpec); ok {
+			for _, n := range vs.Names {
+				if ast.IsExported(n.Name) {
+					out = append(out, n.Name)
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		out = v.Names
+	}
+	return out
+}

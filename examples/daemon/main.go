@@ -1,0 +1,144 @@
+// Daemon example: run the chanmodd serving surface in-process, submit a
+// pressure-budget sweep, stream its per-point events over NDJSON while
+// later points are still solving, then re-submit a widened sweep and
+// show the per-point cache provenance — the shared points come back as
+// hits without being re-solved.
+//
+// Everything below talks to the daemon over real HTTP exactly as a
+// remote client would; only the listener is local.
+//
+// Run with:
+//
+//	go run ./examples/daemon
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	channelmod "repro"
+	"repro/internal/daemon"
+)
+
+func main() {
+	// An in-process daemon on a loopback port: the same Server that
+	// cmd/chanmodd serves.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, daemon.New(channelmod.NewEngine(64)).Handler()); err != nil {
+			log.Print(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("chanmodd serving on %s\n\n", base)
+
+	// A pressure-budget sweep (ablation A2) over the paper's Test A
+	// scenario: each point is a content-addressed optimize sub-job (the
+	// modulation problem under that ΔP budget), cached individually.
+	// Reduced budgets keep the example fast.
+	sweep := func(bars []float64) string {
+		b, _ := json.Marshal(&channelmod.Job{
+			Kind:     channelmod.JobSweep,
+			Scenario: channelmod.Scenario{Preset: "testA", Segments: 6, OuterIterations: 4},
+			Sweep:    &channelmod.SweepJobSpec{Kind: "pressure", PressureBars: bars},
+		})
+		return string(b)
+	}
+
+	fmt.Println("-- submit a 3-point pressure sweep and stream its events --")
+	id := submit(base, sweep([]float64{2, 4, 8}))
+	streamEvents(base, id)
+
+	fmt.Println("\n-- widen the sweep to 5 points: the 3 shared points are warm --")
+	wide := submit(base, sweep([]float64{2, 4, 8, 16, 32}))
+	streamEvents(base, wide)
+
+	// The engine's counters confirm the reuse.
+	var stats struct {
+		Cache struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		} `json:"cache"`
+	}
+	getJSON(base+"/v1/stats", &stats)
+	fmt.Printf("\nengine cache: %d hits / %d misses (shared points solved once)\n",
+		stats.Cache.Hits, stats.Cache.Misses)
+}
+
+// submit POSTs a job and returns its content address.
+func submit(base, body string) string {
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %.12s… (%s)\n", st.ID, st.Status)
+	return st.ID
+}
+
+// streamEvents follows a job's NDJSON event stream, printing one line
+// per point as it completes, with its cache provenance.
+func streamEvents(base, id string) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events?format=ndjson")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev struct {
+			Type  string `json:"type"`
+			Index int    `json:"index"`
+			Total int    `json:"total"`
+			Hash  string `json:"hash"`
+			Cache string `json:"cache"`
+			Sweep *struct {
+				PressureBar float64 `json:"pressure_bar"`
+				GradientK   float64 `json:"gradient_k"`
+			} `json:"sweep"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatal(err)
+		}
+		switch ev.Type {
+		case "point":
+			fmt.Printf("  point %d/%d  ΔPmax %4.1f bar  ΔT %6.2f K   [%s, %.12s…]\n",
+				ev.Index+1, ev.Total, ev.Sweep.PressureBar, ev.Sweep.GradientK, ev.Cache, ev.Hash)
+		case "done":
+			fmt.Printf("  done (parent served as %s)\n", ev.Cache)
+		case "error":
+			log.Fatalf("job failed: %s", ev.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// getJSON fetches and decodes a JSON endpoint.
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,375 @@
+// Package daemon implements the chanmodd HTTP server: the job engine
+// served over a small REST surface. Jobs are submitted, polled, fetched
+// and streamed by content address; identical jobs — across clients and
+// across time — cost one solve, because the daemon is a thin shell
+// around an engine's content-addressed cache and singleflight layer.
+//
+// The package is separate from cmd/chanmodd so the server can also be
+// embedded in-process (tests, examples/daemon) and driven over real
+// HTTP without shelling out to a binary.
+//
+// Endpoints:
+//
+//	POST /v1/jobs             submit a Job JSON; returns {"id", "status"} immediately
+//	GET  /v1/jobs/{id}        poll a submission's status
+//	GET  /v1/jobs/{id}/events stream per-point completions (SSE; NDJSON with ?format=ndjson)
+//	GET  /v1/results/{id}     fetch a cached result by content address (404 until done)
+//	POST /v1/run              run a Job synchronously; X-Cache: hit|coalesced|miss
+//	GET  /v1/stats            cache and worker-pool statistics
+//	GET  /healthz             liveness probe
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	channelmod "repro"
+)
+
+// maxJobBytes bounds a submitted job document.
+const maxJobBytes = 8 << 20
+
+// jobStatus is a submission's lifecycle state.
+type jobStatus string
+
+const (
+	statusQueued  jobStatus = "queued"
+	statusRunning jobStatus = "running"
+	statusDone    jobStatus = "done"
+	statusFailed  jobStatus = "failed"
+)
+
+// jobState is the daemon-side record of one submitted content address.
+type jobState struct {
+	ID     string             `json:"id"`
+	Kind   channelmod.JobKind `json:"kind"`
+	Status jobStatus          `json:"status"`
+	Error  string             `json:"error,omitempty"`
+	// ResultURL is set once the result is fetchable.
+	ResultURL string `json:"result_url,omitempty"`
+	// EventsURL streams the job's per-point completions.
+	EventsURL string `json:"events_url,omitempty"`
+
+	// prep retains the canonical job so the events endpoint can replay
+	// (or, after eviction, re-execute) it without the original body.
+	// Oversized jobs are not retained (see retainable) so the registry
+	// cannot pin maxTracked × maxJobBytes of job documents.
+	prep *channelmod.PreparedJob
+	// feed carries live point events while the submission executes; it
+	// is dropped on completion (replays then come from the cache).
+	feed *feed
+}
+
+// maxTracked bounds the submission registry: beyond it, the oldest
+// completed (done/failed) states are pruned. States still queued or
+// running are never dropped, so the registry can only exceed the bound
+// while that many jobs are genuinely in flight.
+const maxTracked = 1024
+
+// maxRetainedJobBytes bounds the canonical job document a jobState
+// retains for event replay; together with maxTracked it caps the
+// registry's worst-case memory. Jobs beyond it still execute normally —
+// their event stream is just not replayable after completion.
+const maxRetainedJobBytes = 256 << 10
+
+// retainable returns p when its canonical form is small enough to keep
+// in the registry, nil otherwise.
+func retainable(p *channelmod.PreparedJob) *channelmod.PreparedJob {
+	if b, err := json.Marshal(p.Job); err != nil || len(b) > maxRetainedJobBytes {
+		return nil
+	}
+	return p
+}
+
+// Server owns the engine and the submission registry.
+type Server struct {
+	eng *channelmod.Engine
+
+	mu    sync.Mutex
+	jobs  map[string]*jobState
+	order []string // insertion order, for registry pruning
+
+	submitted atomic.Uint64
+	running   atomic.Int64
+	done      atomic.Uint64
+	failed    atomic.Uint64
+}
+
+// New returns a server over the given engine.
+func New(eng *channelmod.Engine) *Server {
+	return &Server{eng: eng, jobs: make(map[string]*jobState)}
+}
+
+// track registers a new state under s.mu and prunes the oldest
+// completed entries beyond maxTracked.
+func (s *Server) track(hash string, st *jobState) {
+	if _, exists := s.jobs[hash]; !exists {
+		s.order = append(s.order, hash)
+	}
+	st.EventsURL = "/v1/jobs/" + hash + "/events"
+	s.jobs[hash] = st
+	if len(s.jobs) <= maxTracked {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.jobs) - maxTracked
+	for _, h := range s.order {
+		old, ok := s.jobs[h]
+		if excess > 0 && ok && (old.Status == statusDone || old.Status == statusFailed) {
+			delete(s.jobs, h)
+			excess--
+			continue
+		}
+		if ok {
+			kept = append(kept, h)
+		}
+	}
+	s.order = kept
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handlePoll)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	return mux
+}
+
+// decodeJob reads, parses and canonicalizes the request body into a
+// prepared job (canonical form + content address), canonicalizing
+// exactly once per request.
+func decodeJob(w http.ResponseWriter, r *http.Request) (*channelmod.PreparedJob, error) {
+	var job channelmod.Job
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		return nil, fmt.Errorf("decode job: %w", err)
+	}
+	return channelmod.PrepareJob(&job)
+}
+
+// handleSubmit enqueues a job asynchronously and returns its content
+// address for polling. Resubmitting a queued/running address — or a
+// done one whose result is still cached — is idempotent; resubmitting a
+// failed address, or a done one whose result the LRU has since evicted,
+// re-executes it.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	p, err := decodeJob(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	if st, known := s.jobs[p.Hash]; known && st.Status != statusFailed {
+		_, cached := s.eng.Lookup(p.Hash)
+		if st.Status != statusDone || cached {
+			snapshot := *st
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, snapshot)
+			return
+		}
+		// Done but evicted: fall through and recompute.
+	}
+	st := &jobState{ID: p.Hash, Kind: p.Job.Kind, Status: statusQueued, prep: retainable(p), feed: newFeed()}
+	s.track(p.Hash, st)
+	snapshot := *st
+	fd := st.feed
+	s.mu.Unlock()
+	s.submitted.Add(1)
+
+	go s.execute(p, fd)
+	writeJSON(w, http.StatusAccepted, snapshot)
+}
+
+// execute runs a submission to completion in the background, publishing
+// per-point completions into the feed. The engine's singleflight layer
+// guarantees that two states racing for the same address still cost one
+// solve.
+func (s *Server) execute(p *channelmod.PreparedJob, fd *feed) {
+	s.setStatus(p.Hash, statusRunning, nil)
+	s.running.Add(1)
+	_, info, err := s.eng.RunStreamPrepared(context.Background(), p,
+		func(ev channelmod.JobPointEvent) error {
+			fd.appendPoint(ev.JSON())
+			return nil
+		})
+	s.running.Add(-1)
+	if err != nil {
+		s.failed.Add(1)
+		s.setStatus(p.Hash, statusFailed, err)
+		fd.finish(eventError, errorPayload(err))
+	} else {
+		s.done.Add(1)
+		s.setStatus(p.Hash, statusDone, nil)
+		fd.finish(eventDone, donePayload(p.Hash, info))
+	}
+	// Drop the live feed: late readers replay through the cache instead,
+	// so the registry never pins a completed job's event log in memory.
+	s.mu.Lock()
+	if st, ok := s.jobs[p.Hash]; ok && st.feed == fd {
+		st.feed = nil
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) setStatus(hash string, status jobStatus, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.jobs[hash]
+	if !ok {
+		return
+	}
+	// Never downgrade a completed job: when one of several callers
+	// racing for the same address errors out (e.g. its request was
+	// cancelled) after another succeeded, the successful, cached outcome
+	// is the job's state.
+	if st.Status == statusDone && status == statusFailed {
+		return
+	}
+	st.Status = status
+	// A re-executed address must not drag an earlier attempt's error (or
+	// a stale result URL) along.
+	st.Error = ""
+	st.ResultURL = ""
+	if err != nil {
+		st.Error = err.Error()
+	}
+	if status == statusDone {
+		st.ResultURL = "/v1/results/" + hash
+	}
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	st, ok := s.jobs[id]
+	var snapshot jobState
+	if ok {
+		snapshot = *st
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshot)
+}
+
+// handleResult serves a result straight from the content-addressed
+// cache. 404 means "not (or no longer) cached" — poll the job, or
+// resubmit.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, ok := s.eng.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no cached result for %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, res.JSON())
+}
+
+// handleRun executes a job synchronously and reports how it was served
+// in the X-Cache header: "hit" (cache), "coalesced" (deduplicated onto a
+// concurrent identical run) or "miss" (computed here).
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	p, err := decodeJob(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	if st, known := s.jobs[p.Hash]; !known {
+		s.track(p.Hash, &jobState{ID: p.Hash, Kind: p.Job.Kind, Status: statusRunning, prep: retainable(p)})
+		s.submitted.Add(1)
+	} else if st.prep == nil {
+		st.prep = retainable(p)
+	}
+	s.mu.Unlock()
+
+	// The execution is detached from the request context: a
+	// disconnecting client must not abort a solve that coalesced
+	// followers are waiting on (and that will populate the cache either
+	// way). The client simply stops reading; the job runs to completion.
+	s.running.Add(1)
+	res, info, err := s.eng.RunPrepared(context.WithoutCancel(r.Context()), p)
+	s.running.Add(-1)
+	if err != nil {
+		s.failed.Add(1)
+		s.setStatus(p.Hash, statusFailed, err)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.done.Add(1)
+	s.setStatus(p.Hash, statusDone, nil)
+	w.Header().Set("X-Cache", info.CacheString())
+	writeJSON(w, http.StatusOK, res.JSON())
+}
+
+// statsResponse is the /v1/stats payload.
+type statsResponse struct {
+	Cache channelmod.EngineCacheStats `json:"cache"`
+	Pool  poolStats                   `json:"pool"`
+	Jobs  jobCounts                   `json:"jobs"`
+}
+
+type poolStats struct {
+	// GOMAXPROCS bounds the machine-wide solve concurrency (the batch
+	// layer's borrow quota).
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Running counts requests currently executing (or waiting on) a job.
+	Running int64 `json:"running"`
+}
+
+type jobCounts struct {
+	Submitted uint64 `json:"submitted"`
+	Done      uint64 `json:"done"`
+	Failed    uint64 `json:"failed"`
+	Tracked   int    `json:"tracked"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	tracked := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Cache: s.eng.Stats(),
+		Pool: poolStats{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Running:    s.running.Load(),
+		},
+		Jobs: jobCounts{
+			Submitted: s.submitted.Load(),
+			Done:      s.done.Load(),
+			Failed:    s.failed.Load(),
+			Tracked:   tracked,
+		},
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to send.
+		fmt.Fprintf(os.Stderr, "chanmodd: encode response: %v\n", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"bytes"
@@ -30,7 +30,7 @@ const fastJobJSON = `{
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(channelmod.NewEngine(8)).routes())
+	ts := httptest.NewServer(New(channelmod.NewEngine(8)).Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -183,7 +183,7 @@ func TestSubmitPollFetch(t *testing.T) {
 // re-executed by POST /v1/jobs instead of pointing at a dangling
 // result_url forever.
 func TestResubmitAfterEviction(t *testing.T) {
-	ts := httptest.NewServer(newServer(channelmod.NewEngine(1)).routes())
+	ts := httptest.NewServer(New(channelmod.NewEngine(1)).Handler())
 	t.Cleanup(ts.Close)
 
 	submitAndWait := func(body string) string {

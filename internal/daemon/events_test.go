@@ -1,0 +1,259 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	channelmod "repro"
+)
+
+// sweepJobJSON builds a cheap flow-sweep job document (single-segment
+// baseline evaluations) at the given flow points.
+func sweepJobJSON(flows string) string {
+	return `{
+	  "kind": "sweep",
+	  "scenario": {
+	    "segments": 1,
+	    "channels": [
+	      {"top_wcm2": [50, 50], "bottom_wcm2": [50, 50]},
+	      {"top_wcm2": [30, 180], "bottom_wcm2": [30, 30]}
+	    ]
+	  },
+	  "sweep": {"kind": "flow", "flow_ml_min": [` + flows + `]}
+	}`
+}
+
+// sseEvent is one parsed SSE message.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// readSSE consumes a Server-Sent Events stream until EOF.
+func readSSE(t *testing.T, url string) []sseEvent {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type %q, want text/event-stream", ct)
+	}
+	var (
+		events []sseEvent
+		cur    sseEvent
+	)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if cur.name != "" {
+				events = append(events, cur)
+				cur = sseEvent{}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// pointJSON is the decoded shape of a point event's data.
+type pointJSON struct {
+	Index int    `json:"index"`
+	Total int    `json:"total"`
+	Hash  string `json:"hash"`
+	Cache string `json:"cache"`
+	Sweep *struct {
+		FlowMLMin float64 `json:"flow_ml_min"`
+		GradientK float64 `json:"gradient_k"`
+	} `json:"sweep"`
+}
+
+// TestEventsLifecycle: submit a sweep, stream its per-point SSE events
+// to the terminal "done", then widen the sweep and verify the second
+// stream reports per-point cache hits for the shared points.
+func TestEventsLifecycle(t *testing.T) {
+	ts := httptest.NewServer(New(channelmod.NewEngine(32)).Handler())
+	t.Cleanup(ts.Close)
+
+	submit := func(body string) string {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st struct {
+			ID        string `json:"id"`
+			EventsURL string `json:"events_url"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if st.EventsURL != "/v1/jobs/"+st.ID+"/events" {
+			t.Fatalf("events_url %q for job %s", st.EventsURL, st.ID)
+		}
+		return st.ID
+	}
+
+	id := submit(sweepJobJSON("0.2, 0.4"))
+	events := readSSE(t, ts.URL+"/v1/jobs/"+id+"/events")
+	if len(events) != 3 {
+		t.Fatalf("%d events, want 2 points + done: %+v", len(events), events)
+	}
+	for i, ev := range events[:2] {
+		if ev.name != "point" {
+			t.Fatalf("event %d named %q, want point", i, ev.name)
+		}
+		var pt pointJSON
+		if err := json.Unmarshal(ev.data, &pt); err != nil {
+			t.Fatalf("decode point %d: %v", i, err)
+		}
+		if pt.Index != i || pt.Total != 2 || pt.Hash == "" || pt.Sweep == nil {
+			t.Errorf("point %d = %+v", i, pt)
+		}
+	}
+	if done := events[2]; done.name != "done" || !strings.Contains(string(done.data), id) {
+		t.Fatalf("terminal event %+v, want done with the job address", done)
+	}
+
+	// The widened sweep re-solves only the new point: its stream must
+	// report the two shared points as cache hits.
+	wide := submit(sweepJobJSON("0.2, 0.4, 0.8"))
+	if wide == id {
+		t.Fatal("widened sweep shares the parent address with the original")
+	}
+	wideEvents := readSSE(t, ts.URL+"/v1/jobs/"+wide+"/events")
+	if len(wideEvents) != 4 {
+		t.Fatalf("%d events, want 3 points + done: %+v", len(wideEvents), wideEvents)
+	}
+	hits := 0
+	for _, ev := range wideEvents[:3] {
+		var pt pointJSON
+		if err := json.Unmarshal(ev.data, &pt); err != nil {
+			t.Fatal(err)
+		}
+		if pt.Cache == "hit" {
+			hits++
+		}
+	}
+	if hits < 1 {
+		t.Errorf("widened sweep reported %d per-point cache hits, want >= 1", hits)
+	}
+
+	// Replaying a finished job streams the same points, now all served
+	// from the cache.
+	replay := readSSE(t, ts.URL+"/v1/jobs/"+id+"/events")
+	if len(replay) != 3 {
+		t.Fatalf("%d replayed events, want 3", len(replay))
+	}
+	for i, ev := range replay[:2] {
+		var pt pointJSON
+		if err := json.Unmarshal(ev.data, &pt); err != nil {
+			t.Fatal(err)
+		}
+		if pt.Cache != "hit" {
+			t.Errorf("replayed point %d provenance %q, want hit", i, pt.Cache)
+		}
+	}
+}
+
+// TestEventsNDJSON: ?format=ndjson frames the same stream as
+// newline-delimited JSON tagged with a type field.
+func TestEventsNDJSON(t *testing.T) {
+	ts := httptest.NewServer(New(channelmod.NewEngine(8)).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(sweepJobJSON("0.3")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	r2, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events?format=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if ct := r2.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q, want application/x-ndjson", ct)
+	}
+	var types []string
+	sc := bufio.NewScanner(r2.Body)
+	for sc.Scan() {
+		var line struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("non-JSON line %q: %v", sc.Text(), err)
+		}
+		types = append(types, line.Type)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"point", "done"}
+	if len(types) != len(want) {
+		t.Fatalf("line types %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("line types %v, want %v", types, want)
+		}
+	}
+}
+
+// TestEventsUnknownJob: streaming an unknown address answers 404.
+func TestEventsUnknownJob(t *testing.T) {
+	ts := httptest.NewServer(New(channelmod.NewEngine(8)).Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/v1/jobs/deadbeef/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestEventsAfterSyncRun: a job executed through POST /v1/run (which
+// keeps no live feed) still replays its point events by address.
+func TestEventsAfterSyncRun(t *testing.T) {
+	ts := httptest.NewServer(New(channelmod.NewEngine(8)).Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(sweepJobJSON("0.2, 0.4")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct{ Hash string }
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	events := readSSE(t, ts.URL+"/v1/jobs/"+res.Hash+"/events")
+	if len(events) != 3 || events[2].name != "done" {
+		t.Fatalf("replay after sync run: %+v, want 2 points + done", events)
+	}
+}

@@ -56,6 +56,19 @@ type Info struct {
 	Coalesced bool `json:"coalesced"`
 }
 
+// CacheString renders the provenance as the daemon's X-Cache value:
+// "hit", "coalesced" or "miss".
+func (i Info) CacheString() string {
+	switch {
+	case i.CacheHit:
+		return "hit"
+	case i.Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
 // CacheStats is a point-in-time snapshot of the engine's cache counters.
 type CacheStats struct {
 	// Hits counts Runs served from the cache.
@@ -130,12 +143,47 @@ func (e *Engine) RunInfo(ctx context.Context, job *Job) (*Result, Info, error) {
 
 // RunPrepared executes an already-prepared job.
 func (e *Engine) RunPrepared(ctx context.Context, p *Prepared) (*Result, Info, error) {
+	return e.runPrepared(ctx, p, nil)
+}
+
+// RunStream is Run with incremental per-point delivery: for composite
+// jobs (sweeps, the arch-experiment grid, and the nested design solves
+// of thermalmap/transient/runtime), emit is called on the calling
+// goroutine with one PointEvent per sub-job, in point order, as soon as
+// that point (and every point before it) is done — while later points
+// are still being computed. Non-composite jobs emit no events. A
+// non-nil error from emit cancels the execution and is returned.
+//
+// When the parent is served from the cache — or coalesced onto an
+// identical in-flight execution — the events are replayed from the
+// finished result, each marked with the parent's provenance. The
+// returned Result is bit-identical to Run's for the same job.
+func (e *Engine) RunStream(ctx context.Context, job *Job, emit func(PointEvent) error) (*Result, Info, error) {
+	p, err := PrepareJob(job)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	return e.runPrepared(ctx, p, emit)
+}
+
+// RunStreamPrepared is RunStream for an already-prepared job.
+func (e *Engine) RunStreamPrepared(ctx context.Context, p *Prepared, emit func(PointEvent) error) (*Result, Info, error) {
+	return e.runPrepared(ctx, p, emit)
+}
+
+// runPrepared serves a prepared job from the cache, an in-flight
+// identical execution, or a fresh execution (in that order), streaming
+// per-point events into emit when non-nil.
+func (e *Engine) runPrepared(ctx context.Context, p *Prepared, emit func(PointEvent) error) (*Result, Info, error) {
 	canon, hash := p.Job, p.Hash
 	info := Info{Hash: hash}
 
 	if res, ok := e.cache.get(hash); ok {
 		e.hits.Add(1)
 		info.CacheHit = true
+		if err := e.replay(canon, res, info, emit); err != nil {
+			return nil, info, err
+		}
 		return res, info, nil
 	}
 
@@ -145,6 +193,11 @@ func (e *Engine) RunPrepared(ctx context.Context, p *Prepared) (*Result, Info, e
 		info.Coalesced = true
 		select {
 		case <-call.done:
+			if call.err == nil {
+				if err := e.replay(canon, call.res, info, emit); err != nil {
+					return nil, info, err
+				}
+			}
 			return call.res, info, call.err
 		case <-ctx.Done():
 			// The leader keeps computing (and will populate the cache);
@@ -159,11 +212,14 @@ func (e *Engine) RunPrepared(ctx context.Context, p *Prepared) (*Result, Info, e
 		e.hits.Add(1)
 		info.CacheHit = true
 		e.inflight.finish(hash, call, res, nil)
+		if err := e.replay(canon, res, info, emit); err != nil {
+			return nil, info, err
+		}
 		return res, info, nil
 	}
 
 	e.misses.Add(1)
-	res, execErr := e.execGuarded(ctx, canon, hash)
+	res, execErr := e.execGuarded(ctx, canon, hash, &sink{emit: emit})
 	if execErr == nil {
 		e.cache.add(hash, res)
 	}
@@ -175,13 +231,13 @@ func (e *Engine) RunPrepared(ctx context.Context, p *Prepared) (*Result, Info, e
 // reach inflight.finish on every path — a leaked call would wedge the
 // content address for the life of the process, with every later
 // submission joining a channel that never closes.
-func (e *Engine) execGuarded(ctx context.Context, canon *Job, hash string) (res *Result, err error) {
+func (e *Engine) execGuarded(ctx context.Context, canon *Job, hash string, snk *sink) (res *Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, fmt.Errorf("engine: job %.12s panicked: %v\n%s", hash, p, debug.Stack())
 		}
 	}()
-	return e.exec(ctx, canon, hash)
+	return e.exec(ctx, canon, hash, snk)
 }
 
 // Lookup peeks the cache by content hash without touching the hit/miss

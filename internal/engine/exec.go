@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/batch"
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -16,8 +15,11 @@ import (
 // executor is deterministic (seeded randomness only) and fans its
 // independent solves out on the bounded worker pool, so a cold run, a
 // warm cache hit and a coalesced submission all observe bit-identical
-// payloads.
-func (e *Engine) exec(ctx context.Context, job *Job, hash string) (*Result, error) {
+// payloads. Composite kinds (sweep, arch-experiment, and the nested
+// design solves of thermalmap/transient/runtime) execute their points
+// as individually content-addressed sub-jobs (see points.go), emitting
+// a PointEvent per completed point into snk.
+func (e *Engine) exec(ctx context.Context, job *Job, hash string, snk *sink) (*Result, error) {
 	res := &Result{Kind: job.Kind, Hash: hash}
 	var err error
 	switch job.Kind {
@@ -26,15 +28,15 @@ func (e *Engine) exec(ctx context.Context, job *Job, hash string) (*Result, erro
 	case KindOptimize:
 		err = e.execOptimize(ctx, job, res)
 	case KindSweep:
-		err = e.execSweep(ctx, job, res)
+		err = e.execSweep(ctx, job, res, snk)
 	case KindArchExperiment:
-		err = e.execArchExperiment(ctx, job, res)
+		err = e.execArchExperiment(ctx, job, res, snk)
 	case KindThermalMap:
-		err = e.execThermalMap(ctx, job, res)
+		err = e.execThermalMap(ctx, job, res, snk)
 	case KindTransient:
-		err = e.execTransient(ctx, job, res)
+		err = e.execTransient(ctx, job, res, snk)
 	case KindRuntime:
-		err = e.execRuntime(ctx, job, res)
+		err = e.execRuntime(ctx, job, res, snk)
 	default:
 		err = fmt.Errorf("engine: unknown job kind %q", job.Kind)
 	}
@@ -110,47 +112,27 @@ func (e *Engine) execOptimize(ctx context.Context, job *Job, res *Result) error 
 	return nil
 }
 
-func (e *Engine) execSweep(ctx context.Context, job *Job, res *Result) error {
+// execSweep runs the sweep as per-point optimize sub-jobs: each point
+// is content-addressed individually, so overlapping sweeps re-solve
+// only the points they do not share, and the parent result is a
+// reduction over the per-point cache entries.
+func (e *Engine) execSweep(ctx context.Context, job *Job, res *Result, snk *sink) error {
 	s := job.Sweep
-	var n int
-	switch s.Kind {
-	case SweepPressure:
-		n = len(s.PressureBars)
-	case SweepSegments:
-		n = len(s.Segments)
-	case SweepFlow:
-		n = len(s.FlowMLMin)
-	default:
-		return fmt.Errorf("engine: unknown sweep kind %q", s.Kind)
+	subs := subJobs(job)
+	if len(subs) == 0 {
+		return fmt.Errorf("engine: sweep decomposed into no points for kind %q", s.Kind)
 	}
-	points, err := batch.Map(ctx, n, func(ctx context.Context, i int) (SweepPoint, error) {
-		// Each point rebuilds its spec from the scenario: spec
-		// construction is cheap next to a solve and keeps the points
-		// fully independent across workers.
-		spec, err := job.Scenario.Spec()
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		pt := SweepPoint{}
-		switch s.Kind {
-		case SweepPressure:
-			pt.PressureBar = s.PressureBars[i]
-			spec.MaxPressure = units.Bar(pt.PressureBar)
-			pt.Result, err = control.OptimizeContext(ctx, spec)
-		case SweepSegments:
-			pt.Segments = s.Segments[i]
-			spec.Segments = pt.Segments
-			pt.Result, err = control.OptimizeContext(ctx, spec)
-		case SweepFlow:
-			pt.FlowMLMin = s.FlowMLMin[i]
-			spec.Params.FlowRatePerChannel = units.MilliLitersPerMinute(pt.FlowMLMin)
-			pt.Result, err = control.Baseline(spec, spec.Bounds.Max)
-		}
-		if err != nil {
-			return SweepPoint{}, fmt.Errorf("engine: sweep point %d: %w", i, err)
-		}
-		return pt, nil
-	})
+	preps, err := prepareAll(subs, func(i int) string { return fmt.Sprintf("sweep point %d", i) })
+	if err != nil {
+		return err
+	}
+	points := make([]SweepPoint, len(subs))
+	err = e.runPoints(ctx, preps,
+		func(i int, err error) error { return fmt.Errorf("engine: sweep point %d: %w", i, err) },
+		func(i int, o outcome) error {
+			points[i] = sweepPoint(s, i, preps[i].Hash, o.res.Optimize)
+			return snk.point(PointEvent{Index: i, Total: len(subs), Info: o.info, Sweep: &points[i]})
+		})
 	if err != nil {
 		return err
 	}
@@ -158,7 +140,25 @@ func (e *Engine) execSweep(ctx context.Context, job *Job, res *Result) error {
 	return nil
 }
 
-func (e *Engine) execArchExperiment(ctx context.Context, job *Job, res *Result) error {
+// sweepPoint assembles one evaluated sweep point; only the swept axis'
+// coordinate field is populated.
+func sweepPoint(s *SweepSpec, i int, hash string, r *control.Result) SweepPoint {
+	pt := SweepPoint{Hash: hash, Result: r}
+	switch s.Kind {
+	case SweepPressure:
+		pt.PressureBar = s.PressureBars[i]
+	case SweepSegments:
+		pt.Segments = s.Segments[i]
+	case SweepFlow:
+		pt.FlowMLMin = s.FlowMLMin[i]
+	}
+	return pt
+}
+
+// execArchExperiment runs the Fig. 8 grid as per-combo compare
+// sub-jobs over the arch presets, each cache-shared with direct compare
+// submissions of the same scenario.
+func (e *Engine) execArchExperiment(ctx context.Context, job *Job, res *Result, snk *sink) error {
 	type combo struct {
 		arch int
 		mode string
@@ -169,22 +169,25 @@ func (e *Engine) execArchExperiment(ctx context.Context, job *Job, res *Result) 
 			combos = append(combos, combo{a, m})
 		}
 	}
-	cases, err := batch.Map(ctx, len(combos), func(ctx context.Context, i int) (ExperimentCase, error) {
-		// Each case is the corresponding arch-preset scenario: the
-		// experiment grid reuses the preset override machinery verbatim.
-		f := job.Scenario
-		f.Preset = fmt.Sprintf("arch%d", combos[i].arch)
-		f.Mode = combos[i].mode
-		spec, err := f.Spec()
-		if err != nil {
-			return ExperimentCase{}, err
-		}
-		cmp, err := core.CompareContext(ctx, spec)
-		if err != nil {
-			return ExperimentCase{}, fmt.Errorf("engine: arch %d / %s: %w", combos[i].arch, combos[i].mode, err)
-		}
-		return ExperimentCase{Arch: combos[i].arch, Mode: combos[i].mode, Comparison: cmp}, nil
+	subs := subJobs(job)
+	preps, err := prepareAll(subs, func(i int) string {
+		return fmt.Sprintf("arch %d / %s", combos[i].arch, combos[i].mode)
 	})
+	if err != nil {
+		return err
+	}
+	cases := make([]ExperimentCase, len(subs))
+	err = e.runPoints(ctx, preps,
+		func(i int, err error) error {
+			return fmt.Errorf("engine: arch %d / %s: %w", combos[i].arch, combos[i].mode, err)
+		},
+		func(i int, o outcome) error {
+			cases[i] = ExperimentCase{
+				Arch: combos[i].arch, Mode: combos[i].mode,
+				Comparison: o.res.Compare, Hash: preps[i].Hash,
+			}
+			return snk.point(PointEvent{Index: i, Total: len(subs), Info: o.info, Case: &cases[i]})
+		})
 	if err != nil {
 		return err
 	}
@@ -192,7 +195,21 @@ func (e *Engine) execArchExperiment(ctx context.Context, job *Job, res *Result) 
 	return nil
 }
 
-func (e *Engine) execThermalMap(ctx context.Context, job *Job, res *Result) error {
+// prepareAll canonicalizes and addresses a point family; label names a
+// failing point in the error.
+func prepareAll(subs []*Job, label func(i int) string) ([]*Prepared, error) {
+	preps := make([]*Prepared, len(subs))
+	for i, sub := range subs {
+		p, err := PrepareJob(sub)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s: %w", label(i), err)
+		}
+		preps[i] = p
+	}
+	return preps, nil
+}
+
+func (e *Engine) execThermalMap(ctx context.Context, job *Job, res *Result, snk *sink) error {
 	m := job.Map
 	var (
 		stack    *grid.Stack
@@ -208,9 +225,9 @@ func (e *Engine) execThermalMap(ctx context.Context, job *Job, res *Result) erro
 			stack, err = core.Fig1NiagaraStack(cfg)
 		}
 	case "arch1", "arch2", "arch3":
-		stack, profiles, err = e.archMapStack(ctx, job)
+		stack, profiles, err = e.archMapStack(ctx, job, snk)
 	default:
-		stack, profiles, err = e.channelMapStack(ctx, job)
+		stack, profiles, err = e.channelMapStack(ctx, job, snk)
 	}
 	if err != nil {
 		return err
@@ -227,7 +244,7 @@ func (e *Engine) execThermalMap(ctx context.Context, job *Job, res *Result) erro
 // uniform or bound widths directly, or the scenario's optimal modulation
 // via a nested optimize job (cache-shared with any direct submission of
 // that job).
-func (e *Engine) archMapStack(ctx context.Context, job *Job) (*grid.Stack, []*microchannel.Profile, error) {
+func (e *Engine) archMapStack(ctx context.Context, job *Job, snk *sink) (*grid.Stack, []*microchannel.Profile, error) {
 	m := job.Map
 	arch := int(job.Scenario.Preset[4] - '0')
 	mode, err := job.Scenario.FloorplanMode()
@@ -249,7 +266,7 @@ func (e *Engine) archMapStack(ctx context.Context, job *Job) (*grid.Stack, []*mi
 		s, err := core.ArchGridStack(arch, mode, nil, spec.Bounds.Max, m.NX, m.NY)
 		return s, nil, err
 	case WidthsOptimal:
-		profiles, err := e.optimalProfiles(ctx, job)
+		profiles, err := e.optimalProfiles(ctx, job, snk)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -264,7 +281,7 @@ func (e *Engine) archMapStack(ctx context.Context, job *Job) (*grid.Stack, []*mi
 // channel columns (testA/testB presets or explicit channels): one grid
 // row per channel, power densities from the channel fluxes. This is the
 // Sec. III validation geometry generalized to any scenario.
-func (e *Engine) channelMapStack(ctx context.Context, job *Job) (*grid.Stack, []*microchannel.Profile, error) {
+func (e *Engine) channelMapStack(ctx context.Context, job *Job, snk *sink) (*grid.Stack, []*microchannel.Profile, error) {
 	m := job.Map
 	spec, err := job.Scenario.Spec()
 	if err != nil {
@@ -293,7 +310,7 @@ func (e *Engine) channelMapStack(ctx context.Context, job *Job) (*grid.Stack, []
 	case WidthsMax:
 		width = func(x, y float64) float64 { return spec.Bounds.Max }
 	case WidthsOptimal:
-		profiles, err = e.optimalProfiles(ctx, job)
+		profiles, err = e.optimalProfiles(ctx, job, snk)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -335,16 +352,15 @@ func (e *Engine) channelMapStack(ctx context.Context, job *Job) (*grid.Stack, []
 // nested optimize job on this engine, so a thermal map of the optimum
 // shares the cache entry with a direct optimization of the same
 // scenario.
-func (e *Engine) optimalProfiles(ctx context.Context, job *Job) ([]*microchannel.Profile, error) {
-	sub := &Job{Kind: KindOptimize, Scenario: job.Scenario}
-	res, err := e.Run(ctx, sub)
+func (e *Engine) optimalProfiles(ctx context.Context, job *Job, snk *sink) ([]*microchannel.Profile, error) {
+	r, err := e.runDesign(ctx, snk, designJob(job), "map design optimization")
 	if err != nil {
-		return nil, fmt.Errorf("engine: map design optimization: %w", err)
+		return nil, err
 	}
-	return res.Optimize.Profiles, nil
+	return r.Profiles, nil
 }
 
-func (e *Engine) execTransient(ctx context.Context, job *Job, res *Result) error {
+func (e *Engine) execTransient(ctx context.Context, job *Job, res *Result, snk *sink) error {
 	rs, err := job.Scenario.RuntimeSpec()
 	if err != nil {
 		return err
@@ -359,7 +375,7 @@ func (e *Engine) execTransient(ctx context.Context, job *Job, res *Result) error
 			profiles[k] = p
 		}
 		rs.Profiles = profiles
-	} else if rs.Profiles, err = e.traceDesign(ctx, job); err != nil {
+	} else if rs.Profiles, err = e.traceDesign(ctx, job, snk); err != nil {
 		return err
 	}
 	run, err := control.SimulateTransientContext(ctx, rs)
@@ -375,28 +391,20 @@ func (e *Engine) execTransient(ctx context.Context, job *Job, res *Result) error
 // optimize job, so experiments sharing a trace — e.g. the two E10
 // valve-authority ranges — solve the design once and share the cache
 // entry.
-func (e *Engine) traceDesign(ctx context.Context, job *Job) ([]*microchannel.Profile, error) {
-	sub := &Job{
-		Kind:     KindOptimize,
-		Scenario: job.Scenario,
-		Optimize: &OptimizeSpec{Variant: VariantTraceDesign},
-	}
-	// The controller timing does not shape the design; dropping it here
-	// keeps the sub-job's address shared across plant configurations.
-	sub.Scenario.Runtime = nil
-	res, err := e.Run(ctx, sub)
+func (e *Engine) traceDesign(ctx context.Context, job *Job, snk *sink) ([]*microchannel.Profile, error) {
+	r, err := e.runDesign(ctx, snk, traceDesignJob(job), "trace design")
 	if err != nil {
-		return nil, fmt.Errorf("engine: trace design: %w", err)
+		return nil, err
 	}
-	return res.Optimize.Profiles, nil
+	return r.Profiles, nil
 }
 
-func (e *Engine) execRuntime(ctx context.Context, job *Job, res *Result) error {
+func (e *Engine) execRuntime(ctx context.Context, job *Job, res *Result, snk *sink) error {
 	rs, err := job.Scenario.RuntimeSpec()
 	if err != nil {
 		return err
 	}
-	if rs.Profiles, err = e.traceDesign(ctx, job); err != nil {
+	if rs.Profiles, err = e.traceDesign(ctx, job, snk); err != nil {
 		return err
 	}
 	r, err := control.RunRuntimeContext(ctx, rs)

@@ -55,6 +55,9 @@ type SweepPoint struct {
 	PressureBar float64
 	Segments    int
 	FlowMLMin   float64
+	// Hash is the point's own content address: the sub-job the point
+	// was solved (and cached) as.
+	Hash string
 	// Result is the point's evaluation.
 	Result *control.Result
 }
@@ -70,6 +73,8 @@ type ExperimentCase struct {
 	Arch       int
 	Mode       string
 	Comparison *core.Comparison
+	// Hash is the case's own content address (its compare sub-job).
+	Hash string
 }
 
 // MapResult is a resolved thermal map plus the width design it ran.
@@ -129,11 +134,12 @@ type SweepJSON struct {
 }
 
 // SweepRowJSON is one sweep row; only the swept axis' coordinate field
-// is populated.
+// is populated. Hash is the row's per-point content address.
 type SweepRowJSON struct {
 	PressureBar float64 `json:"pressure_bar,omitempty"`
 	Segments    int     `json:"segments,omitempty"`
 	FlowMLMin   float64 `json:"flow_ml_min,omitempty"`
+	Hash        string  `json:"hash,omitempty"`
 
 	GradientK       float64 `json:"gradient_k"`
 	PeakC           float64 `json:"peak_c"`
@@ -147,10 +153,12 @@ type ExperimentJSON struct {
 	Cases []ExperimentCaseJSON `json:"cases"`
 }
 
-// ExperimentCaseJSON is one architecture × mode case.
+// ExperimentCaseJSON is one architecture × mode case. Hash is the
+// case's per-point content address.
 type ExperimentCaseJSON struct {
 	Arch    int         `json:"arch"`
 	Mode    string      `json:"mode"`
+	Hash    string      `json:"hash,omitempty"`
 	Compare CompareJSON `json:"compare"`
 }
 
@@ -216,9 +224,7 @@ func (r *Result) JSON() *ResultJSON {
 	case r.Experiment != nil:
 		ej := &ExperimentJSON{}
 		for _, c := range r.Experiment.Cases {
-			ej.Cases = append(ej.Cases, ExperimentCaseJSON{
-				Arch: c.Arch, Mode: c.Mode, Compare: compareJSON(c.Comparison),
-			})
+			ej.Cases = append(ej.Cases, experimentCaseJSON(&c))
 		}
 		out.Experiment = ej
 	case r.Map != nil:
@@ -253,19 +259,72 @@ func compareJSON(c *core.Comparison) CompareJSON {
 func sweepJSON(s *SweepResult) *SweepJSON {
 	out := &SweepJSON{Kind: s.Kind}
 	for _, p := range s.Points {
-		row := SweepRowJSON{
-			PressureBar:     p.PressureBar,
-			Segments:        p.Segments,
-			FlowMLMin:       p.FlowMLMin,
-			GradientK:       p.Result.GradientK,
-			PeakC:           units.ToCelsius(p.Result.PeakK),
-			PressureUsedBar: units.ToBar(p.Result.MaxPressureDrop()),
-			Evaluations:     p.Result.Evaluations,
-		}
-		if s.Kind == SweepFlow {
-			row.OutletC = units.ToCelsius(outletTemperature(p.Result))
-		}
-		out.Rows = append(out.Rows, row)
+		out.Rows = append(out.Rows, sweepRowJSON(&p))
+	}
+	return out
+}
+
+// sweepRowJSON projects one sweep point. The coolant outlet temperature
+// is reported for flow-axis points (the only axis whose coordinate is a
+// flow rate).
+func sweepRowJSON(p *SweepPoint) SweepRowJSON {
+	row := SweepRowJSON{
+		PressureBar:     p.PressureBar,
+		Segments:        p.Segments,
+		FlowMLMin:       p.FlowMLMin,
+		Hash:            p.Hash,
+		GradientK:       p.Result.GradientK,
+		PeakC:           units.ToCelsius(p.Result.PeakK),
+		PressureUsedBar: units.ToBar(p.Result.MaxPressureDrop()),
+		Evaluations:     p.Result.Evaluations,
+	}
+	if p.FlowMLMin > 0 {
+		row.OutletC = units.ToCelsius(outletTemperature(p.Result))
+	}
+	return row
+}
+
+func experimentCaseJSON(c *ExperimentCase) ExperimentCaseJSON {
+	return ExperimentCaseJSON{
+		Arch: c.Arch, Mode: c.Mode, Hash: c.Hash, Compare: compareJSON(c.Comparison),
+	}
+}
+
+// PointEventJSON is the serializable projection of a PointEvent — the
+// daemon's per-point wire format on the job event stream.
+type PointEventJSON struct {
+	// Index and Total locate the point in the parent's point order.
+	Index int `json:"index"`
+	Total int `json:"total"`
+	// Hash is the sub-job's content address.
+	Hash string `json:"hash"`
+	// Cache is the sub-job's provenance: "hit", "coalesced" or "miss".
+	Cache string `json:"cache"`
+	// Sweep, Case and Design carry the kind-specific payload (exactly
+	// one is set; Design may be null on a replayed stream whose
+	// sub-result was evicted).
+	Sweep  *SweepRowJSON       `json:"sweep,omitempty"`
+	Case   *ExperimentCaseJSON `json:"case,omitempty"`
+	Design *OptimizeJSON       `json:"design,omitempty"`
+}
+
+// JSON projects the event into its serializable wire form.
+func (ev *PointEvent) JSON() *PointEventJSON {
+	out := &PointEventJSON{
+		Index: ev.Index,
+		Total: ev.Total,
+		Hash:  ev.Info.Hash,
+		Cache: ev.Info.CacheString(),
+	}
+	switch {
+	case ev.Sweep != nil:
+		row := sweepRowJSON(ev.Sweep)
+		out.Sweep = &row
+	case ev.Case != nil:
+		c := experimentCaseJSON(ev.Case)
+		out.Case = &c
+	case ev.Design != nil:
+		out.Design = &OptimizeJSON{Result: scenario.NewResult("", ev.Design)}
 	}
 	return out
 }
