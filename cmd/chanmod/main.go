@@ -13,11 +13,18 @@
 //	        [-segments 20] [-dpmax-bar 10] [-seed 2012] [-solver lbfgsb|projgrad|neldermead]
 //	chanmod -scenario-file design.json [-out-json result.json]
 //	chanmod -scenario-file design.json -runtime
+//	chanmod -generate 42 [-emit-scenario gen.json]
 //	chanmod -write-example design.json
 //
 // -runtime needs a scenario file with a "trace" section: it simulates the
 // transient plant over the trace twice — static uniform flow vs the
 // per-epoch flow re-optimization controller — and reports both arms.
+//
+// -generate draws a procedural scenario from the seed (see
+// internal/genscen: heterogeneous floorplans, power traces, stack and
+// channel configurations) and optimizes it like any other scenario;
+// -emit-scenario additionally writes the generated document, which
+// round-trips through -scenario-file and the daemon unchanged.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 
 	channelmod "repro"
 	"repro/internal/cliutil"
+	"repro/internal/genscen"
 	"repro/internal/scenario"
 	"repro/internal/units"
 )
@@ -46,6 +54,8 @@ func run() error {
 	solverStr := flag.String("solver", "lbfgsb", "inner solver: lbfgsb, projgrad, neldermead")
 	showStats := flag.Bool("stats", false, "print solver work statistics for the optimization")
 	runtime := flag.Bool("runtime", false, "run the static-vs-runtime flow-control comparison (needs -scenario-file with a trace)")
+	genSeed := flag.Int64("generate", 0, "generate a procedural scenario from this seed and optimize it (seed 0 is a valid seed)")
+	emitScenario := flag.String("emit-scenario", "", "with -generate: also write the generated scenario JSON to this file")
 	flag.Parse()
 
 	if *writeExample != "" {
@@ -68,12 +78,45 @@ func run() error {
 	}
 
 	if *runtime {
+		if cliutil.FlagWasSet("generate") {
+			return cliutil.UsageErrorf("-runtime needs -scenario-file; generate first with -generate -emit-scenario")
+		}
 		return runRuntime(*scnFile, *solverStr)
 	}
 
-	file, err := assembleScenario(*scn, *scnFile, *modeStr, *solverStr, *segments, *dpMaxBar, *seed)
-	if err != nil {
-		return err
+	var file *scenario.File
+	var err error
+	if cliutil.FlagWasSet("generate") {
+		if *scnFile != "" {
+			return cliutil.UsageErrorf("-generate and -scenario-file are mutually exclusive")
+		}
+		// Presence-decoded like -seed: -generate 0 draws the seed-0
+		// universe, it does not mean "no generation".
+		if file, err = genscen.Generate(*genSeed); err != nil {
+			return err
+		}
+		if cliutil.FlagWasSet("solver") {
+			file.Solver = *solverStr
+		}
+		if *emitScenario != "" {
+			fh, err := os.Create(*emitScenario)
+			if err != nil {
+				return err
+			}
+			defer fh.Close()
+			if err := scenario.Save(fh, file); err != nil {
+				return err
+			}
+			fmt.Printf("wrote generated scenario %s to %s\n", file.Name, *emitScenario)
+		}
+	} else {
+		if *emitScenario != "" {
+			return cliutil.UsageErrorf("-emit-scenario only applies with -generate")
+		}
+		file, err = assembleScenario(*scn, *scnFile, *modeStr, *solverStr, *segments, *dpMaxBar, *seed)
+		if err != nil {
+			return err
+		}
 	}
 	// Resolve the spec here too: the CLI reports problem shape before
 	// solving, and scenario mistakes must exit as usage errors.

@@ -78,11 +78,14 @@ func (s *Spec) outerIterations() int {
 }
 
 // widthsFromX maps normalized decision variables back to segment widths.
+// The result is projected into the bounds: for irrational bound values,
+// min + 1.0·(max−min) can exceed max by an ulp, which downstream strict
+// validation would reject.
 func widthsFromX(x mat.Vec, b microchannel.Bounds) []float64 {
 	w := make([]float64, len(x))
 	span := b.Max - b.Min
 	for i, v := range x {
-		w[i] = b.Min + v*span
+		w[i] = b.Project(b.Min + v*span)
 	}
 	return w
 }

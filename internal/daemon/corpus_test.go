@@ -1,0 +1,119 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	channelmod "repro"
+	"repro/internal/genscen"
+)
+
+// generatedSweepJSON wraps a procedurally generated scenario in a flow
+// sweep (two cheap baseline points), the composite shape whose per-point
+// streaming the daemon must replay bit-identically.
+func generatedSweepJSON(t *testing.T, seed int64) string {
+	t.Helper()
+	f, err := genscen.Config{MaxChannels: 2}.Generate(seed)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	job := &channelmod.Job{
+		Kind:     channelmod.JobSweep,
+		Scenario: *f,
+		Sweep:    &channelmod.SweepJobSpec{Kind: "flow", FlowMLMin: []float64{0.4, 0.8}},
+	}
+	b, err := json.Marshal(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestGeneratedCorpusRoundTrip: a generated scenario survives the full
+// daemon round trip — async submission, per-point event streaming, and
+// result fetch — and the sync path answers bit-identically, with the
+// event stream replaying byte-for-byte.
+func TestGeneratedCorpusRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+
+	seeds := []int64{11, 77}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			doc := generatedSweepJSON(t, seed)
+
+			// Async: submit, poll to completion, fetch the result.
+			resp, body := post(t, ts.URL+"/v1/jobs", doc)
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+			}
+			var st struct {
+				ID     string `json:"id"`
+				Status string `json:"status"`
+			}
+			if err := json.Unmarshal(body, &st); err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for st.Status != "done" {
+				if st.Status == "failed" {
+					t.Fatalf("generated job failed: %s", body)
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("job %s stuck in %q", st.ID, st.Status)
+				}
+				time.Sleep(10 * time.Millisecond)
+				_, body = get(t, ts.URL+"/v1/jobs/"+st.ID)
+				if err := json.Unmarshal(body, &st); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, async := get(t, ts.URL+"/v1/results/"+st.ID)
+
+			// The finished stream replays deterministically: two fetches
+			// of the NDJSON framing are byte-identical, and carry the two
+			// sweep points plus the terminal message.
+			eventsURL := ts.URL + "/v1/jobs/" + st.ID + "/events?format=ndjson"
+			r1, s1 := get(t, eventsURL)
+			if ct := r1.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+				t.Fatalf("events content type %q", ct)
+			}
+			var kinds []string
+			for _, line := range bytes.Split(bytes.TrimSpace(s1), []byte("\n")) {
+				var ev struct {
+					Type string `json:"type"`
+				}
+				if err := json.Unmarshal(line, &ev); err != nil {
+					t.Fatalf("bad stream line %q: %v", line, err)
+				}
+				kinds = append(kinds, ev.Type)
+			}
+			if want := []string{"point", "point", "done"}; fmt.Sprint(kinds) != fmt.Sprint(want) {
+				t.Fatalf("stream types %v, want %v", kinds, want)
+			}
+			_, s2 := get(t, eventsURL)
+			if !bytes.Equal(s1, s2) {
+				t.Errorf("event replay differs:\n%s\nvs\n%s", s1, s2)
+			}
+
+			// Sync: the same document through POST /v1/run is a cache hit
+			// answering the exact bytes the async fetch produced.
+			rr, sync := post(t, ts.URL+"/v1/run", doc)
+			if rr.StatusCode != http.StatusOK {
+				t.Fatalf("sync run: status %d: %s", rr.StatusCode, sync)
+			}
+			if hc := rr.Header.Get("X-Cache"); hc != "hit" {
+				t.Errorf("sync rerun X-Cache = %q, want hit", hc)
+			}
+			if !bytes.Equal(async, sync) {
+				t.Errorf("async and sync results differ:\n%s\nvs\n%s", async, sync)
+			}
+		})
+	}
+}

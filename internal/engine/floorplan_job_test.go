@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// fpScenario builds a minimal valid floorplan scenario (one default
+// cluster: 1 mm wide, 10 mm long).
+func fpScenario() scenario.File {
+	die := scenario.Die{WidthMM: 1, BackgroundWcm2: 40, BackgroundAvgWcm2: 20}
+	return scenario.File{
+		Name:      "fp-job",
+		Floorplan: &scenario.Floorplan{Top: die, Bottom: die},
+	}
+}
+
+// TestFloorplanCanonicalization: floorplan scenarios resolve their own
+// defaults — power mode "peak" and the 8-slice rasterization — so
+// semantically identical submissions share a content address, and the
+// mode actually distinguishes computations.
+func TestFloorplanCanonicalization(t *testing.T) {
+	job := &Job{Kind: KindCompare, Scenario: fpScenario()}
+	canon, err := job.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Scenario.Mode != "peak" {
+		t.Errorf("mode = %q, want peak materialized", canon.Scenario.Mode)
+	}
+	if canon.Scenario.Floorplan.FluxSegments != 8 {
+		t.Errorf("flux segments = %d, want 8 materialized", canon.Scenario.Floorplan.FluxSegments)
+	}
+
+	implicit, err := job.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := &Job{Kind: KindCompare, Scenario: fpScenario()}
+	explicit.Scenario.Mode = "peak"
+	explicit.Scenario.Floorplan.FluxSegments = 8
+	explicit.Scenario.Name = "other-name"
+	eh, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit != eh {
+		t.Errorf("implicit and explicit floorplan defaults hash apart")
+	}
+
+	average := &Job{Kind: KindCompare, Scenario: fpScenario()}
+	average.Scenario.Mode = "average"
+	ah, err := average.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ah == implicit {
+		t.Errorf("average mode shares the peak-mode hash")
+	}
+}
+
+// TestFloorplanJobRejections: kind/section conflicts involving
+// floorplans fail at canonicalization.
+func TestFloorplanJobRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		job  func() *Job
+		want string
+	}{
+		{
+			name: "arch experiment with floorplan",
+			job: func() *Job {
+				return &Job{Kind: KindArchExperiment, Scenario: fpScenario()}
+			},
+			want: "no preset, channels or floorplan",
+		},
+		{
+			name: "grid-map preset with floorplan",
+			job: func() *Job {
+				s := fpScenario()
+				s.Preset = "fig1a"
+				return &Job{Kind: KindThermalMap, Scenario: s}
+			},
+			want: "grid-map preset",
+		},
+		{
+			name: "preset with floorplan",
+			job: func() *Job {
+				s := fpScenario()
+				s.Preset = "testA"
+				return &Job{Kind: KindCompare, Scenario: s}
+			},
+			want: "both preset",
+		},
+		{
+			name: "overlapping blocks surface at submission",
+			job: func() *Job {
+				s := fpScenario()
+				s.Floorplan.Top.Blocks = []scenario.Block{
+					{Kind: "core", XMM: 0, YMM: 0, WMM: 5, HMM: 1, PeakWcm2: 100},
+					{Kind: "core", XMM: 4, YMM: 0, WMM: 5, HMM: 1, PeakWcm2: 100},
+				}
+				return &Job{Kind: KindCompare, Scenario: s}
+			},
+			want: "overlap",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.job().Canonicalize()
+			if err == nil {
+				t.Fatal("invalid job canonicalized")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSeedPresenceHashes locks the content-address semantics of the
+// testB seed pointer: absent materializes to the canonical 2012; an
+// explicit 0 is a different computation with a different address.
+func TestSeedPresenceHashes(t *testing.T) {
+	testB := func(seed *int64) *Job {
+		return &Job{Kind: KindCompare, Scenario: scenario.File{Preset: "testB", Seed: seed}}
+	}
+	absent, err := testB(nil).Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if absent.Scenario.Seed == nil || *absent.Scenario.Seed != 2012 {
+		t.Fatalf("absent seed canonicalized to %v, want 2012", absent.Scenario.Seed)
+	}
+	canonical := int64(2012)
+	ha, err := testB(nil).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2012, err := testB(&canonical).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != h2012 {
+		t.Errorf("absent seed and explicit 2012 hash apart")
+	}
+	zero := int64(0)
+	h0, err := testB(&zero).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 == ha {
+		t.Errorf("explicit seed 0 shares the canonical-seed hash")
+	}
+}

@@ -289,8 +289,8 @@ func (j *Job) Canonicalize() (*Job, error) {
 		}
 	case KindThermalMap:
 		if scenario.IsMapOnlyPreset(c.Scenario.Preset) {
-			if len(c.Scenario.Channels) != 0 {
-				return nil, fmt.Errorf("engine: preset %q sets both a grid-map preset and explicit channels", c.Scenario.Preset)
+			if len(c.Scenario.Channels) != 0 || c.Scenario.Floorplan != nil {
+				return nil, fmt.Errorf("engine: preset %q sets both a grid-map preset and explicit loads", c.Scenario.Preset)
 			}
 			if c.Map.Widths != WidthsUniform {
 				return nil, fmt.Errorf("engine: map widths %q is unsupported for the fixed-map preset %q (only uniform)", c.Map.Widths, c.Scenario.Preset)
@@ -304,8 +304,8 @@ func (j *Job) Canonicalize() (*Job, error) {
 			return nil, err
 		}
 	case KindArchExperiment:
-		if c.Scenario.Preset != "" || len(c.Scenario.Channels) != 0 {
-			return nil, fmt.Errorf("engine: arch-experiment jobs carry their stacks in the experiment section; the scenario must have no preset or channels")
+		if c.Scenario.Preset != "" || len(c.Scenario.Channels) != 0 || c.Scenario.Floorplan != nil {
+			return nil, fmt.Errorf("engine: arch-experiment jobs carry their stacks in the experiment section; the scenario must have no preset, channels or floorplan")
 		}
 		if _, err := c.Scenario.FloorplanMode(); err != nil {
 			return nil, err
@@ -386,15 +386,21 @@ func (j *Job) applyScenarioDefaults() {
 		seed := int64(2012)
 		s.Seed = &seed
 	}
-	// Modes only select the power maps of arch presets. Arch-experiment
-	// jobs carry their modes in the experiment section (the executor
-	// overrides the scenario's per combo), so the scenario field is
-	// inert there and must not hash.
+	if fp := s.Floorplan; fp != nil && fp.FluxSegments == 0 {
+		// Materialize the rasterization default so the hash covers the
+		// resolution the power maps are actually integrated at.
+		fp.FluxSegments = 8
+	}
+	// Modes only select the power maps of arch presets and of scenario
+	// floorplans. Arch-experiment jobs carry their modes in the experiment
+	// section (the executor overrides the scenario's per combo), so the
+	// scenario field is inert there and must not hash.
 	isArch := len(s.Preset) == 5 && s.Preset[:4] == "arch"
-	if isArch && s.Mode == "" {
+	hasMode := isArch || s.Floorplan != nil
+	if hasMode && s.Mode == "" {
 		s.Mode = "peak"
 	}
-	if !isArch {
+	if !hasMode {
 		s.Mode = ""
 	}
 	if s.Preset != "testB" {

@@ -32,6 +32,8 @@ const (
 	IO
 	// Other covers remaining logic (cool).
 	Other
+	// Accel is a fixed-function accelerator (hot, bursty).
+	Accel
 )
 
 // String names the block kind.
@@ -47,9 +49,22 @@ func (k Kind) String() string {
 		return "io"
 	case Other:
 		return "other"
+	case Accel:
+		return "accel"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
+}
+
+// ParseKind inverts String: it resolves a block-kind name as used in
+// scenario JSON.
+func ParseKind(name string) (Kind, error) {
+	for _, k := range []Kind{Core, L2, Crossbar, IO, Other, Accel} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("floorplan: unknown block kind %q (want core, l2, crossbar, io, other or accel)", name)
 }
 
 // Mode selects between the worst-case and time-averaged power maps of the

@@ -1,0 +1,11 @@
+//go:build !race
+
+package genscen
+
+// Default corpus sizing for the invariant sweep (see corpus_test.go).
+// The race-instrumented build runs a reduced corpus; override either
+// default with the GENSCEN_CORPUS_* environment knobs.
+const (
+	defaultCorpusSeeds = 300
+	defaultOptStride   = 25
+)

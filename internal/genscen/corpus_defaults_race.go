@@ -1,0 +1,11 @@
+//go:build race
+
+package genscen
+
+// Race-instrumented model solves run several times slower, so the
+// default corpus shrinks; CI's dedicated corpus-smoke step runs the
+// full-width sweep without instrumentation.
+const (
+	defaultCorpusSeeds = 60
+	defaultOptStride   = 30
+)

@@ -1,0 +1,80 @@
+package genscen
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/genscen/props"
+)
+
+// envInt reads a positive integer override from the environment.
+func envInt(t *testing.T, name string, def int) int {
+	t.Helper()
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("%s=%q: want a positive integer", name, v)
+	}
+	return n
+}
+
+// TestCorpusInvariants is the physics fuzzer's main sweep: every seeded
+// scenario must satisfy the steady-state invariant catalog (energy
+// balance, flow and power monotonicity, forcing linearity, mirror
+// symmetry), and a stride subset additionally runs the full three-way
+// optimization — routed through the engine as content-addressed compare
+// jobs — and must satisfy the optimality invariants.
+//
+// Size knobs (CI's corpus smoke runs 200 seeds; the acceptance sweep is
+// GENSCEN_CORPUS_SEEDS=1000 GENSCEN_CORPUS_OPT_STRIDE=1):
+//
+//	GENSCEN_CORPUS_SEEDS      number of seeds, 0…N-1 (default below)
+//	GENSCEN_CORPUS_OPT_STRIDE run optimality on every k-th seed
+func TestCorpusInvariants(t *testing.T) {
+	seeds := envInt(t, "GENSCEN_CORPUS_SEEDS", defaultCorpusSeeds)
+	stride := envInt(t, "GENSCEN_CORPUS_OPT_STRIDE", defaultOptStride)
+	if testing.Short() {
+		if seeds > 50 {
+			seeds = 50
+		}
+		if stride < 25 {
+			stride = 25
+		}
+	}
+	tol := props.Default()
+	eng := engine.New(0)
+	optimized := 0
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		f, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := props.Steady(f, tol); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			continue
+		}
+		if seed%int64(stride) != 0 {
+			continue
+		}
+		res, err := eng.Run(context.Background(), CompareJob(f))
+		if err != nil {
+			t.Errorf("seed %d: compare job: %v", seed, err)
+			continue
+		}
+		spec, err := f.Spec()
+		if err != nil {
+			t.Fatalf("seed %d: spec: %v", seed, err)
+		}
+		if err := props.OptimalityFromComparison(spec, res.Compare, tol); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		optimized++
+	}
+	t.Logf("corpus: %d seeds checked, %d optimized", seeds, optimized)
+}

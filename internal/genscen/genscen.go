@@ -1,0 +1,341 @@
+// Package genscen procedurally generates channel-modulation scenarios:
+// a deterministic, seed-driven sampler over heterogeneous floorplans
+// (cores, caches, accelerators at realistic power densities), DVFS /
+// task-migration power traces, and stack/channel configurations, every
+// draw a valid scenario file and therefore a content-addressed
+// engine.Job. Together with the invariant checker in genscen/props it
+// forms the repository's physics fuzzer: thousands of seeded scenarios
+// exercise the model, optimizer and pipeline far beyond the paper's six
+// hand-written presets, gated by conservation laws and monotonicity
+// properties that must hold for any valid input.
+//
+// Generation is reproducible by contract: the same seed yields the same
+// scenario file — byte-identical JSON and an identical job content
+// address — across runs, platforms and -race/-shuffle test modes. The
+// draw sequence below is therefore part of the format; reordering draws
+// or widening a range is a generator version bump (see DESIGN.md §11).
+package genscen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/convection"
+	"repro/internal/engine"
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+// Config bounds the generator's draws. The zero value is not useful;
+// start from DefaultConfig.
+type Config struct {
+	// MaxChannels caps the number of modeled channel columns (≥ 1).
+	MaxChannels int
+	// WithTrace enables drawing power traces (DVFS phases, migrating
+	// hotspots) on a fraction of scenarios.
+	WithTrace bool
+	// WithRuntime enables drawing runtime-controller sections on traced
+	// scenarios.
+	WithRuntime bool
+}
+
+// DefaultConfig is the corpus configuration: up to three channel
+// columns, traces and runtime sections enabled.
+func DefaultConfig() Config {
+	return Config{MaxChannels: 3, WithTrace: true, WithRuntime: true}
+}
+
+// Generate draws the scenario for one seed under the default
+// configuration.
+func Generate(seed int64) (*scenario.File, error) {
+	return DefaultConfig().Generate(seed)
+}
+
+// Generate draws one scenario. Identical (config, seed) pairs yield
+// byte-identical files. The returned file always passes
+// scenario.File.Spec (and BuildTrace / RuntimeSpec when the respective
+// sections are present); a non-nil error means the generator itself is
+// broken, not the draw.
+func (c Config) Generate(seed int64) (*scenario.File, error) {
+	if c.MaxChannels < 1 {
+		return nil, fmt.Errorf("genscen: MaxChannels %d < 1", c.MaxChannels)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &scenario.File{Name: fmt.Sprintf("gen-%06d", seed)}
+
+	// Stack geometry and coolant, in engineering units. Every range stays
+	// within the regime the compact model is built for (laminar flow,
+	// fully developed, two-die stack): pitch 80–120 µm, slab 30–80 µm,
+	// channel height 60–150 µm, die length 6–14 mm, 0.3–1.0 ml/min per
+	// physical channel.
+	pitchUM := 80 + 40*rng.Float64()
+	clusterSize := 5 + rng.Intn(8)
+	f.Params = scenario.Params{
+		SiliconConductivity: 110 + 50*rng.Float64(),
+		PitchUM:             pitchUM,
+		SlabHeightUM:        30 + 50*rng.Float64(),
+		ChannelHeightUM:     60 + 90*rng.Float64(),
+		LengthMM:            6 + 8*rng.Float64(),
+		FlowRateMLMin:       0.3 + 0.7*rng.Float64(),
+		ClusterSize:         clusterSize,
+	}
+	// Inlet temperature: absent half the time (→ Table I 300 K); when
+	// present, occasionally the explicit 0 °C that exercises the
+	// presence-vs-value decoding.
+	if rng.Float64() < 0.5 {
+		var tc float64
+		if rng.Float64() < 0.1 {
+			tc = 0
+		} else {
+			tc = 15 + 25*rng.Float64()
+		}
+		f.Params.InletTempC = &tc
+	}
+
+	// Width bounds: min 8–16 µm, max at least 15 µm above min and at most
+	// 55% of the pitch (control.Spec requires max < pitch strictly).
+	minUM := 8 + 8*rng.Float64()
+	maxCap := 0.55 * pitchUM
+	maxUM := minUM + 15 + (maxCap-minUM-15)*rng.Float64()
+	f.BoundsUM = [2]float64{minUM, maxUM}
+
+	// Solver configuration: few control segments keep corpus
+	// optimizations cheap, but the augmented-Lagrangian outer loop needs
+	// its full budget to drive active pressure constraints feasible, so
+	// OuterIterations is either left at the solver default or drawn from
+	// the converged range.
+	f.Segments = 2 + rng.Intn(4)
+	if rng.Float64() < 0.5 {
+		f.OuterIterations = 4 + rng.Intn(5)
+	}
+	switch p := rng.Float64(); {
+	case p < 0.7:
+		f.Solver = "lbfgsb"
+	case p < 0.9:
+		f.Solver = "projgrad"
+	default:
+		f.Solver = "neldermead"
+	}
+
+	nChannels := 1 + rng.Intn(c.MaxChannels)
+	if nChannels > 1 && rng.Float64() < 0.3 {
+		f.EqualPressure = true
+	}
+	if rng.Float64() < 0.25 {
+		f.Mode = "average"
+	}
+
+	f.Floorplan = drawFloorplan(rng, f.Params, nChannels)
+
+	// Pressure budget: the optimizer starts at the upper width bound,
+	// which is also the lowest-ΔP uniform design, so a budget of 1.5–4×
+	// the max-width drop makes every generated problem feasible by
+	// construction (the optimality invariant depends on this).
+	spec0, err := f.Spec()
+	if err != nil {
+		return nil, fmt.Errorf("genscen: seed %d: floorplan spec: %w", seed, err)
+	}
+	dpMax, err := convection.PressureDrop(
+		spec0.Params.Coolant, spec0.Params.FlowRatePerChannel,
+		[]float64{units.Micrometers(maxUM)},
+		spec0.Params.ChannelHeight, spec0.Params.Length, spec0.PressureModel)
+	if err != nil {
+		return nil, fmt.Errorf("genscen: seed %d: pressure drop: %w", seed, err)
+	}
+	f.MaxPressureBar = units.ToBar(dpMax) * (1.5 + 2.5*rng.Float64())
+
+	if c.WithTrace && rng.Float64() < 0.6 {
+		f.Trace = drawTrace(rng, nChannels, f.Floorplan.FluxSegments)
+		if c.WithRuntime && rng.Float64() < 0.5 {
+			f.Runtime = &scenario.Runtime{
+				EpochMS: 5 + 10*rng.Float64(),
+				NX:      20 + rng.Intn(21),
+			}
+		}
+	}
+
+	// Self-check: a generated file must always build. Failures here are
+	// generator bugs (the fuzz harness asserts this never fires).
+	if _, err := f.Spec(); err != nil {
+		return nil, fmt.Errorf("genscen: seed %d: invalid scenario: %w", seed, err)
+	}
+	if f.Runtime != nil {
+		if _, err := f.RuntimeSpec(); err != nil {
+			return nil, fmt.Errorf("genscen: seed %d: invalid runtime scenario: %w", seed, err)
+		}
+	} else if f.Trace != nil {
+		spec, err := f.Spec()
+		if err == nil {
+			_, err = f.BuildTrace(spec)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("genscen: seed %d: invalid trace: %w", seed, err)
+		}
+	}
+	return f, nil
+}
+
+// blockDensity draws a kind and its peak areal density (W/cm²) from
+// published per-unit ranges: cores and accelerators are the hotspots,
+// caches and glue logic run cool.
+func blockDensity(rng *rand.Rand) (kind string, peakWcm2 float64) {
+	switch p := rng.Float64(); {
+	case p < 0.40:
+		return "core", 80 + 170*rng.Float64()
+	case p < 0.60:
+		return "l2", 5 + 20*rng.Float64()
+	case p < 0.75:
+		return "accel", 100 + 200*rng.Float64()
+	case p < 0.85:
+		return "crossbar", 20 + 40*rng.Float64()
+	case p < 0.95:
+		return "io", 10 + 30*rng.Float64()
+	default:
+		return "other", 5 + 15*rng.Float64()
+	}
+}
+
+// drawFloorplan builds a two-die floorplan over nChannels channel
+// clusters: blocks are placed on a jittered slot grid (non-overlapping
+// by construction), and the bottom die is either an independent draw or
+// a rotated/mirrored copy of the top — the paper's face-to-face stacking
+// transforms.
+func drawFloorplan(rng *rand.Rand, p scenario.Params, nChannels int) *scenario.Floorplan {
+	lengthMM := p.LengthMM
+	widthMM := float64(nChannels) * p.PitchUM * float64(p.ClusterSize) / 1000
+	top := drawDie(rng, lengthMM, widthMM)
+	var bottom scenario.Die
+	switch q := rng.Float64(); {
+	case q < 0.4:
+		bottom = drawDie(rng, lengthMM, widthMM)
+	case q < 0.7:
+		bottom = rotate180(top, lengthMM, widthMM)
+	default:
+		bottom = mirrorFlow(top, lengthMM)
+	}
+	return &scenario.Floorplan{
+		Top:          top,
+		Bottom:       bottom,
+		FluxSegments: 4 + rng.Intn(5),
+	}
+}
+
+// drawDie fills one die with blocks on a gx×gy slot grid, each slot
+// either left as background or holding one inset block.
+func drawDie(rng *rand.Rand, lengthMM, widthMM float64) scenario.Die {
+	bgPeak := 1 + 7*rng.Float64()
+	d := scenario.Die{
+		WidthMM:           widthMM,
+		BackgroundWcm2:    bgPeak,
+		BackgroundAvgWcm2: bgPeak * (0.3 + 0.6*rng.Float64()),
+	}
+	gx := 2 + rng.Intn(3)
+	gy := 1 + rng.Intn(3)
+	slotW := lengthMM / float64(gx)
+	slotH := widthMM / float64(gy)
+	for j := 0; j < gy; j++ {
+		for i := 0; i < gx; i++ {
+			if rng.Float64() < 0.2 {
+				continue // background slot
+			}
+			kind, peak := blockDensity(rng)
+			// Inset the block inside its slot so blocks never touch: up to
+			// 20% margin on each side.
+			mx := slotW * 0.2 * rng.Float64()
+			my := slotH * 0.2 * rng.Float64()
+			d.Blocks = append(d.Blocks, scenario.Block{
+				Kind:     kind,
+				XMM:      float64(i)*slotW + mx,
+				YMM:      float64(j)*slotH + my,
+				WMM:      slotW - 2*mx,
+				HMM:      slotH - 2*my,
+				PeakWcm2: peak,
+				AvgWcm2:  peak * (0.3 + 0.5*rng.Float64()),
+			})
+		}
+	}
+	return d
+}
+
+// rotate180 returns the die rotated 180° in the plane (the face-to-face
+// stacking transform: hotspots of one die land over cool regions of the
+// other).
+func rotate180(d scenario.Die, lengthMM, widthMM float64) scenario.Die {
+	out := d
+	out.Blocks = make([]scenario.Block, len(d.Blocks))
+	for i, b := range d.Blocks {
+		b.XMM = lengthMM - b.XMM - b.WMM
+		b.YMM = widthMM - b.YMM - b.HMM
+		out.Blocks[i] = b
+	}
+	return out
+}
+
+// mirrorFlow returns the die mirrored along the flow axis
+// (inlet ↔ outlet).
+func mirrorFlow(d scenario.Die, lengthMM float64) scenario.Die {
+	out := d
+	out.Blocks = make([]scenario.Block, len(d.Blocks))
+	for i, b := range d.Blocks {
+		b.XMM = lengthMM - b.XMM - b.WMM
+		out.Blocks[i] = b
+	}
+	return out
+}
+
+// drawTrace builds a DVFS/migration power schedule: scale phases model
+// chip-wide DVFS steps and idle periods (including the explicit-zero
+// scale that exercises presence decoding); explicit-channel phases model
+// a task hotspot migrating across the channel columns, à la the
+// cyber-physical workloads of Qian et al.
+func drawTrace(rng *rand.Rand, nChannels, fluxSegments int) *scenario.Trace {
+	tr := &scenario.Trace{Periodic: rng.Float64() < 0.5}
+	n := 2 + rng.Intn(3)
+	hot := rng.Intn(nChannels)
+	for i := 0; i < n; i++ {
+		ph := scenario.Phase{DurationMS: 5 + 25*rng.Float64()}
+		if nChannels > 1 && rng.Float64() < 0.3 {
+			// Migration phase: the hotspot advances one channel per phase.
+			chans := make([]scenario.Channel, nChannels)
+			for k := range chans {
+				chans[k] = drawPhaseChannel(rng, fluxSegments, k == hot)
+			}
+			hot = (hot + 1) % nChannels
+			ph.Channels = chans
+		} else {
+			var s float64
+			if rng.Float64() < 0.1 {
+				s = 0 // idle: the explicit zero that must stay distinguishable
+			} else {
+				s = 0.2 + 1.3*rng.Float64()
+			}
+			ph.Scale = &s
+		}
+		tr.Phases = append(tr.Phases, ph)
+	}
+	return tr
+}
+
+// drawPhaseChannel draws one channel's explicit per-segment fluxes for a
+// migration phase: a hot channel gets one dominant segment, the rest
+// stay at background load.
+func drawPhaseChannel(rng *rand.Rand, segments int, hot bool) scenario.Channel {
+	top := make([]float64, segments)
+	bottom := make([]float64, segments)
+	for s := range top {
+		top[s] = 20 + 20*rng.Float64()
+		bottom[s] = 20 + 20*rng.Float64()
+	}
+	if hot {
+		top[rng.Intn(segments)] = 150 + 100*rng.Float64()
+	}
+	return scenario.Channel{TopWcm2: top, BottomWcm2: bottom}
+}
+
+// CompareJob wraps a generated scenario as the engine's three-way
+// comparison job (min width, max width, optimal modulation) — the
+// corpus's workhorse: content-addressed, cacheable and streamable like
+// any other job.
+func CompareJob(f *scenario.File) *engine.Job {
+	return &engine.Job{Kind: engine.KindCompare, Scenario: *f}
+}

@@ -1,0 +1,297 @@
+// Package props is the property side of the physics fuzzer: a catalog
+// of invariants that must hold for every valid scenario, whatever the
+// seed that generated it. The checks are grounded in structure the
+// compact model provably has (see DESIGN.md §11 for the derivations and
+// the tolerance rationale):
+//
+//   - Energy balance: with adiabatic outer surfaces, the aggregate
+//     coolant enthalpy rise Σ cv·V̇·(TC(d)−TC(0)) equals the injected
+//     heat exactly.
+//   - Flow monotonicity: more coolant flow strictly lowers the total
+//     coolant (outlet) temperature rise.
+//   - Power monotonicity and linearity: the model is linear in the heat
+//     forcing at fixed widths, so scaling every flux by s scales all
+//     temperatures-above-inlet by exactly s — peak temperature is
+//     strictly monotone in total power.
+//   - Mirror symmetry: reflecting the floorplan across the flow axis
+//     reverses the channel order; the lateral coupling graph is a path,
+//     so gradient, peak and objective are invariant and the per-channel
+//     coolant rises reverse.
+//   - Optimality: the optimizer starts at the max-width uniform design,
+//     so the optimized modulation is never worse than any feasible
+//     uniform baseline, and its pressure drops respect the budget.
+package props
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// Tolerances bound each invariant's acceptable numerical slack. All are
+// relative unless noted; Default documents the rationale for each value.
+type Tolerances struct {
+	// EnergyRel bounds |absorbed − injected| / injected.
+	EnergyRel float64
+	// MonotonicRel is the slack on strict monotonic decrease/increase
+	// checks (the true margins are 20–25%, so this only absorbs floating
+	// point).
+	MonotonicRel float64
+	// LinearityRel bounds the deviation from exact forcing linearity of
+	// the temperatures above inlet.
+	LinearityRel float64
+	// SymmetryRel bounds the mirror-symmetry deviation of gradient, peak
+	// above inlet, objective and reversed coolant rises.
+	SymmetryRel float64
+	// OptimalityRel is the slack on "optimal never worse than a feasible
+	// uniform baseline".
+	OptimalityRel float64
+	// FeasibilityRel is the slack on the optimized design's pressure
+	// budget (the augmented-Lagrangian outer loop is truncated in corpus
+	// scenarios, so active constraints converge only to this order).
+	FeasibilityRel float64
+}
+
+// Default returns the corpus tolerances. The conservation and symmetry
+// identities are exact in the model but pass through the superposition-
+// shooting BVP solve, whose stiff vertical-coupling modes amplify float
+// rounding to ~1e-5 relative on the harder generated stacks: energy
+// balance gets 1e-4 (an order of margin), and the linearity/symmetry
+// identities 1e-3 (two orders) — still far below any real modeling
+// asymmetry. Strictness slack is 1e-9 against true margins of 20–25%,
+// and feasibility is 1e-2 for truncated augmented-Lagrangian outer
+// loops.
+func Default() Tolerances {
+	return Tolerances{
+		EnergyRel:      1e-4,
+		MonotonicRel:   1e-9,
+		LinearityRel:   1e-3,
+		SymmetryRel:    1e-3,
+		OptimalityRel:  1e-6,
+		FeasibilityRel: 1e-2,
+	}
+}
+
+// relClose reports whether a and b agree to tol relative with an
+// absolute floor.
+func relClose(a, b, tol, floor float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))+floor
+}
+
+// injectedPower sums the spec's heat inputs in W.
+func injectedPower(spec *control.Spec) float64 {
+	var q float64
+	for _, ch := range spec.Channels {
+		q += ch.FluxTop.Total() + ch.FluxBottom.Total()
+	}
+	return q
+}
+
+// maxWidthBaseline evaluates the uniform design at the upper width bound
+// (always pressure-feasible; one model solve).
+func maxWidthBaseline(spec *control.Spec) (*control.Result, error) {
+	return control.Baseline(spec, spec.Bounds.Max)
+}
+
+// Steady checks the cheap steady-state invariants — energy balance, flow
+// and power monotonicity, forcing linearity, and (for floorplan
+// scenarios) mirror symmetry — at the max-width uniform design. Four
+// model solves per scenario; all found violations are joined into one
+// error.
+func Steady(f *scenario.File, tol Tolerances) error {
+	spec, err := f.Spec()
+	if err != nil {
+		return fmt.Errorf("props: %w", err)
+	}
+	base, err := maxWidthBaseline(spec)
+	if err != nil {
+		return fmt.Errorf("props: baseline: %w", err)
+	}
+	var errs []error
+	inlet := spec.Params.InletTemp
+
+	// Energy balance.
+	cvV := spec.Params.Coolant.VolumetricHeatCapacity() * spec.Params.ClusterFlowRate()
+	absorbed := base.Solution.TotalHeatAbsorbed(cvV)
+	injected := injectedPower(spec)
+	if injected <= 0 {
+		errs = append(errs, fmt.Errorf("props: energy: non-positive injected power %g W", injected))
+	} else if math.Abs(absorbed-injected)/injected > tol.EnergyRel {
+		errs = append(errs, fmt.Errorf("props: energy: coolant absorbs %.9g W of %.9g W injected (rel err %.3g > %g)",
+			absorbed, injected, math.Abs(absorbed-injected)/injected, tol.EnergyRel))
+	}
+
+	// Flow monotonicity: +25% coolant flow must strictly lower the total
+	// coolant rise (the exact model predicts ×1/1.25).
+	rise := func(r *control.Result) float64 {
+		var t float64
+		for k := range r.Solution.Channels {
+			t += r.Solution.CoolantRise(k)
+		}
+		return t
+	}
+	moreFlow := *spec
+	moreFlow.Params.FlowRatePerChannel *= 1.25
+	fast, err := maxWidthBaseline(&moreFlow)
+	if err != nil {
+		errs = append(errs, fmt.Errorf("props: flow baseline: %w", err))
+	} else if r0, r1 := rise(base), rise(fast); !(r1 < r0*(1-tol.MonotonicRel)) {
+		errs = append(errs, fmt.Errorf("props: flow: total coolant rise %.9g K at 1.25× flow not below %.9g K at 1× flow",
+			r1, r0))
+	}
+
+	// Power monotonicity and linearity: scaling every flux by 1.25 scales
+	// peak-above-inlet by exactly 1.25.
+	const s = 1.25
+	scaled := *spec
+	scaled.Channels = make([]control.ChannelLoad, len(spec.Channels))
+	for k, ch := range spec.Channels {
+		scaled.Channels[k] = control.ChannelLoad{
+			FluxTop:    ch.FluxTop.Scale(s),
+			FluxBottom: ch.FluxBottom.Scale(s),
+		}
+	}
+	hot, err := maxWidthBaseline(&scaled)
+	if err != nil {
+		errs = append(errs, fmt.Errorf("props: power baseline: %w", err))
+	} else {
+		a0 := base.PeakK - inlet
+		a1 := hot.PeakK - inlet
+		if !(a1 > a0*(1+tol.MonotonicRel)) {
+			errs = append(errs, fmt.Errorf("props: power: peak above inlet %.9g K at 1.25× power not above %.9g K at 1×",
+				a1, a0))
+		}
+		if !relClose(a1, s*a0, tol.LinearityRel, 1e-9) {
+			errs = append(errs, fmt.Errorf("props: linearity: peak above inlet %.9g K at 1.25× power, want %.9g K (1.25× of %.9g)",
+				a1, s*a0, a0))
+		}
+	}
+
+	// Mirror symmetry, floorplan scenarios only.
+	if f.Floorplan != nil {
+		if err := mirrorSymmetry(f, spec, base, tol); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// MirrorAcrossChannels returns a copy of the file with both dies
+// reflected across the flow axis (y → width − y), which reverses the
+// rasterized channel order while leaving every per-channel load intact.
+func MirrorAcrossChannels(f *scenario.File) *scenario.File {
+	out := *f
+	fp := *f.Floorplan
+	fp.Top = mirrorDie(fp.Top)
+	fp.Bottom = mirrorDie(fp.Bottom)
+	out.Floorplan = &fp
+	return &out
+}
+
+func mirrorDie(d scenario.Die) scenario.Die {
+	out := d
+	out.Blocks = make([]scenario.Block, len(d.Blocks))
+	for i, b := range d.Blocks {
+		b.YMM = d.WidthMM - b.YMM - b.HMM
+		out.Blocks[i] = b
+	}
+	return out
+}
+
+// mirrorSymmetry checks the floorplan reflection invariant against the
+// already-solved base result (one extra model solve).
+func mirrorSymmetry(f *scenario.File, spec *control.Spec, base *control.Result, tol Tolerances) error {
+	mf := MirrorAcrossChannels(f)
+	mspec, err := mf.Spec()
+	if err != nil {
+		return fmt.Errorf("props: symmetry: mirrored spec: %w", err)
+	}
+	mirror, err := maxWidthBaseline(mspec)
+	if err != nil {
+		return fmt.Errorf("props: symmetry: mirrored baseline: %w", err)
+	}
+	inlet := spec.Params.InletTemp
+	var errs []error
+	pairs := []struct {
+		name string
+		a, b float64
+	}{
+		{"gradient", base.GradientK, mirror.GradientK},
+		{"peak above inlet", base.PeakK - inlet, mirror.PeakK - inlet},
+		{"objective", base.Objective, mirror.Objective},
+	}
+	for _, p := range pairs {
+		if !relClose(p.a, p.b, tol.SymmetryRel, 1e-9) {
+			errs = append(errs, fmt.Errorf("props: symmetry: %s %.9g vs %.9g mirrored", p.name, p.a, p.b))
+		}
+	}
+	n := len(base.Solution.Channels)
+	if len(mirror.Solution.Channels) != n {
+		errs = append(errs, fmt.Errorf("props: symmetry: %d channels vs %d mirrored", n, len(mirror.Solution.Channels)))
+	} else {
+		for k := 0; k < n; k++ {
+			a := base.Solution.CoolantRise(k)
+			b := mirror.Solution.CoolantRise(n - 1 - k)
+			if !relClose(a, b, tol.SymmetryRel, 1e-9) {
+				errs = append(errs, fmt.Errorf("props: symmetry: channel %d coolant rise %.9g K vs mirrored channel %d %.9g K",
+					k, a, n-1-k, b))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Optimality runs the scenario's three-way comparison and checks the
+// optimizer invariants. This is the expensive check (a full optimize per
+// scenario); corpus runs that already hold a Comparison — e.g. replies
+// from engine compare jobs — should use OptimalityFromComparison
+// instead.
+func Optimality(f *scenario.File, tol Tolerances) error {
+	spec, err := f.Spec()
+	if err != nil {
+		return fmt.Errorf("props: %w", err)
+	}
+	cmp, err := core.Compare(spec)
+	if err != nil {
+		return fmt.Errorf("props: compare: %w", err)
+	}
+	return OptimalityFromComparison(spec, cmp, tol)
+}
+
+// OptimalityFromComparison checks the optimizer invariants on an
+// existing three-way comparison of the spec: the optimized modulation is
+// never worse (higher objective) than a pressure-feasible uniform
+// baseline, and the optimized design respects the pressure budget.
+func OptimalityFromComparison(spec *control.Spec, cmp *core.Comparison, tol Tolerances) error {
+	budget := spec.MaxPressure
+	var errs []error
+	feasible := func(r *control.Result) bool {
+		for _, dp := range r.PressureDrops {
+			if dp > budget*(1+tol.FeasibilityRel) {
+				return false
+			}
+		}
+		return true
+	}
+	if !feasible(cmp.Optimal) {
+		errs = append(errs, fmt.Errorf("props: optimality: optimized max ΔP %.6g Pa exceeds budget %.6g Pa by more than %g rel",
+			cmp.Optimal.MaxPressureDrop(), budget, tol.FeasibilityRel))
+	}
+	for _, u := range []struct {
+		name string
+		r    *control.Result
+	}{{"max-width", cmp.MaxWidth}, {"min-width", cmp.MinWidth}} {
+		if !feasible(u.r) {
+			continue // infeasible uniform baselines may undercut the constrained optimum
+		}
+		if cmp.Optimal.Objective > u.r.Objective*(1+tol.OptimalityRel) {
+			errs = append(errs, fmt.Errorf("props: optimality: optimized objective %.9g above feasible %s uniform %.9g",
+				cmp.Optimal.Objective, u.name, u.r.Objective))
+		}
+	}
+	return errors.Join(errs...)
+}

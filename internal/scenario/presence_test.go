@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestPresenceDecoding locks in the pointer-decoded fields' semantics at
+// the JSON layer: for seed, inlet_temp_c and a trace phase's scale, an
+// explicit zero and an absent field must decode to different states and
+// produce different behavior (the PR 3/PR 4 fixes this suite guards).
+func TestPresenceDecoding(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		check func(t *testing.T, f *File)
+	}{
+		{
+			name: "seed absent stays nil",
+			src:  `{"name":"s","preset":"testB"}`,
+			check: func(t *testing.T, f *File) {
+				if f.Seed != nil {
+					t.Fatalf("absent seed decoded as %d", *f.Seed)
+				}
+			},
+		},
+		{
+			name: "seed explicit zero is present",
+			src:  `{"name":"s","preset":"testB","seed":0}`,
+			check: func(t *testing.T, f *File) {
+				if f.Seed == nil || *f.Seed != 0 {
+					t.Fatalf("explicit seed 0 decoded as %v", f.Seed)
+				}
+			},
+		},
+		{
+			name: "seed explicit zero draws differently from absent",
+			src:  `{"name":"s","preset":"testB","seed":0}`,
+			check: func(t *testing.T, f *File) {
+				zero, err := f.Spec()
+				if err != nil {
+					t.Fatal(err)
+				}
+				canonical, err := (&File{Preset: "testB"}).Spec()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if zero.Channels[0].FluxTop.At(0) == canonical.Channels[0].FluxTop.At(0) {
+					t.Fatal("seed 0 aliased the canonical 2012 draw")
+				}
+			},
+		},
+		{
+			name: "inlet absent selects Table I 300 K",
+			src:  `{"name":"s","channels":[{"top_wcm2":[50],"bottom_wcm2":[50]}]}`,
+			check: func(t *testing.T, f *File) {
+				if f.Params.InletTempC != nil {
+					t.Fatalf("absent inlet decoded as %g", *f.Params.InletTempC)
+				}
+				spec, err := f.Spec()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if spec.Params.InletTemp != 300 {
+					t.Fatalf("inlet = %g K, want 300", spec.Params.InletTemp)
+				}
+			},
+		},
+		{
+			name: "inlet explicit 0 °C is 273.15 K, not the default",
+			src:  `{"name":"s","params":{"inlet_temp_c":0},"channels":[{"top_wcm2":[50],"bottom_wcm2":[50]}]}`,
+			check: func(t *testing.T, f *File) {
+				if f.Params.InletTempC == nil || *f.Params.InletTempC != 0 {
+					t.Fatalf("explicit 0 °C decoded as %v", f.Params.InletTempC)
+				}
+				spec, err := f.Spec()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if spec.Params.InletTemp != units.ZeroCelsiusK {
+					t.Fatalf("inlet = %g K, want %g", spec.Params.InletTemp, units.ZeroCelsiusK)
+				}
+			},
+		},
+		{
+			name: "inlet explicit 20 °C is 293.15 K",
+			src:  `{"name":"s","params":{"inlet_temp_c":20},"channels":[{"top_wcm2":[50],"bottom_wcm2":[50]}]}`,
+			check: func(t *testing.T, f *File) {
+				spec, err := f.Spec()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := units.Celsius(20); spec.Params.InletTemp != want {
+					t.Fatalf("inlet = %g K, want %g", spec.Params.InletTemp, want)
+				}
+			},
+		},
+		{
+			name: "trace scale explicit zero is a valid idle phase",
+			src: `{"name":"s","channels":[{"top_wcm2":[50],"bottom_wcm2":[50]}],
+			       "trace":{"phases":[{"duration_ms":10,"scale":0}]}}`,
+			check: func(t *testing.T, f *File) {
+				ph := f.Trace.Phases[0]
+				if ph.Scale == nil || *ph.Scale != 0 {
+					t.Fatalf("explicit scale 0 decoded as %v", ph.Scale)
+				}
+				spec, err := f.Spec()
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr, err := f.BuildTrace(spec)
+				if err != nil {
+					t.Fatalf("scale-0 phase rejected: %v", err)
+				}
+				if got := tr.Phases[0].Loads[0].Top.Total(); got != 0 {
+					t.Fatalf("idle phase load = %g W, want 0", got)
+				}
+			},
+		},
+		{
+			name: "trace scale absent is an error, not scale 0",
+			src: `{"name":"s","channels":[{"top_wcm2":[50],"bottom_wcm2":[50]}],
+			       "trace":{"phases":[{"duration_ms":10}]}}`,
+			check: func(t *testing.T, f *File) {
+				if f.Trace.Phases[0].Scale != nil {
+					t.Fatalf("absent scale decoded as %g", *f.Trace.Phases[0].Scale)
+				}
+				spec, err := f.Spec()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.BuildTrace(spec); err == nil {
+					t.Fatal("phase with neither scale nor channels was accepted")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var f File
+			dec := json.NewDecoder(strings.NewReader(tc.src))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&f); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			tc.check(t, &f)
+		})
+	}
+}

@@ -58,6 +58,11 @@ type File struct {
 	// Channels lists the heat loads (the static map, and the base map a
 	// trace's scale phases multiply). Mutually exclusive with Preset.
 	Channels []Channel `json:"channels,omitempty"`
+	// Floorplan describes the heat loads declaratively as a two-die block
+	// floorplan that is rasterized into channel loads against the resolved
+	// stack geometry. Mutually exclusive with Preset and Channels; Mode
+	// selects its peak or average densities.
+	Floorplan *Floorplan `json:"floorplan,omitempty"`
 	// Trace optionally schedules time-varying power for transient and
 	// runtime-control experiments.
 	Trace *Trace `json:"trace,omitempty"`
@@ -212,11 +217,9 @@ func (f *File) presetSpec() (*control.Spec, error) {
 	}
 }
 
-// Spec converts the file into a validated control.Spec.
-func (f *File) Spec() (*control.Spec, error) {
-	if f.Preset != "" {
-		return f.specFromPreset()
-	}
+// resolveParams layers the file's engineering-unit overrides on the
+// Table I defaults (zero/absent fields keep the default).
+func (f *File) resolveParams() compact.Params {
 	p := compact.DefaultParams()
 	if f.Params.SiliconConductivity > 0 {
 		p.SiliconConductivity = f.Params.SiliconConductivity
@@ -242,6 +245,33 @@ func (f *File) Spec() (*control.Spec, error) {
 	if f.Params.ClusterSize > 0 {
 		p.ClusterSize = f.Params.ClusterSize
 	}
+	return p
+}
+
+// Spec converts the file into a validated control.Spec.
+func (f *File) Spec() (*control.Spec, error) {
+	if f.Preset != "" {
+		if f.Floorplan != nil {
+			return nil, fmt.Errorf("scenario: %q sets both preset %q and a floorplan", f.Name, f.Preset)
+		}
+		return f.specFromPreset()
+	}
+	p := f.resolveParams()
+
+	channels := f.Channels
+	if f.Floorplan != nil {
+		if len(f.Channels) != 0 {
+			return nil, fmt.Errorf("scenario: %q sets both a floorplan and explicit channels", f.Name)
+		}
+		mode, err := f.FloorplanMode()
+		if err != nil {
+			return nil, err
+		}
+		channels, err = f.Floorplan.rasterize(p, mode)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	bounds := microchannel.Bounds{
 		Min: units.Micrometers(f.BoundsUM[0]),
@@ -251,12 +281,12 @@ func (f *File) Spec() (*control.Spec, error) {
 		bounds = microchannel.Bounds{Min: units.Micrometers(10), Max: units.Micrometers(50)}
 	}
 
-	if len(f.Channels) == 0 {
+	if len(channels) == 0 {
 		return nil, fmt.Errorf("scenario: %q has no channels", f.Name)
 	}
-	loads := make([]control.ChannelLoad, len(f.Channels))
+	loads := make([]control.ChannelLoad, len(channels))
 	clusterW := p.ClusterWidth()
-	for k, ch := range f.Channels {
+	for k, ch := range channels {
 		top, err := fluxFromWcm2(ch.TopWcm2, clusterW, p.Length)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: channel %d top: %w", k, err)
