@@ -11,6 +11,7 @@
 //
 //	chanmod -scenario testA|testB|arch1|arch2|arch3 [-mode peak|average]
 //	        [-segments 20] [-dpmax-bar 10] [-seed 2012] [-solver lbfgsb|projgrad|neldermead]
+//	        [-gradient adjoint|fd]
 //	chanmod -scenario-file design.json [-out-json result.json]
 //	chanmod -scenario-file design.json -runtime
 //	chanmod -generate 42 [-emit-scenario gen.json]
@@ -52,6 +53,7 @@ func run() error {
 	dpMaxBar := flag.Float64("dpmax-bar", 10, "pressure budget in bar")
 	seed := flag.Int64("seed", 2012, "random seed for testB")
 	solverStr := flag.String("solver", "lbfgsb", "inner solver: lbfgsb, projgrad, neldermead")
+	gradientStr := flag.String("gradient", "adjoint", "gradient mode for gradient-based solvers: adjoint or fd")
 	showStats := flag.Bool("stats", false, "print solver work statistics for the optimization")
 	runtime := flag.Bool("runtime", false, "run the static-vs-runtime flow-control comparison (needs -scenario-file with a trace)")
 	genSeed := flag.Int64("generate", 0, "generate a procedural scenario from this seed and optimize it (seed 0 is a valid seed)")
@@ -76,12 +78,17 @@ func run() error {
 	default:
 		return cliutil.UsageErrorf("unknown solver %q", *solverStr)
 	}
+	switch *gradientStr {
+	case "adjoint", "fd":
+	default:
+		return cliutil.UsageErrorf("unknown gradient mode %q", *gradientStr)
+	}
 
 	if *runtime {
 		if cliutil.FlagWasSet("generate") {
 			return cliutil.UsageErrorf("-runtime needs -scenario-file; generate first with -generate -emit-scenario")
 		}
-		return runRuntime(*scnFile, *solverStr)
+		return runRuntime(*scnFile, *solverStr, *gradientStr)
 	}
 
 	var file *scenario.File
@@ -98,6 +105,9 @@ func run() error {
 		if cliutil.FlagWasSet("solver") {
 			file.Solver = *solverStr
 		}
+		if cliutil.FlagWasSet("gradient") {
+			file.Gradient = *gradientStr
+		}
 		if *emitScenario != "" {
 			fh, err := os.Create(*emitScenario)
 			if err != nil {
@@ -113,7 +123,7 @@ func run() error {
 		if *emitScenario != "" {
 			return cliutil.UsageErrorf("-emit-scenario only applies with -generate")
 		}
-		file, err = assembleScenario(*scn, *scnFile, *modeStr, *solverStr, *segments, *dpMaxBar, *seed)
+		file, err = assembleScenario(*scn, *scnFile, *modeStr, *solverStr, *gradientStr, *segments, *dpMaxBar, *seed)
 		if err != nil {
 			return err
 		}
@@ -132,8 +142,8 @@ func run() error {
 	}
 	cmp := res.Compare
 
-	fmt.Printf("scenario %s (%d channels, %d segments, solver %s)\n",
-		file.Name, len(spec.Channels), spec.Segments, spec.Solver)
+	fmt.Printf("scenario %s (%d channels, %d segments, solver %s, gradient %s)\n",
+		file.Name, len(spec.Channels), spec.Segments, spec.Solver, spec.Gradient)
 	fmt.Print(channelmod.Report(cmp))
 	fmt.Println("optimal width profiles, inlet -> outlet (µm):")
 	for k, p := range cmp.Optimal.Profiles {
@@ -150,10 +160,18 @@ func run() error {
 		fmt.Printf("  outer iterations: %d\n", st.OuterIterations)
 		fmt.Printf("  inner iterations: %d (%d objective evaluations)\n",
 			st.InnerIterations, st.InnerEvaluations)
+		if st.GradientEvaluations > 0 {
+			fmt.Printf("  gradients:        %d adjoint evaluations\n", st.GradientEvaluations)
+		}
 		if total := st.TransitionHits + st.TransitionMisses; total > 0 {
 			fmt.Printf("  transition cache: %d hits / %d misses (%.1f%% hit rate)\n",
 				st.TransitionHits, st.TransitionMisses,
 				100*float64(st.TransitionHits)/float64(total))
+		}
+		if total := st.DerivHits + st.DerivMisses; total > 0 {
+			fmt.Printf("  derivative cache: %d hits / %d misses (%.1f%% hit rate)\n",
+				st.DerivHits, st.DerivMisses,
+				100*float64(st.DerivHits)/float64(total))
 		}
 	}
 
@@ -172,9 +190,10 @@ func run() error {
 }
 
 // assembleScenario turns the command line into the job's scenario
-// payload: either the parsed scenario file (with an explicit -solver
-// winning over the file's), or a preset scenario built from the flags.
-func assembleScenario(preset, path, mode, solver string, segments int, dpMaxBar float64, seed int64) (*scenario.File, error) {
+// payload: either the parsed scenario file (with explicit -solver and
+// -gradient winning over the file's), or a preset scenario built from the
+// flags.
+func assembleScenario(preset, path, mode, solver, gradient string, segments int, dpMaxBar float64, seed int64) (*scenario.File, error) {
 	if path != "" {
 		fh, err := os.Open(path)
 		if err != nil {
@@ -185,10 +204,13 @@ func assembleScenario(preset, path, mode, solver string, segments int, dpMaxBar 
 		if err != nil {
 			return nil, cliutil.AsUsage(err)
 		}
-		// A scenario file's own "solver" field wins unless -solver was
-		// given explicitly.
+		// A scenario file's own "solver" and "gradient" fields win unless
+		// the flags were given explicitly.
 		if cliutil.FlagWasSet("solver") {
 			file.Solver = solver
+		}
+		if cliutil.FlagWasSet("gradient") {
+			file.Gradient = gradient
 		}
 		return file, nil
 	}
@@ -208,6 +230,7 @@ func assembleScenario(preset, path, mode, solver string, segments int, dpMaxBar 
 		Segments:       segments,
 		MaxPressureBar: dpMaxBar,
 		Solver:         solver,
+		Gradient:       gradient,
 	}
 	if preset == "testB" {
 		// Presence-decoded: -seed 0 is a legal seed with its own draw,
@@ -222,7 +245,7 @@ func assembleScenario(preset, path, mode, solver string, segments int, dpMaxBar 
 
 // runRuntime executes the closed-loop flow-control experiment of a
 // scenario file as a runtime Job.
-func runRuntime(path, solver string) error {
+func runRuntime(path, solver, gradient string) error {
 	if path == "" {
 		return cliutil.UsageErrorf("-runtime needs -scenario-file pointing at a scenario with a trace section")
 	}
@@ -242,6 +265,9 @@ func runRuntime(path, solver string) error {
 	}
 	if cliutil.FlagWasSet("solver") {
 		file.Solver = solver
+	}
+	if cliutil.FlagWasSet("gradient") {
+		file.Gradient = gradient
 	}
 	// Surface scenario mistakes as usage errors before the engine runs.
 	if _, err := file.RuntimeSpec(); err != nil {

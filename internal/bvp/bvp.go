@@ -111,6 +111,17 @@ type Workspace struct {
 	x0     mat.Vec // reconstructed initial state
 	lu     mat.LU
 	traj   ode.Solution // stitched reconstruction trajectory
+
+	// Snapshot of the last successful SolveWS, consumed by the adjoint
+	// methods (see adjoint.go). modes and termIdx are borrowed from the
+	// Problem and stay valid as long as the caller keeps the Problem alive.
+	solved  bool
+	dim, nU int
+	m       int
+	modes   []mat.Vec
+	termIdx []int
+	lam     mat.Vec // adjoint solution scratch
+	grhs    mat.Vec // adjoint rhs scratch
 }
 
 func growVec(v mat.Vec, n int) mat.Vec {
@@ -168,6 +179,7 @@ func SolveWS(p *Problem, ws *Workspace) (*Solution, error) {
 	if ws == nil {
 		ws = &Workspace{}
 	}
+	ws.solved = false
 	if err := validate(p); err != nil {
 		return nil, err
 	}
@@ -335,6 +347,10 @@ func SolveWS(p *Problem, ws *Workspace) (*Solution, error) {
 		}
 		full.AppendCopied(sol, i > 0)
 	}
+
+	ws.solved = true
+	ws.dim, ws.nU, ws.m = dim, nU, m
+	ws.modes, ws.termIdx = p.X0Modes, p.TerminalZero
 
 	res := 0.0
 	fin := full.Final()

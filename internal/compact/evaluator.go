@@ -46,10 +46,32 @@ import (
 type Evaluator struct {
 	params Params
 	steps  int
+	prop   Propagation
 
 	cache map[string]*pieceEntry
+	dcach map[string]*derivEntry
 	key   []byte
 	stats EvalStats
+
+	ews  mat.ExpmWS
+	aug  *mat.Dense // augmented piece generator scratch
+	augS *mat.Dense // scaled-generator scratch
+	augE *mat.Dense // full-interval augmented exponential scratch
+	y    mat.Vec    // dense-recurrence state scratch
+	y2   mat.Vec
+
+	// Adjoint gradient scratch (see gradient.go).
+	augP  *mat.Dense // perturbed-generator stencil point
+	augD  *mat.Dense // generator direction dÃ/dθ
+	augDS *mat.Dense // scaled direction scratch
+	augL  *mat.Dense // Fréchet derivative scratch
+	gamma *mat.Dense // per-piece Γ = Σ a_{j+1}·y_jᵀ accumulator
+	adj   mat.Vec    // augmented adjoint state
+	adj2  mat.Vec
+	coef  mat.Vec        // trapezoid boundary weights on the stitched grid
+	gxbuf mat.Vec        // flat ∂J/∂x(z_i) storage
+	pcs   []Coefficients // perturbed-coefficient scratch (5-state stencil)
+	dkey  []byte
 
 	ws     bvp.Workspace
 	sc     ode.RK4Scratch
@@ -66,14 +88,39 @@ type Evaluator struct {
 	term  []int
 }
 
+// Propagation selects how piece transition maps and dense trajectories
+// are computed.
+type Propagation int
+
+const (
+	// PropExpm computes each smooth piece's affine map in closed form: the
+	// piece ODE x' = A·x + b0 + b1·(z−a) is embedded in the augmented
+	// generator Ã = [[A, b1, b0], [0, 0, 1], [0, 0, 0]] and e^{Ã·Δz} yields
+	// Φ (top-left block) and ψ (top of the last column — the φ₁/φ₂
+	// functions applied to b0 and b1 without forming them separately).
+	// Exact up to roundoff at any step budget, and the only mode that
+	// supports analytic adjoint gradients (SolveGradient).
+	PropExpm Propagation = iota
+	// PropRK4 propagates a basis with fixed-step RK4 — the historical
+	// mode, kept as a cross-validation ablation for the exact maps.
+	PropRK4
+)
+
 // EvalStats counts the work an evaluator has performed.
 type EvalStats struct {
 	// Solves is the number of model solves (both forms).
 	Solves int
+	// GradientSolves is the number of adjoint gradient evaluations
+	// (each one forward solve plus one adjoint pass).
+	GradientSolves int
 	// TransitionHits and TransitionMisses count piece-transition cache
 	// lookups. A miss propagates a full basis; a hit reuses the memoized
 	// affine map.
 	TransitionHits, TransitionMisses uint64
+	// DerivHits and DerivMisses count piece-derivative cache lookups of
+	// the adjoint gradient path. A miss computes a Fréchet derivative of
+	// the piece exponential; a hit reuses the memoized (∂Φ, ∂ψ, ∂Φ̃_h).
+	DerivHits, DerivMisses uint64
 	// CacheFlushes counts whole-cache evictions (bounded-memory safety
 	// valve; see maxCacheEntries).
 	CacheFlushes int
@@ -99,17 +146,34 @@ type pieceEntry struct {
 	// 4-state (eliminated) data.
 	c4           Coefficients
 	f1, f2, qinA float64
+
+	// Expm-mode data: the augmented piece generator Ã and the augmented
+	// sub-step map e^{Ã·h} driving dense reconstruction and the adjoint's
+	// backward recurrence. steps is the piece's dense sample count.
+	atilde  *mat.Dense
+	phiStep *mat.Dense
+	steps   int
 }
 
 // NewEvaluator returns an empty evaluation session for the given parameter
-// set and RK4 step budget (0 selects the model default of 400).
+// set and dense step budget (0 selects the model default of 400), using
+// exact matrix-exponential piece propagation.
 func NewEvaluator(params Params, steps int) *Evaluator {
+	return NewEvaluatorWith(params, steps, PropExpm)
+}
+
+// NewEvaluatorWith is NewEvaluator with an explicit propagation mode.
+func NewEvaluatorWith(params Params, steps int, prop Propagation) *Evaluator {
 	return &Evaluator{
 		params: params,
 		steps:  steps,
+		prop:   prop,
 		cache:  make(map[string]*pieceEntry),
 	}
 }
+
+// Propagation returns the evaluator's piece-propagation mode.
+func (e *Evaluator) Propagation() Propagation { return e.prop }
 
 // Params returns the parameter set the evaluator was built for.
 func (e *Evaluator) Params() Params { return e.params }
@@ -315,6 +379,14 @@ func (e *Evaluator) entry5(channels []Channel, a, b float64) (*pieceEntry, error
 	pcHom := pieceCoeffs{c: ent.pc.c, fluxTop: e.zeroFx[:n], fluxBottom: e.zeroFx[:n]}
 
 	steps := e.pieceSteps5(a, b)
+	if e.prop == PropExpm {
+		e.buildAug5(ent, n)
+		if err := e.expmFinish(ent, a, b, dim, steps); err != nil {
+			return nil, fmt.Errorf("compact: piece [%g, %g]: %w", a, b, err)
+		}
+		e.store(ent)
+		return ent, nil
+	}
 	forced := func(dst mat.Vec, _ float64, s mat.Vec) {
 		e.model.derivative(dst, s, &ent.pc)
 	}
@@ -353,6 +425,9 @@ func (e *Evaluator) propagate5(channels []Channel, a, b float64, x0 mat.Vec, hom
 	ent, err := e.entry5(channels, a, b)
 	if err != nil {
 		return nil, err
+	}
+	if e.prop == PropExpm {
+		return e.propagateExpm(ent, a, b, x0, homogeneous, statePerChannel*len(channels))
 	}
 	pc := ent.pc
 	if homogeneous {
@@ -446,6 +521,14 @@ func (e *Evaluator) entry4(ch Channel, a, b float64) (*pieceEntry, error) {
 	}
 
 	steps := e.pieceSteps4(a, b)
+	if e.prop == PropExpm {
+		e.buildAug4(ent, a)
+		if err := e.expmFinish(ent, a, b, elimDim, steps); err != nil {
+			return nil, fmt.Errorf("compact: piece [%g, %g]: %w", a, b, err)
+		}
+		e.store(ent)
+		return ent, nil
+	}
 	tcin := e.params.InletTemp
 	e.zero = growVec(e.zero, elimDim)
 	e.zero.Fill(0)
@@ -480,6 +563,9 @@ func (e *Evaluator) propagate4(ch Channel, a, b float64, x0 mat.Vec, homogeneous
 	ent, err := e.entry4(ch, a, b)
 	if err != nil {
 		return nil, err
+	}
+	if e.prop == PropExpm {
+		return e.propagateExpm(ent, a, b, x0, homogeneous, elimDim)
 	}
 	f := rhs4(ent, a, e.params.InletTemp, homogeneous)
 	if err := ode.RK4Into(f, a, b, x0, e.pieceSteps4(a, b), &e.seg, &e.sc); err != nil {

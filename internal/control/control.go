@@ -14,7 +14,11 @@
 // The NLP is solved with the augmented-Lagrangian + projected-L-BFGS stack
 // of package optimize. Decision variables are normalized to [0, 1] per
 // segment so that finite-difference steps and solver tolerances are well
-// conditioned regardless of the micrometre-scale widths.
+// conditioned regardless of the micrometre-scale widths. Objective
+// gradients come from the compact model's exact adjoint pass by default
+// (one forward solve plus one adjoint sweep per gradient, Spec.Gradient);
+// finite differences remain available as an escape hatch and ablation
+// baseline.
 //
 // For multi-channel 3D-MPSoC problems the optimizer exploits a measured
 // property of the model: lateral conduction between modeled channel
@@ -65,6 +69,32 @@ func (s Solver) String() string {
 	}
 }
 
+// Gradient selects how the gradient-based inner solvers obtain objective
+// gradients (the -gradient=adjoint|fd escape hatch).
+type Gradient int
+
+const (
+	// GradientAdjoint is the default: each gradient is one forward solve
+	// plus one adjoint pass over memoized piece derivatives — K+1× fewer
+	// model solves than finite differences at K width segments.
+	GradientAdjoint Gradient = iota
+	// GradientFD restores the finite-difference inner loop (the escape
+	// hatch and the ablation baseline of the perf experiments).
+	GradientFD
+)
+
+// String names the gradient mode.
+func (g Gradient) String() string {
+	switch g {
+	case GradientAdjoint:
+		return "adjoint"
+	case GradientFD:
+		return "fd"
+	default:
+		return fmt.Sprintf("Gradient(%d)", int(g))
+	}
+}
+
 // ChannelLoad is the heat input of one modeled channel column.
 type ChannelLoad struct {
 	// FluxTop and FluxBottom are the per-unit-length heat inputs of the
@@ -92,6 +122,10 @@ type Spec struct {
 	PressureModel convection.PressureModel
 	// Solver selects the inner NLP solver.
 	Solver Solver
+	// Gradient selects adjoint (default) or finite-difference gradients
+	// for the gradient-based inner solvers; the derivative-free
+	// Nelder–Mead and the min-pumping variant ignore it.
+	Gradient Gradient
 	// Joint forces exact coupled optimization of all channels at once.
 	Joint bool
 	// Inner configures the inner solver. Zero values select tuned
@@ -201,9 +235,16 @@ type SolveStats struct {
 	// InnerEvaluations counts objective evaluations by the inner solver
 	// (including finite-difference gradient probes).
 	InnerEvaluations int
+	// GradientEvaluations counts adjoint gradient solves — one forward
+	// solve plus one adjoint pass each; zero in finite-difference mode.
+	GradientEvaluations int
 	// TransitionHits and TransitionMisses count evaluator piece-transition
 	// cache lookups; a hit skips a full basis propagation.
 	TransitionHits, TransitionMisses uint64
+	// DerivHits and DerivMisses count piece-derivative cache lookups made
+	// by the adjoint gradient path; a hit reuses a memoized Fréchet
+	// derivative of the piece exponential.
+	DerivHits, DerivMisses uint64
 }
 
 // add accumulates o into s (the decoupled per-channel reduction).
@@ -212,8 +253,11 @@ func (s *SolveStats) add(o SolveStats) {
 	s.OuterIterations += o.OuterIterations
 	s.InnerIterations += o.InnerIterations
 	s.InnerEvaluations += o.InnerEvaluations
+	s.GradientEvaluations += o.GradientEvaluations
 	s.TransitionHits += o.TransitionHits
 	s.TransitionMisses += o.TransitionMisses
+	s.DerivHits += o.DerivHits
+	s.DerivMisses += o.DerivMisses
 }
 
 // MaxPressureDrop returns the largest per-channel pressure drop.

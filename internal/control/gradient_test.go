@@ -1,0 +1,153 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compact"
+	"repro/internal/microchannel"
+	"repro/internal/units"
+)
+
+func TestGradientStrings(t *testing.T) {
+	if GradientAdjoint.String() != "adjoint" || GradientFD.String() != "fd" {
+		t.Error("gradient mode names")
+	}
+	if Gradient(9).String() == "" {
+		t.Error("unknown gradient mode name")
+	}
+}
+
+// The -gradient escape hatch: finite differences and the adjoint must
+// drive the optimizer to near-identical designs, with the adjoint spending
+// far fewer model solves.
+func TestOptimizeAdjointMatchesFD(t *testing.T) {
+	adj := testSpec(t, 50)
+	adj.Gradient = GradientAdjoint
+	fd := testSpec(t, 50)
+	fd.Gradient = GradientFD
+
+	ra, err := Optimize(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Optimize(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("adjoint: J=%.4g grad=%.2fK solves=%d gradEvals=%d; fd: J=%.4g grad=%.2fK solves=%d",
+		ra.Objective, ra.GradientK, ra.Stats.ModelSolves, ra.Stats.GradientEvaluations,
+		rf.Objective, rf.GradientK, rf.Stats.ModelSolves)
+
+	// Both land on designs of equivalent quality (same basin; the iterates
+	// differ in rounding, so exact equality is not expected).
+	if d := math.Abs(ra.Objective-rf.Objective) / rf.Objective; d > 0.05 {
+		t.Fatalf("adjoint and FD objectives differ %.1f%%: %g vs %g", d*100, ra.Objective, rf.Objective)
+	}
+	if math.Abs(ra.GradientK-rf.GradientK) > 0.1*rf.GradientK {
+		t.Fatalf("adjoint and FD gradients differ: %.2f K vs %.2f K", ra.GradientK, rf.GradientK)
+	}
+	// Both respect the pressure budget.
+	for _, r := range []*Result{ra, rf} {
+		if r.MaxPressureDrop() > 1.01*adj.maxPressure() {
+			t.Fatalf("pressure budget violated: %v bar", units.ToBar(r.MaxPressureDrop()))
+		}
+	}
+
+	// Provenance: the adjoint run reports its gradient work, the FD run
+	// reports none.
+	if ra.Stats.GradientEvaluations == 0 {
+		t.Fatal("adjoint run recorded no gradient evaluations")
+	}
+	if ra.Stats.DerivMisses == 0 {
+		t.Fatal("adjoint run recorded no piece-derivative computations")
+	}
+	if rf.Stats.GradientEvaluations != 0 || rf.Stats.DerivMisses != 0 {
+		t.Fatalf("FD run leaked adjoint counters: %+v", rf.Stats)
+	}
+
+	// The point of the adjoint: far fewer model solves (each FD gradient
+	// pays ~2·K solves; the adjoint pays one).
+	if ra.Stats.ModelSolves*2 >= rf.Stats.ModelSolves {
+		t.Fatalf("adjoint spent %d model solves vs %d for FD — expected <half",
+			ra.Stats.ModelSolves, rf.Stats.ModelSolves)
+	}
+}
+
+// Flow allocation under both gradient modes: the resolved per-channel flow
+// scales must agree.
+func TestFlowAllocationAdjointMatchesFD(t *testing.T) {
+	p := compact.DefaultParams()
+	toLin := func(wcm2 float64) float64 { return units.WattsPerCm2(wcm2) * p.ClusterWidth() }
+	mk := func(wcm2 float64) *compact.Flux {
+		f, err := compact.NewUniformFlux(toLin(wcm2), p.Length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	spec := &Spec{
+		Params: p,
+		Channels: []ChannelLoad{
+			{FluxTop: mk(100), FluxBottom: mk(100)},
+			{FluxTop: mk(30), FluxBottom: mk(30)},
+		},
+		Bounds:          microchannel.Bounds{Min: units.Micrometers(10), Max: units.Micrometers(50)},
+		Segments:        4,
+		OuterIterations: 4,
+	}
+	width := units.Micrometers(40)
+
+	ra, err := OptimizeFlowAllocation(spec, width, 0.5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdSpec := *spec
+	fdSpec.Gradient = GradientFD
+	rf, err := OptimizeFlowAllocation(&fdSpec, width, 0.5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra.FlowScales {
+		if math.Abs(ra.FlowScales[i]-rf.FlowScales[i]) > 0.02 {
+			t.Fatalf("flow scales diverge: adjoint %v vs fd %v", ra.FlowScales, rf.FlowScales)
+		}
+	}
+	// The hot channel gets more coolant in both modes.
+	if ra.FlowScales[0] <= ra.FlowScales[1] {
+		t.Fatalf("hot channel must draw more flow: %v", ra.FlowScales)
+	}
+	if ra.Stats.GradientEvaluations == 0 {
+		t.Fatal("adjoint flow allocation recorded no gradient evaluations")
+	}
+}
+
+// Nelder–Mead ignores the gradient mode (derivative-free), and the
+// min-pumping variant always runs FD — both must keep working with the
+// default adjoint spec.
+func TestDerivativeFreePathsIgnoreGradientMode(t *testing.T) {
+	s := testSpec(t, 50)
+	s.Solver = SolverNelderMead
+	s.OuterIterations = 2
+	s.Inner.MaxIterations = 25
+	if s.useAdjoint() {
+		t.Fatal("Nelder–Mead spec must not select the adjoint path")
+	}
+	res, err := Optimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.GradientEvaluations != 0 {
+		t.Fatalf("derivative-free run recorded %d gradient evaluations", res.Stats.GradientEvaluations)
+	}
+
+	mp := testSpec(t, 50)
+	mp.OuterIterations = 3
+	rmp, err := OptimizeMinPumping(mp, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmp.Stats.GradientEvaluations != 0 {
+		t.Fatalf("min-pumping run recorded %d gradient evaluations", rmp.Stats.GradientEvaluations)
+	}
+}

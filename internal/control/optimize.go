@@ -56,6 +56,52 @@ func innerSolver(spec *Spec) func(optimize.Objective, mat.Vec, optimize.Box, opt
 	}
 }
 
+// useAdjoint reports whether the spec's optimizer runs drive the inner
+// solver with adjoint gradients. Nelder–Mead is derivative-free, so the
+// gradient mode is ignored there.
+func (s *Spec) useAdjoint() bool {
+	return s.Gradient == GradientAdjoint && s.Solver != SolverNelderMead
+}
+
+// innerGradSolver maps the Solver enum to a gradient-aware inner solver.
+func innerGradSolver(spec *Spec) func(optimize.GradObjective, mat.Vec, optimize.Box, optimize.Options) (mat.Vec, float64, optimize.Stats, error) {
+	if spec.Solver == SolverProjGrad {
+		return optimize.ProjectedGradientGrad
+	}
+	return optimize.LBFGSBGrad
+}
+
+// auglagRun dispatches one augmented-Lagrangian solve to the gradient-aware
+// or finite-difference stack per the spec's gradient mode. gobj may be nil
+// to force the FD path (derivative-free variants).
+func auglagRun(spec *Spec, objective optimize.Objective, gobj optimize.GradObjective,
+	cons []optimize.ConstraintSpec, x0 mat.Vec, box optimize.Box,
+	feasTol float64, extraOuter int) (optimize.AugLagResult, error) {
+	opts := optimize.AugLagOptions{
+		OuterIterations: spec.outerIterations() + extraOuter,
+		Inner:           spec.innerOptions(),
+		FeasTol:         feasTol,
+	}
+	if gobj != nil && spec.useAdjoint() {
+		opts.InnerGradSolver = innerGradSolver(spec)
+		return optimize.AugmentedLagrangianGrad(gobj, cons, x0, box, opts)
+	}
+	opts.InnerSolver = innerSolver(spec)
+	return optimize.AugmentedLagrangian(objective, cons, x0, box, opts)
+}
+
+// widthGradParams enumerates the adjoint parameter list of an n-channel,
+// k-segment width design in decision-vector order.
+func widthGradParams(n, k int) []compact.GradParam {
+	params := make([]compact.GradParam, n*k)
+	for c := 0; c < n; c++ {
+		for s := 0; s < k; s++ {
+			params[c*k+s] = compact.GradParam{Channel: c, Kind: compact.GradWidth, Segment: s}
+		}
+	}
+	return params
+}
+
 func (s *Spec) innerOptions() optimize.Options {
 	o := s.Inner
 	if o.MaxIterations == 0 {
@@ -105,9 +151,12 @@ func xFromWidth(w float64, b microchannel.Bounds) float64 {
 func statsFrom(ev *compact.Evaluator, res *optimize.AugLagResult) SolveStats {
 	st := ev.Stats()
 	out := SolveStats{
-		ModelSolves:      st.Solves,
-		TransitionHits:   st.TransitionHits,
-		TransitionMisses: st.TransitionMisses,
+		ModelSolves:         st.Solves,
+		GradientEvaluations: st.GradientSolves,
+		TransitionHits:      st.TransitionHits,
+		TransitionMisses:    st.TransitionMisses,
+		DerivHits:           st.DerivHits,
+		DerivMisses:         st.DerivMisses,
 	}
 	if res != nil {
 		out.OuterIterations = res.Outer
@@ -183,18 +232,41 @@ func jointOptimize(spec *Spec) (*Result, error) {
 		return sol.ObjectiveQ2() / j0, nil
 	}
 
+	// Adjoint variant of the objective: the gradient over all n·k width
+	// segments is one forward solve plus one adjoint pass, chained through
+	// the [0, 1] normalization w = min + v·span and the /j0 scaling.
+	var gobj optimize.GradObjective
+	if spec.useAdjoint() {
+		gparams := widthGradParams(n, k)
+		span := spec.Bounds.Max - spec.Bounds.Min
+		gw := make(mat.Vec, dim)
+		gobj = func(x mat.Vec, g mat.Vec) (float64, error) {
+			if g == nil {
+				return objective(x)
+			}
+			profiles, err := buildProfiles(x)
+			if err != nil {
+				return 0, err
+			}
+			evals++
+			sol, err := ev.SolveGradient(channelsFor(spec, profiles), gparams, gw)
+			if err != nil {
+				return 0, err
+			}
+			for i := range g {
+				g[i] = gw[i] * span / j0
+			}
+			return sol.ObjectiveQ2() / j0, nil
+		}
+	}
+
 	cons := pressureConstraints(spec, buildProfiles)
 
 	box, err := optimize.UniformBox(dim, 0, 1)
 	if err != nil {
 		return nil, err
 	}
-	res, err := optimize.AugmentedLagrangian(objective, cons, x0, box, optimize.AugLagOptions{
-		OuterIterations: spec.outerIterations(),
-		Inner:           spec.innerOptions(),
-		InnerSolver:     innerSolver(spec),
-		FeasTol:         1e-3,
-	})
+	res, err := auglagRun(spec, objective, gobj, cons, x0, box, 1e-3, 0)
 	if err != nil {
 		return nil, fmt.Errorf("control: %w", err)
 	}
@@ -410,6 +482,30 @@ func equalPressureOptimize(spec *Spec, target float64, warm *microchannel.Profil
 		}
 		return sol.ObjectiveQ2() / j0, nil
 	}
+	var gobj optimize.GradObjective
+	if spec.useAdjoint() {
+		gparams := widthGradParams(1, k)
+		span := spec.Bounds.Max - spec.Bounds.Min
+		gw := make(mat.Vec, k)
+		gobj = func(x mat.Vec, g mat.Vec) (float64, error) {
+			if g == nil {
+				return objective(x)
+			}
+			p, err := buildProfile(x)
+			if err != nil {
+				return 0, err
+			}
+			evals++
+			sol, err := ev.SolveGradient(channelsFor(spec, []*microchannel.Profile{p}), gparams, gw)
+			if err != nil {
+				return 0, err
+			}
+			for i := range g {
+				g[i] = gw[i] * span / j0
+			}
+			return sol.ObjectiveQ2() / j0, nil
+		}
+	}
 	cons := []optimize.ConstraintSpec{{
 		Name:  "dp-equal-target",
 		Kind:  optimize.Equal,
@@ -427,12 +523,7 @@ func equalPressureOptimize(spec *Spec, target float64, warm *microchannel.Profil
 	if err != nil {
 		return nil, err
 	}
-	res, err := optimize.AugmentedLagrangian(objective, cons, x0, box, optimize.AugLagOptions{
-		OuterIterations: spec.outerIterations(),
-		Inner:           spec.innerOptions(),
-		InnerSolver:     innerSolver(spec),
-		FeasTol:         1e-3,
-	})
+	res, err := auglagRun(spec, objective, gobj, cons, x0, box, 1e-3, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -86,12 +86,11 @@ func OptimizeMinPumping(spec *Spec, maxGradientK float64) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := optimize.AugmentedLagrangian(objective, cons, x0, box, optimize.AugLagOptions{
-		OuterIterations: spec.outerIterations() + 4, // feasibility needs more multiplier updates
-		Inner:           spec.innerOptions(),
-		InnerSolver:     innerSolver(spec),
-		FeasTol:         2e-3,
-	})
+	// Always the FD stack (nil gobj): the binding quantity here is the
+	// thermal gradient Tmax−Tmin, a max-type functional outside the smooth
+	// ∫‖q‖² objective the adjoint differentiates.
+	res, err := auglagRun(spec, objective, nil, cons, x0, box, 2e-3,
+		4) // feasibility needs more multiplier updates
 	if err != nil {
 		return nil, fmt.Errorf("control: min-pumping: %w", err)
 	}
@@ -225,7 +224,35 @@ func OptimizeFlowAllocationProfiles(spec *Spec, profiles []*microchannel.Profile
 		}
 		return res.Objective / j0, nil
 	}
-	// Total-flow budget: Σ scale_k = n (same pump as the nominal design).
+	// Adjoint variant: the decision variables are exactly the per-channel
+	// flow scales, so the model's GradFlow derivatives apply directly.
+	var gobj optimize.GradObjective
+	if spec.useAdjoint() {
+		gparams := make([]compact.GradParam, n)
+		for c := range gparams {
+			gparams[c] = compact.GradParam{Channel: c, Kind: compact.GradFlow}
+		}
+		gw := make(mat.Vec, n)
+		gobj = func(x mat.Vec, g mat.Vec) (float64, error) {
+			if g == nil {
+				return objective(x)
+			}
+			for k := range model.Channels {
+				model.Channels[k].FlowScale = x[k]
+			}
+			evals++
+			sol, err := ev.SolveGradient(model.Channels, gparams, gw)
+			if err != nil {
+				return 0, err
+			}
+			for i := range g {
+				g[i] = gw[i] / j0
+			}
+			return sol.ObjectiveQ2() / j0, nil
+		}
+	}
+	// Total-flow budget: Σ scale_k = n (same pump as the nominal design);
+	// its gradient is the all-ones vector.
 	cons := []optimize.ConstraintSpec{{
 		Name:  "total-flow",
 		Kind:  optimize.Equal,
@@ -233,17 +260,18 @@ func OptimizeFlowAllocationProfiles(spec *Spec, profiles []*microchannel.Profile
 		F: func(x mat.Vec) (float64, error) {
 			return x.Sum() - float64(n), nil
 		},
+		Grad: func(x mat.Vec, grad mat.Vec) (float64, error) {
+			if grad != nil {
+				grad.Fill(1)
+			}
+			return x.Sum() - float64(n), nil
+		},
 	}}
 	box, err := optimize.UniformBox(n, minScale, maxScale)
 	if err != nil {
 		return nil, err
 	}
-	res, err := optimize.AugmentedLagrangian(objective, cons, x0, box, optimize.AugLagOptions{
-		OuterIterations: spec.outerIterations(),
-		Inner:           spec.innerOptions(),
-		InnerSolver:     innerSolver(spec),
-		FeasTol:         1e-3,
-	})
+	res, err := auglagRun(spec, objective, gobj, cons, x0, box, 1e-3, 0)
 	if err != nil {
 		return nil, fmt.Errorf("control: flow allocation: %w", err)
 	}

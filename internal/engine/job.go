@@ -366,6 +366,7 @@ func (j *Job) applyScenarioDefaults() {
 		s.BoundsUM = [2]float64{}
 		s.EqualPressure = false
 		s.Solver = ""
+		s.Gradient = ""
 		s.Mode = ""
 		s.Seed = nil
 		return
@@ -381,6 +382,9 @@ func (j *Job) applyScenarioDefaults() {
 	}
 	if s.Solver == "" {
 		s.Solver = "lbfgsb"
+	}
+	if s.Gradient == "" {
+		s.Gradient = "adjoint"
 	}
 	if s.Preset == "testB" && s.Seed == nil {
 		seed := int64(2012)

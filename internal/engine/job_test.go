@@ -60,6 +60,7 @@ func TestHashIgnoresCosmetics(t *testing.T) {
 	t.Run("resolved defaults", func(t *testing.T) {
 		j := &Job{Kind: KindCompare, Scenario: twoChannelScenario()}
 		j.Scenario.Solver = "lbfgsb"
+		j.Scenario.Gradient = "adjoint"
 		j.Scenario.MaxPressureBar = 10
 		j.Scenario.BoundsUM = [2]float64{10, 50}
 		if h := mustHash(t, j); h != h0 {
@@ -136,6 +137,7 @@ func TestHashDiscriminates(t *testing.T) {
 		{"segments", func() *Job { j := base(); j.Scenario.Segments = 5; return j }},
 		{"outer iterations", func() *Job { j := base(); j.Scenario.OuterIterations = 2; return j }},
 		{"solver", func() *Job { j := base(); j.Scenario.Solver = "projgrad"; return j }},
+		{"gradient", func() *Job { j := base(); j.Scenario.Gradient = "fd"; return j }},
 		{"bounds", func() *Job { j := base(); j.Scenario.BoundsUM = [2]float64{15, 45}; return j }},
 		{"pressure budget", func() *Job { j := base(); j.Scenario.MaxPressureBar = 4; return j }},
 		{"equal pressure", func() *Job { j := base(); j.Scenario.EqualPressure = true; return j }},

@@ -27,9 +27,10 @@ func envInt(t *testing.T, name string, def int) int {
 // TestCorpusInvariants is the physics fuzzer's main sweep: every seeded
 // scenario must satisfy the steady-state invariant catalog (energy
 // balance, flow and power monotonicity, forcing linearity, mirror
-// symmetry), and a stride subset additionally runs the full three-way
-// optimization — routed through the engine as content-addressed compare
-// jobs — and must satisfy the optimality invariants.
+// symmetry) and the adjoint-vs-finite-difference gradient agreement, and
+// a stride subset additionally runs the full three-way optimization —
+// routed through the engine as content-addressed compare jobs — and must
+// satisfy the optimality invariants.
 //
 // Size knobs (CI's corpus smoke runs 200 seeds; the acceptance sweep is
 // GENSCEN_CORPUS_SEEDS=1000 GENSCEN_CORPUS_OPT_STRIDE=1):
@@ -56,6 +57,10 @@ func TestCorpusInvariants(t *testing.T) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		if err := props.Steady(f, tol); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			continue
+		}
+		if err := props.GradientAgreement(f, tol); err != nil {
 			t.Errorf("seed %d: %v", seed, err)
 			continue
 		}

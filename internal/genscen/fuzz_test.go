@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/genscen/props"
 	"repro/internal/scenario"
 )
 
@@ -54,6 +55,27 @@ func FuzzScenario(f *testing.F) {
 		}
 		if p1.Hash != p2.Hash {
 			t.Fatalf("seed %d: round-trip changed the content address: %s vs %s", seed, p1.Hash, p2.Hash)
+		}
+	})
+}
+
+// FuzzGradientAgreement fuzzes the adjoint gradient over the seed space:
+// for any generated scenario, the analytic gradient of the modulation
+// objective must match central finite differences of the full solve.
+// More expensive per execution than FuzzScenario (a gradient solve plus
+// two model solves per probed parameter), so it is a separate target.
+func FuzzGradientAgreement(f *testing.F) {
+	for _, seed := range []int64{0, 1, 5, 39, 59, 100, -1, 1 << 40} {
+		f.Add(seed)
+	}
+	tol := props.Default()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		file, err := Generate(seed)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		if err := props.GradientAgreement(file, tol); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
 		}
 	})
 }

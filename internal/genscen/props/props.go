@@ -20,6 +20,9 @@
 //   - Optimality: the optimizer starts at the max-width uniform design,
 //     so the optimized modulation is never worse than any feasible
 //     uniform baseline, and its pressure drops respect the budget.
+//   - Gradient agreement: the adjoint gradient of the modulation
+//     objective matches a central finite difference of the full solve at
+//     a non-uniform interior design.
 package props
 
 import (
@@ -27,8 +30,10 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/compact"
 	"repro/internal/control"
 	"repro/internal/core"
+	"repro/internal/microchannel"
 	"repro/internal/scenario"
 )
 
@@ -54,6 +59,10 @@ type Tolerances struct {
 	// budget (the augmented-Lagrangian outer loop is truncated in corpus
 	// scenarios, so active constraints converge only to this order).
 	FeasibilityRel float64
+	// GradientRel bounds the deviation of the adjoint gradient from a
+	// central finite difference of the full solve, relative to the
+	// gradient's inf-norm.
+	GradientRel float64
 }
 
 // Default returns the corpus tolerances. The conservation and symmetry
@@ -64,7 +73,11 @@ type Tolerances struct {
 // identities 1e-3 (two orders) — still far below any real modeling
 // asymmetry. Strictness slack is 1e-9 against true margins of 20–25%,
 // and feasibility is 1e-2 for truncated augmented-Lagrangian outer
-// loops.
+// loops. The adjoint gradient is exact for the discrete objective, so its
+// disagreement with central differences is dominated by the FD truncation
+// and the solve rounding above amplified by the 1/(2h) division: the
+// curated cases in internal/compact pass at 1e-4; the corpus gets 1e-3
+// (an order of margin) for the harder generated stacks.
 func Default() Tolerances {
 	return Tolerances{
 		EnergyRel:      1e-4,
@@ -73,6 +86,7 @@ func Default() Tolerances {
 		SymmetryRel:    1e-3,
 		OptimalityRel:  1e-6,
 		FeasibilityRel: 1e-2,
+		GradientRel:    1e-3,
 	}
 }
 
@@ -240,6 +254,165 @@ func mirrorSymmetry(f *scenario.File, spec *control.Spec, base *control.Result, 
 				errs = append(errs, fmt.Errorf("props: symmetry: channel %d coolant rise %.9g K vs mirrored channel %d %.9g K",
 					k, a, n-1-k, b))
 			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// gradientProbeCap bounds the parameters GradientAgreement probes per
+// scenario: each probe costs two extra model solves, and wide corpus
+// stacks would otherwise dominate the sweep.
+const gradientProbeCap = 12
+
+// GradientAgreement checks the adjoint gradient of the modulation
+// objective ∫‖∇T‖² against a central finite difference of the full solve,
+// at a deterministic non-uniform width design strictly inside the
+// scenario's bounds (interior, so no bound projection; non-uniform, so no
+// accidental symmetry zeroes gradient entries). It probes a deterministic
+// subset of parameters — first/middle/last width segment plus the flow
+// scale per channel, strided down to gradientProbeCap overall — and
+// compares against the gradient's inf-norm.
+func GradientAgreement(f *scenario.File, tol Tolerances) error {
+	spec, err := f.Spec()
+	if err != nil {
+		return fmt.Errorf("props: %w", err)
+	}
+	k := spec.Segments
+	if k == 0 {
+		k = control.DefaultSegments
+	}
+	span := spec.Bounds.Max - spec.Bounds.Min
+
+	// Golden-ratio striding gives every (channel, segment) its own width
+	// in [min + span/4, min + 3·span/4].
+	const phi = 0.6180339887498949
+	chans := make([]compact.Channel, len(spec.Channels))
+	for c, load := range spec.Channels {
+		ws := make([]float64, k)
+		for s := range ws {
+			frac := math.Mod(phi*float64(c*k+s+1), 1)
+			ws[s] = spec.Bounds.Min + span*(0.25+0.5*frac)
+		}
+		prof, err := microchannel.NewProfile(ws, spec.Params.Length)
+		if err != nil {
+			return fmt.Errorf("props: gradient: profile: %w", err)
+		}
+		chans[c] = compact.Channel{Width: prof, FluxTop: load.FluxTop, FluxBottom: load.FluxBottom}
+	}
+
+	var params []compact.GradParam
+	for c := range chans {
+		prev := -1
+		for _, s := range []int{0, k / 2, k - 1} {
+			if s == prev {
+				continue // k == 1 or 2 collapses the probe segments
+			}
+			prev = s
+			params = append(params, compact.GradParam{Channel: c, Kind: compact.GradWidth, Segment: s})
+		}
+		params = append(params, compact.GradParam{Channel: c, Kind: compact.GradFlow})
+	}
+	if len(params) > gradientProbeCap {
+		stride := (len(params) + gradientProbeCap - 1) / gradientProbeCap
+		kept := params[:0]
+		for i := 0; i < len(params); i += stride {
+			kept = append(kept, params[i])
+		}
+		params = kept
+	}
+
+	ev := compact.NewEvaluator(spec.Params, spec.Steps)
+	grad := make([]float64, len(params))
+	if _, err := ev.SolveGradient(chans, params, grad); err != nil {
+		return fmt.Errorf("props: gradient: adjoint solve: %w", err)
+	}
+
+	solveJ := func(cs []compact.Channel) (float64, error) {
+		r, err := ev.SolveChannels(cs)
+		if err != nil {
+			return 0, err
+		}
+		return r.ObjectiveQ2(), nil
+	}
+	// Normalize against the adjoint's inf-norm (known before any FD work,
+	// so the per-parameter ladder below can stop early).
+	var scale float64
+	for _, g := range grad {
+		scale = math.Max(scale, math.Abs(g))
+	}
+	var errs []error
+	for i, gp := range params {
+		perturb := func(h float64) []compact.Channel {
+			cs := append([]compact.Channel(nil), chans...)
+			ch := cs[gp.Channel]
+			switch gp.Kind {
+			case compact.GradWidth:
+				prof := ch.Width.Clone()
+				prof.SetWidth(gp.Segment, prof.Width(gp.Segment)+h)
+				ch.Width = prof
+			case compact.GradFlow:
+				if ch.FlowScale == 0 {
+					ch.FlowScale = 1 // zero means the nominal scale
+				}
+				ch.FlowScale += h
+			}
+			cs[gp.Channel] = ch
+			return cs
+		}
+		// FD accuracy is nonmonotonic in h here: besides the usual
+		// truncation-vs-rounding tradeoff, the solve has roundoff-level
+		// step discontinuities (the expm scaling parameter jumps at norm
+		// thresholds), and a stencil straddling one is contaminated by
+		// δ/(2h). The standard remedy is a step ladder: the adjoint passes
+		// if ANY step validates it — a jump at distance d only contaminates
+		// steps with h > d, and the smallest steps resolve the smooth
+		// derivative to ~1e-6 relative when clean. The final rung is a
+		// fourth-order five-point stencil at a large step, for the strongly
+		// curved stacks where second-order truncation and solve noise leave
+		// no clean window for the plain central difference.
+		type rung struct {
+			h    float64
+			five bool // five-point O(h⁴) stencil instead of central O(h²)
+		}
+		ladder := []rung{{1e-8, false}, {1e-6, false}, {3e-6, true}, {3e-8, false}, {1e-9, false}} // widths are tens of µm
+		if gp.Kind == compact.GradFlow {
+			ladder = []rung{{1e-6, false}, {1e-5, false}, {3e-4, true}, {3e-6, false}, {1e-7, false}} // flow scales are O(1)
+		}
+		bestDiff, bestFD := math.Inf(1), math.NaN()
+		for _, r := range ladder {
+			at := func(h float64) (float64, error) { return solveJ(perturb(h)) }
+			var fd float64
+			jp, err := at(r.h)
+			if err != nil {
+				return fmt.Errorf("props: gradient: FD solve: %w", err)
+			}
+			jm, err := at(-r.h)
+			if err != nil {
+				return fmt.Errorf("props: gradient: FD solve: %w", err)
+			}
+			if r.five {
+				jp2, err := at(2 * r.h)
+				if err != nil {
+					return fmt.Errorf("props: gradient: FD solve: %w", err)
+				}
+				jm2, err := at(-2 * r.h)
+				if err != nil {
+					return fmt.Errorf("props: gradient: FD solve: %w", err)
+				}
+				fd = (-jp2 + 8*jp - 8*jm + jm2) / (12 * r.h)
+			} else {
+				fd = (jp - jm) / (2 * r.h)
+			}
+			if d := math.Abs(grad[i] - fd); d < bestDiff {
+				bestDiff, bestFD = d, fd
+			}
+			if bestDiff <= tol.GradientRel*scale+1e-12 {
+				break
+			}
+		}
+		if bestDiff > tol.GradientRel*scale+1e-12 {
+			errs = append(errs, fmt.Errorf("props: gradient: ch%d %v seg%d: adjoint %.8e vs FD %.8e (diff %.2e of scale %.2e)",
+				gp.Channel, gp.Kind, gp.Segment, grad[i], bestFD, bestDiff, scale))
 		}
 	}
 	return errors.Join(errs...)

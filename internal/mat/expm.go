@@ -1,0 +1,182 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Padé 13/13 numerator coefficients of the exponential (Higham 2005). The
+// denominator shares them with alternating signs, so U collects the odd
+// terms and V the even ones.
+var padeCoeffs = [14]float64{
+	64764752532480000, 32382376266240000, 7771770303897600, 1187353796428800,
+	129060195264000, 10559470521600, 670442572800, 33522128640,
+	1323241920, 40840800, 960960, 16380, 182, 1,
+}
+
+// theta13 is the largest scaled norm for which the Padé 13 approximant is
+// backward stable to unit roundoff (Higham 2005, Table 2.3).
+const theta13 = 5.371920351148152
+
+// ExpmWS carries the scratch of repeated matrix exponentials so hot loops
+// (per-piece transition maps) allocate only on the first call or when the
+// dimension grows.
+type ExpmWS struct {
+	b, a2, a4, a6  *Dense
+	w, u, v        *Dense
+	lu             LU
+	col, sol, work Vec
+	blk, bexp      *Dense // Frechet block matrices
+}
+
+// Expm computes dst = e^a for square a by scaling-and-squaring with a
+// Padé 13 approximant. dst may be nil (allocates) but must not alias a.
+// The input is not modified. Deterministic: identical inputs produce
+// bit-identical results regardless of workspace reuse.
+func (ws *ExpmWS) Expm(dst *Dense, a *Dense) (*Dense, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("%w: Expm of %dx%d matrix", ErrDimension, a.Rows(), a.Cols())
+	}
+	nrm := a.NormInf()
+	if math.IsNaN(nrm) || math.IsInf(nrm, 0) {
+		return nil, fmt.Errorf("mat: Expm of matrix with non-finite norm %g", nrm)
+	}
+	s := 0
+	if nrm > theta13 {
+		s = int(math.Ceil(math.Log2(nrm / theta13)))
+	}
+	scale := math.Ldexp(1, -s)
+
+	ws.b = ReshapeDense(ws.b, n, n)
+	for i, v := range a.data {
+		ws.b.data[i] = v * scale
+	}
+	b := ws.b
+	ws.a2 = MulInto(ReshapeDense(ws.a2, n, n), b, b)
+	ws.a4 = MulInto(ReshapeDense(ws.a4, n, n), ws.a2, ws.a2)
+	ws.a6 = MulInto(ReshapeDense(ws.a6, n, n), ws.a2, ws.a4)
+	c := &padeCoeffs
+
+	// w = A6·(c13·A6 + c11·A4 + c9·A2) + c7·A6 + c5·A4 + c3·A2 + c1·I
+	ws.u = ReshapeDense(ws.u, n, n)
+	for i := range ws.u.data {
+		ws.u.data[i] = c[13]*ws.a6.data[i] + c[11]*ws.a4.data[i] + c[9]*ws.a2.data[i]
+	}
+	ws.w = MulInto(ReshapeDense(ws.w, n, n), ws.a6, ws.u)
+	for i := range ws.w.data {
+		ws.w.data[i] += c[7]*ws.a6.data[i] + c[5]*ws.a4.data[i] + c[3]*ws.a2.data[i]
+	}
+	for i := 0; i < n; i++ {
+		ws.w.data[i*n+i] += c[1]
+	}
+	// u = B·w (the odd half), built in ws.u.
+	ws.u = MulInto(ws.u, b, ws.w)
+
+	// v = A6·(c12·A6 + c10·A4 + c8·A2) + c6·A6 + c4·A4 + c2·A2 + c0·I
+	ws.w = ReshapeDense(ws.w, n, n)
+	for i := range ws.w.data {
+		ws.w.data[i] = c[12]*ws.a6.data[i] + c[10]*ws.a4.data[i] + c[8]*ws.a2.data[i]
+	}
+	ws.v = MulInto(ReshapeDense(ws.v, n, n), ws.a6, ws.w)
+	for i := range ws.v.data {
+		ws.v.data[i] += c[6]*ws.a6.data[i] + c[4]*ws.a4.data[i] + c[2]*ws.a2.data[i]
+	}
+	for i := 0; i < n; i++ {
+		ws.v.data[i*n+i] += c[0]
+	}
+
+	// Solve (V−U)·F = (V+U); V−U is provably nonsingular for scaled norms
+	// below theta13. Reuse ws.w for V−U and b for the result (the scaled
+	// input is no longer needed).
+	for i := range ws.w.data {
+		ws.w.data[i] = ws.v.data[i] - ws.u.data[i]
+	}
+	if err := ws.lu.Refactorize(ws.w); err != nil {
+		return nil, fmt.Errorf("mat: Expm Padé solve: %w", err)
+	}
+	if cap(ws.col) < n {
+		ws.col = make(Vec, n)
+		ws.sol = make(Vec, n)
+		ws.work = make(Vec, n)
+	}
+	col, sol, work := ws.col[:n], ws.sol[:n], ws.work[:n]
+	f := b // holds the Padé approximant, then the squarings
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = ws.v.data[i*n+j] + ws.u.data[i*n+j]
+		}
+		if _, err := ws.lu.SolveWS(sol, col, work); err != nil {
+			return nil, fmt.Errorf("mat: Expm Padé solve: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			f.data[i*n+j] = sol[i]
+		}
+	}
+	w := ws.w
+	for k := 0; k < s; k++ {
+		w = MulInto(w, f, f)
+		f, w = w, f
+	}
+	// Write both pointers back so the workspace fields stay distinct
+	// matrices after an odd number of swaps.
+	ws.b, ws.w = f, w
+	out := ReshapeDense(dst, n, n)
+	copy(out.data, f.data)
+	return out, nil
+}
+
+// Expm returns e^a in a new matrix. Convenience wrapper over ExpmWS for
+// one-off uses; hot paths should hold a workspace.
+func Expm(a *Dense) (*Dense, error) {
+	var ws ExpmWS
+	return ws.Expm(nil, a)
+}
+
+// Frechet computes the matrix exponential of a together with its Fréchet
+// derivative L(a, e) — the directional derivative of expm at a in
+// direction e — via the block-triangular identity
+//
+//	exp [ A  E ]  =  [ e^A  L(A,E) ]
+//	    [ 0  A ]     [ 0    e^A    ]
+//
+// expDst and lDst may be nil; neither may alias a or e. The off-diagonal
+// e^A copy of the block result is discarded.
+func (ws *ExpmWS) Frechet(expDst, lDst *Dense, a, e *Dense) (*Dense, *Dense, error) {
+	n := a.Rows()
+	if a.Cols() != n || e.Rows() != n || e.Cols() != n {
+		return nil, nil, fmt.Errorf("%w: Frechet of %dx%d matrix with %dx%d direction",
+			ErrDimension, a.Rows(), a.Cols(), e.Rows(), e.Cols())
+	}
+	m := 2 * n
+	ws.blk = ReshapeDense(ws.blk, m, m)
+	for i := 0; i < n; i++ {
+		arow := a.data[i*n : (i+1)*n]
+		erow := e.data[i*n : (i+1)*n]
+		brow := ws.blk.data[i*m : (i+1)*m]
+		copy(brow[:n], arow)
+		copy(brow[n:], erow)
+		lrow := ws.blk.data[(n+i)*m : (n+i+1)*m]
+		copy(lrow[n:], arow)
+	}
+	var err error
+	ws.bexp, err = ws.Expm(ws.bexp, ws.blk)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := ReshapeDense(expDst, n, n)
+	l := ReshapeDense(lDst, n, n)
+	for i := 0; i < n; i++ {
+		brow := ws.bexp.data[i*m : (i+1)*m]
+		copy(ex.data[i*n:(i+1)*n], brow[:n])
+		copy(l.data[i*n:(i+1)*n], brow[n:])
+	}
+	return ex, l, nil
+}
+
+// ExpmFrechet returns e^a and the Fréchet derivative of expm at a in
+// direction e. Convenience wrapper over ExpmWS.Frechet.
+func ExpmFrechet(a, e *Dense) (*Dense, *Dense, error) {
+	var ws ExpmWS
+	return ws.Frechet(nil, nil, a, e)
+}

@@ -157,6 +157,48 @@ func (f *LU) SolveWS(dst, b, work Vec) (Vec, error) {
 	return x, nil
 }
 
+// SolveTransposed computes x such that Aᵀ·x = b from the factorization of
+// A. P·A = L·U gives Aᵀ = Uᵀ·Lᵀ·P, so a forward substitution with Uᵀ, a
+// backward substitution with the unit-diagonal Lᵀ and the inverse row
+// permutation recover x. dst may be nil (allocates) and may alias b. This
+// is the adjoint solve of shooting systems: one factorization serves both
+// S·u = r and Sᵀ·λ = g.
+func (f *LU) SolveTransposed(dst, b Vec) (Vec, error) {
+	n := f.lu.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: LU transposed solve rhs length %d, want %d", ErrDimension, len(b), n)
+	}
+	x := dst
+	if x == nil {
+		x = make(Vec, n)
+	}
+	if len(x) != n {
+		return nil, fmt.Errorf("%w: LU transposed solve dst length %d, want %d", ErrDimension, len(x), n)
+	}
+	tmp := make(Vec, n)
+	// Forward substitution with Uᵀ (lower triangular, diagonal of U).
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(j, i) * tmp[j]
+		}
+		tmp[i] = s / f.lu.At(i, i)
+	}
+	// Backward substitution with Lᵀ (upper triangular, unit diagonal).
+	for i := n - 1; i >= 0; i-- {
+		s := tmp[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(j, i) * tmp[j]
+		}
+		tmp[i] = s
+	}
+	// Undo the row permutation: y = P·x ⇒ x[piv[i]] = y[i].
+	for i, p := range f.piv {
+		x[p] = tmp[i]
+	}
+	return x, nil
+}
+
 // Det returns the determinant of the factorized matrix.
 func (f *LU) Det() float64 {
 	d := float64(f.sign)

@@ -178,6 +178,13 @@ func RK4Into(f Func, z0, z1 float64, x0 mat.Vec, n int, sol *Solution, sc *RK4Sc
 	return nil
 }
 
+// Append appends one grid point with a deep copy of x, reusing state
+// vectors retained in the capacity of s.X by an earlier Reset. It is the
+// exported entry point for integrators living outside this package (the
+// matrix-exponential piece recurrence of compact.Evaluator) that fill a
+// Solution on the same grid convention as RK4Into.
+func (s *Solution) Append(z float64, x mat.Vec) { s.appendCopy(z, x) }
+
 // appendCopy appends one grid point with a deep copy of x, reusing state
 // vectors retained in the capacity of s.X.
 func (s *Solution) appendCopy(z float64, x mat.Vec) {

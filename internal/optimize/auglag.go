@@ -25,8 +25,12 @@ const (
 // used to normalize its magnitude (e.g. ΔPmax for pressure constraints so
 // that multiplier updates are well conditioned).
 type ConstraintSpec struct {
-	F     Constraint
-	Kind  ConstraintKind
+	F    Constraint
+	Kind ConstraintKind
+	// Grad, when non-nil, evaluates the unscaled constraint value and
+	// writes its unscaled gradient; the gradient-aware outer loop falls
+	// back to box-safe finite differences of F when it is nil.
+	Grad  func(x mat.Vec, grad mat.Vec) (float64, error)
 	Scale float64 // 0 selects 1
 	Name  string  // for diagnostics
 }
@@ -44,62 +48,97 @@ type AugLagOptions struct {
 	FeasTol float64
 	// Inner configures the inner box-constrained solves.
 	Inner Options
-	// InnerSolver selects the inner solver; nil selects LBFGSB.
+	// InnerSolver selects the inner solver for AugmentedLagrangian; nil
+	// selects LBFGSB.
 	InnerSolver func(Objective, mat.Vec, Box, Options) (mat.Vec, float64, Stats, error)
+	// InnerGradSolver selects the inner solver for
+	// AugmentedLagrangianGrad; nil selects LBFGSBGrad.
+	InnerGradSolver func(GradObjective, mat.Vec, Box, Options) (mat.Vec, float64, Stats, error)
 }
 
 // AugLagResult carries the outcome of a constrained solve.
 type AugLagResult struct {
-	X               mat.Vec // best feasible-ish point
-	F               float64 // objective value at X (without penalty)
-	MaxViolation    float64 // worst relative constraint violation at X
-	Outer           int     // outer iterations performed
-	InnerIterations int     // inner-solver iterations summed over outer rounds
-	Evaluations     int     // total objective evaluations
-	Multipliers     mat.Vec // final Lagrange multiplier estimates
+	X                   mat.Vec // best feasible-ish point
+	F                   float64 // objective value at X (without penalty)
+	MaxViolation        float64 // worst relative constraint violation at X
+	Outer               int     // outer iterations performed
+	InnerIterations     int     // inner-solver iterations summed over outer rounds
+	Evaluations         int     // total objective evaluations
+	GradientEvaluations int     // analytic gradient evaluations (gradient-aware path)
+	Multipliers         mat.Vec // final Lagrange multiplier estimates
 }
 
-// AugmentedLagrangian minimizes f subject to box bounds and the given
-// nonlinear constraints with the classic multiplier method (Hestenes–
-// Powell for equalities, Rockafellar for inequalities):
-//
-//	L(x; λ, µ) = f(x) + Σ_eq [λ_i h_i + (µ/2) h_i²]
-//	           + Σ_ineq (µ/2)[max(0, λ_i/µ + g_i)² − (λ_i/µ)²]
-//
-// Each outer iteration solves the box-constrained subproblem with the
-// inner solver, then updates the multipliers and, when feasibility stalls,
-// grows the penalty.
-func AugmentedLagrangian(f Objective, cons []ConstraintSpec, x0 mat.Vec, box Box, opts AugLagOptions) (AugLagResult, error) {
-	outer := opts.OuterIterations
-	if outer <= 0 {
-		outer = 12
-	}
-	mu := opts.InitialPenalty
-	if mu <= 0 {
-		mu = 10
-	}
-	growth := opts.PenaltyGrowth
-	if growth <= 0 {
-		growth = 5
-	}
-	feasTol := opts.FeasTol
-	if feasTol <= 0 {
-		feasTol = 1e-4
-	}
-	inner := opts.InnerSolver
-	if inner == nil {
-		inner = LBFGSB
-	}
+// auglagSettings materializes option defaults shared by both outer loops.
+type auglagSettings struct {
+	outer   int
+	mu      float64
+	growth  float64
+	feasTol float64
+}
 
+func (o AugLagOptions) settings() auglagSettings {
+	s := auglagSettings{
+		outer:   o.OuterIterations,
+		mu:      o.InitialPenalty,
+		growth:  o.PenaltyGrowth,
+		feasTol: o.FeasTol,
+	}
+	if s.outer <= 0 {
+		s.outer = 12
+	}
+	if s.mu <= 0 {
+		s.mu = 10
+	}
+	if s.growth <= 0 {
+		s.growth = 5
+	}
+	if s.feasTol <= 0 {
+		s.feasTol = 1e-4
+	}
+	return s
+}
+
+// constraintScales validates the constraint set and materializes its scales.
+func constraintScales(cons []ConstraintSpec) ([]float64, error) {
 	scales := make([]float64, len(cons))
 	for i, c := range cons {
-		if c.F == nil {
-			return AugLagResult{}, fmt.Errorf("optimize: constraint %d (%s) has nil function", i, c.Name)
+		if c.F == nil && c.Grad == nil {
+			return nil, fmt.Errorf("optimize: constraint %d (%s) has nil function", i, c.Name)
 		}
 		scales[i] = c.Scale
 		if scales[i] <= 0 {
 			scales[i] = 1
 		}
+	}
+	return scales, nil
+}
+
+// constraintValue evaluates one unscaled constraint, preferring F and
+// falling back to Grad in value-only mode.
+func constraintValue(c ConstraintSpec, x mat.Vec) (float64, error) {
+	if c.F != nil {
+		return c.F(x)
+	}
+	return c.Grad(x, nil)
+}
+
+// auglagOuter runs the multiplier method: each outer iteration calls solve
+// to minimize the Lagrangian subproblem at the current (µ, λ), then updates
+// multipliers and grows the penalty when feasibility stalls. fval evaluates
+// the bare objective for the final report.
+func auglagOuter(
+	fval func(mat.Vec) (float64, error),
+	cons []ConstraintSpec,
+	x0 mat.Vec,
+	box Box,
+	opts AugLagOptions,
+	solve func(muNow float64, lamNow, x mat.Vec) (mat.Vec, Stats, error),
+) (AugLagResult, error) {
+	set := opts.settings()
+	mu := set.mu
+	scales, err := constraintScales(cons)
+	if err != nil {
+		return AugLagResult{}, err
 	}
 
 	lambda := make(mat.Vec, len(cons))
@@ -111,7 +150,7 @@ func AugmentedLagrangian(f Objective, cons []ConstraintSpec, x0 mat.Vec, box Box
 	// evalCons evaluates the scaled constraint values at x.
 	evalCons := func(x mat.Vec, dst mat.Vec) error {
 		for i, c := range cons {
-			v, err := c.F(x)
+			v, err := constraintValue(c, x)
 			if err != nil {
 				return fmt.Errorf("%w: constraint %q: %v", ErrEvaluation, c.Name, err)
 			}
@@ -121,33 +160,11 @@ func AugmentedLagrangian(f Objective, cons []ConstraintSpec, x0 mat.Vec, box Box
 	}
 	cvals := make(mat.Vec, len(cons))
 
-	for it := 0; it < outer; it++ {
+	for it := 0; it < set.outer; it++ {
 		res.Outer = it + 1
-		muNow, lamNow := mu, lambda.Clone()
-		lagrangian := func(x mat.Vec) (float64, error) {
-			fv, err := f(x)
-			if err != nil {
-				return 0, err
-			}
-			cv := make(mat.Vec, len(cons))
-			if err := evalCons(x, cv); err != nil {
-				return 0, err
-			}
-			l := fv
-			for i, c := range cons {
-				switch c.Kind {
-				case Equal:
-					l += lamNow[i]*cv[i] + 0.5*muNow*cv[i]*cv[i]
-				case LessEqual:
-					t := math.Max(0, lamNow[i]/muNow+cv[i])
-					l += 0.5 * muNow * (t*t - (lamNow[i]/muNow)*(lamNow[i]/muNow))
-				}
-			}
-			return l, nil
-		}
-
-		xNew, _, stats, err := inner(lagrangian, x, box, opts.Inner)
+		xNew, stats, err := solve(mu, lambda.Clone(), x)
 		res.Evaluations += stats.Evaluations
+		res.GradientEvaluations += stats.GradientEvaluations
 		res.InnerIterations += stats.Iterations
 		if err != nil && xNew == nil {
 			return res, err
@@ -180,25 +197,144 @@ func AugmentedLagrangian(f Objective, cons []ConstraintSpec, x0 mat.Vec, box Box
 			}
 		}
 		res.MaxViolation = viol
-		if viol <= feasTol {
+		if viol <= set.feasTol {
 			break
 		}
 		if viol > 0.5*prevViolation {
-			mu *= growth
+			mu *= set.growth
 		}
 		prevViolation = viol
 	}
 
-	fv, err := f(x)
+	fv, err := fval(x)
 	if err != nil {
 		return res, fmt.Errorf("%w: final objective: %v", ErrEvaluation, err)
 	}
 	res.X = x
 	res.F = fv
 	res.Multipliers = lambda
-	if res.MaxViolation > 10*feasTol {
+	if res.MaxViolation > 10*set.feasTol {
 		return res, fmt.Errorf("optimize: augmented Lagrangian ended infeasible (violation %.3g)",
 			res.MaxViolation)
 	}
 	return res, nil
+}
+
+// AugmentedLagrangian minimizes f subject to box bounds and the given
+// nonlinear constraints with the classic multiplier method (Hestenes–
+// Powell for equalities, Rockafellar for inequalities):
+//
+//	L(x; λ, µ) = f(x) + Σ_eq [λ_i h_i + (µ/2) h_i²]
+//	           + Σ_ineq (µ/2)[max(0, λ_i/µ + g_i)² − (λ_i/µ)²]
+//
+// Each outer iteration solves the box-constrained subproblem with the
+// inner solver, then updates the multipliers and, when feasibility stalls,
+// grows the penalty.
+func AugmentedLagrangian(f Objective, cons []ConstraintSpec, x0 mat.Vec, box Box, opts AugLagOptions) (AugLagResult, error) {
+	inner := opts.InnerSolver
+	if inner == nil {
+		inner = LBFGSB
+	}
+	scales, err := constraintScales(cons)
+	if err != nil {
+		return AugLagResult{}, err
+	}
+	solve := func(muNow float64, lamNow, x mat.Vec) (mat.Vec, Stats, error) {
+		lagrangian := func(x mat.Vec) (float64, error) {
+			fv, err := f(x)
+			if err != nil {
+				return 0, err
+			}
+			cv := make(mat.Vec, len(cons))
+			for i, c := range cons {
+				v, err := constraintValue(c, x)
+				if err != nil {
+					return 0, fmt.Errorf("%w: constraint %q: %v", ErrEvaluation, c.Name, err)
+				}
+				cv[i] = v / scales[i]
+			}
+			l := fv
+			for i, c := range cons {
+				switch c.Kind {
+				case Equal:
+					l += lamNow[i]*cv[i] + 0.5*muNow*cv[i]*cv[i]
+				case LessEqual:
+					t := math.Max(0, lamNow[i]/muNow+cv[i])
+					l += 0.5 * muNow * (t*t - (lamNow[i]/muNow)*(lamNow[i]/muNow))
+				}
+			}
+			return l, nil
+		}
+		xNew, _, stats, err := inner(lagrangian, x, box, opts.Inner)
+		return xNew, stats, err
+	}
+	return auglagOuter(f, cons, x0, box, opts, solve)
+}
+
+// AugmentedLagrangianGrad is AugmentedLagrangian with analytic gradients:
+// the inner subproblems expose the exact Lagrangian gradient
+//
+//	∇L = ∇f + Σ_eq (λ_i + µ h_i)·∇h_i + Σ_ineq µ·max(0, λ_i/µ + g_i)·∇g_i
+//
+// built from the objective's gradient (typically an adjoint solve) and each
+// constraint's Grad, falling back to box-safe finite differences for
+// constraints that do not provide one.
+func AugmentedLagrangianGrad(f GradObjective, cons []ConstraintSpec, x0 mat.Vec, box Box, opts AugLagOptions) (AugLagResult, error) {
+	inner := opts.InnerGradSolver
+	if inner == nil {
+		inner = LBFGSBGrad
+	}
+	scales, err := constraintScales(cons)
+	if err != nil {
+		return AugLagResult{}, err
+	}
+	fval := func(x mat.Vec) (float64, error) { return f(x, nil) }
+
+	solve := func(muNow float64, lamNow, x mat.Vec) (mat.Vec, Stats, error) {
+		cg := make(mat.Vec, len(x))
+		lagrangian := func(x mat.Vec, g mat.Vec) (float64, error) {
+			fv, err := f(x, g)
+			if err != nil {
+				return 0, err
+			}
+			l := fv
+			for i, c := range cons {
+				var v float64
+				if g != nil {
+					switch {
+					case c.Grad != nil:
+						v, err = c.Grad(x, cg)
+					default:
+						v, err = c.F(x)
+						if err == nil {
+							_, err = BoxGradient(Objective(c.F), x, box, opts.Inner.GradStep, cg)
+						}
+					}
+				} else {
+					v, err = constraintValue(c, x)
+				}
+				if err != nil {
+					return 0, fmt.Errorf("%w: constraint %q: %v", ErrEvaluation, c.Name, err)
+				}
+				cv := v / scales[i]
+				var coef float64 // dL/d(cv)
+				switch c.Kind {
+				case Equal:
+					l += lamNow[i]*cv + 0.5*muNow*cv*cv
+					coef = lamNow[i] + muNow*cv
+				case LessEqual:
+					t := math.Max(0, lamNow[i]/muNow+cv)
+					l += 0.5 * muNow * (t*t - (lamNow[i]/muNow)*(lamNow[i]/muNow))
+					coef = muNow * t
+				}
+				if g != nil && coef != 0 {
+					g.AddScaled(coef/scales[i], cg)
+				}
+			}
+			return l, nil
+		}
+		xNew, _, stats, err := inner(lagrangian, x, box, opts.Inner)
+		return xNew, stats, err
+	}
+	return auglagOuter(fval, cons, x0, box, opts, solve)
 }

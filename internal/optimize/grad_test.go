@@ -1,0 +1,200 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// quadraticGrad is quadratic(center) with its analytic gradient.
+func quadraticGrad(center mat.Vec) GradObjective {
+	return func(x mat.Vec, grad mat.Vec) (float64, error) {
+		var s float64
+		for i := range x {
+			d := x[i] - center[i]
+			s += d * d
+			if grad != nil {
+				grad[i] = 2 * d
+			}
+		}
+		return s, nil
+	}
+}
+
+func rosenbrockGrad(x mat.Vec, grad mat.Vec) (float64, error) {
+	if grad != nil {
+		grad.Fill(0)
+	}
+	var s float64
+	for i := 0; i+1 < len(x); i++ {
+		a := x[i+1] - x[i]*x[i]
+		b := 1 - x[i]
+		s += 100*a*a + b*b
+		if grad != nil {
+			grad[i] += -400*a*x[i] - 2*b
+			grad[i+1] += 200 * a
+		}
+	}
+	return s, nil
+}
+
+func TestLBFGSBGradQuadratic(t *testing.T) {
+	center := mat.Vec{-0.3, 0.7, 0.1, 0.9}
+	box, _ := UniformBox(4, -1, 1)
+	x, fx, stats, err := LBFGSBGrad(quadraticGrad(center), mat.NewVec(4), box, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx > 1e-10 {
+		t.Fatalf("f = %v at %v (stats %+v)", fx, x, stats)
+	}
+	if !stats.Converged {
+		t.Fatal("must report convergence")
+	}
+	if stats.GradientEvaluations == 0 {
+		t.Fatal("gradient-aware solver recorded no gradient evaluations")
+	}
+	// The FD path must report zero analytic gradient evaluations.
+	_, _, fdStats, err := LBFGSB(quadratic(center), mat.NewVec(4), box, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdStats.GradientEvaluations != 0 {
+		t.Fatalf("FD solver reported %d analytic gradient evaluations", fdStats.GradientEvaluations)
+	}
+	// With analytic gradients the objective-evaluation count drops well
+	// below the FD count (which pays 2n probes per gradient).
+	if stats.Evaluations >= fdStats.Evaluations {
+		t.Fatalf("gradient path used %d evaluations, FD path %d", stats.Evaluations, fdStats.Evaluations)
+	}
+}
+
+func TestLBFGSBGradRosenbrock(t *testing.T) {
+	box, _ := UniformBox(2, -2, 2)
+	x, fx, _, err := LBFGSBGrad(rosenbrockGrad, mat.Vec{-1.2, 1}, box, Options{
+		MaxIterations: 500, Tol: 1e-8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Fatalf("x = %v (f=%v), want (1,1)", x, fx)
+	}
+}
+
+func TestProjectedGradientGradQuadratic(t *testing.T) {
+	box, _ := UniformBox(3, 0, 1)
+	x, fx, stats, err := ProjectedGradientGrad(quadraticGrad(mat.Vec{0.5, 0.5, 0.5}),
+		mat.Vec{0, 1, 0.2}, box, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fx > 1e-10 {
+		t.Fatalf("f = %v at %v (stats %+v)", fx, x, stats)
+	}
+	if stats.GradientEvaluations == 0 {
+		t.Fatal("gradient-aware solver recorded no gradient evaluations")
+	}
+}
+
+func TestLBFGSBGradActiveBound(t *testing.T) {
+	box, _ := UniformBox(2, -1, 1)
+	x, _, _, err := LBFGSBGrad(quadraticGrad(mat.Vec{5, -5}), mat.NewVec(2), box, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-6 || math.Abs(x[1]+1) > 1e-6 {
+		t.Fatalf("x = %v, want (1,-1)", x)
+	}
+}
+
+// The gradient-aware and FD solvers are two views of the same algorithm:
+// on a smooth problem they must land on the same minimizer.
+func TestGradAndFDSolversAgree(t *testing.T) {
+	center := mat.Vec{0.4, -0.6, 0.2}
+	box, _ := UniformBox(3, -1, 1)
+	xg, _, _, err := LBFGSBGrad(quadraticGrad(center), mat.NewVec(3), box, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xf, _, _, err := LBFGSB(quadratic(center), mat.NewVec(3), box, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.Sub(nil, xg, xf).NormInf(); d > 1e-6 {
+		t.Fatalf("solutions differ by %g: grad %v vs fd %v", d, xg, xf)
+	}
+}
+
+func TestAugmentedLagrangianGradEquality(t *testing.T) {
+	// min x² + y² s.t. x + y = 1 → (0.5, 0.5), with analytic constraint
+	// gradient.
+	cons := []ConstraintSpec{{
+		F:    func(x mat.Vec) (float64, error) { return x[0] + x[1] - 1, nil },
+		Kind: Equal,
+		Grad: func(x mat.Vec, grad mat.Vec) (float64, error) {
+			if grad != nil {
+				grad[0], grad[1] = 1, 1
+			}
+			return x[0] + x[1] - 1, nil
+		},
+		Name: "sum-to-one",
+	}}
+	box, _ := UniformBox(2, -2, 2)
+	res, err := AugmentedLagrangianGrad(quadraticGrad(mat.Vec{0, 0}), cons, mat.Vec{0, 0}, box, AugLagOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.5) > 1e-3 || math.Abs(res.X[1]-0.5) > 1e-3 {
+		t.Fatalf("x = %v, want (0.5, 0.5); violation %g", res.X, res.MaxViolation)
+	}
+	if res.GradientEvaluations == 0 {
+		t.Fatal("gradient-aware outer loop recorded no gradient evaluations")
+	}
+}
+
+func TestAugmentedLagrangianGradInequalityFDConstraint(t *testing.T) {
+	// min (x−2)² s.t. x ≤ 1 → x = 1; the constraint provides no Grad, so
+	// the inner Lagrangian falls back to FD for it while the objective
+	// gradient stays analytic.
+	cons := []ConstraintSpec{{
+		F:    func(x mat.Vec) (float64, error) { return x[0] - 1, nil },
+		Kind: LessEqual,
+		Name: "cap",
+	}}
+	box, _ := UniformBox(1, -5, 5)
+	res, err := AugmentedLagrangianGrad(quadraticGrad(mat.Vec{2}), cons, mat.Vec{-3}, box, AugLagOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 {
+		t.Fatalf("x = %v, want 1", res.X)
+	}
+	if res.Multipliers[0] <= 0 {
+		t.Fatal("active inequality must carry positive multiplier")
+	}
+}
+
+func TestAugmentedLagrangianGradMatchesFDPath(t *testing.T) {
+	f := quadratic(mat.Vec{0, 0})
+	fg := quadraticGrad(mat.Vec{0, 0})
+	mkCons := func() []ConstraintSpec {
+		return []ConstraintSpec{{
+			F:    func(x mat.Vec) (float64, error) { return x[0] + 2*x[1] - 1, nil },
+			Kind: Equal,
+		}}
+	}
+	box, _ := UniformBox(2, -2, 2)
+	rg, err := AugmentedLagrangianGrad(fg, mkCons(), mat.Vec{0, 0}, box, AugLagOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := AugmentedLagrangian(f, mkCons(), mat.Vec{0, 0}, box, AugLagOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mat.Sub(nil, rg.X, rf.X).NormInf(); d > 1e-4 {
+		t.Fatalf("solutions differ by %g: grad %v vs fd %v", d, rg.X, rf.X)
+	}
+}

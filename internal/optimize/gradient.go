@@ -24,6 +24,13 @@ import (
 // deterministic for reproducible optimization runs.
 type Objective func(x mat.Vec) (float64, error)
 
+// GradObjective evaluates a scalar cost and, when grad is non-nil, writes
+// ∇f(x) into grad (which has len(x)). A nil grad requests the value only,
+// letting line searches skip the adjoint pass. Implementations must be
+// deterministic and must return the same value regardless of whether the
+// gradient was requested.
+type GradObjective func(x mat.Vec, grad mat.Vec) (float64, error)
+
 // ErrEvaluation wraps objective-evaluation failures.
 var ErrEvaluation = errors.New("optimize: objective evaluation failed")
 

@@ -47,10 +47,11 @@ func (o Options) memory() int {
 
 // Stats carries solver diagnostics.
 type Stats struct {
-	Iterations  int     // outer iterations performed
-	Evaluations int     // objective evaluations (including FD gradients)
-	GradNorm    float64 // final projected gradient norm
-	Converged   bool    // stopping tolerance reached
+	Iterations          int     // outer iterations performed
+	Evaluations         int     // objective evaluations (including FD gradient probes)
+	GradientEvaluations int     // analytic gradient evaluations (GradObjective path)
+	GradNorm            float64 // final projected gradient norm
+	Converged           bool    // stopping tolerance reached
 }
 
 // countingObjective wraps an Objective to count evaluations.
@@ -64,17 +65,77 @@ func (c *countingObjective) eval(x mat.Vec) (float64, error) {
 	return c.f(x)
 }
 
+// problem is the internal value/gradient provider the solver cores run on.
+// It decouples the iteration logic from how gradients are produced: finite
+// differences over the counted objective (the historical default) or a
+// caller-supplied analytic gradient.
+type problem struct {
+	value     func(x mat.Vec) (float64, error)
+	grad      func(x mat.Vec, dst mat.Vec) error
+	evals     *int
+	gradEvals *int
+}
+
+// fdProblem adapts a plain Objective: gradients are the box-safe central
+// differences the solvers have always used, so the FD path is behaviorally
+// identical to the pre-refactor code.
+func fdProblem(f Objective, box Box, opts Options) *problem {
+	cf := &countingObjective{f: f}
+	return &problem{
+		value: cf.eval,
+		grad: func(x, dst mat.Vec) error {
+			_, err := BoxGradient(cf.eval, x, box, opts.GradStep, dst)
+			return err
+		},
+		evals: &cf.n,
+	}
+}
+
+// gradProblem adapts a GradObjective: values and analytic gradients are
+// counted separately (a gradient evaluation includes its forward value).
+func gradProblem(f GradObjective) *problem {
+	var n, gn int
+	p := &problem{evals: &n, gradEvals: &gn}
+	p.value = func(x mat.Vec) (float64, error) {
+		n++
+		return f(x, nil)
+	}
+	p.grad = func(x, dst mat.Vec) error {
+		gn++
+		_, err := f(x, dst)
+		return err
+	}
+	return p
+}
+
+func (p *problem) fill(stats *Stats) {
+	stats.Evaluations = *p.evals
+	if p.gradEvals != nil {
+		stats.GradientEvaluations = *p.gradEvals
+	}
+}
+
 // ProjectedGradient minimizes f over the box with steepest descent,
-// projection and Armijo backtracking. Robust but slow; used as a baseline
-// in the solver ablation (experiment A3).
+// projection and Armijo backtracking, estimating gradients by finite
+// differences. Robust but slow; used as a baseline in the solver ablation
+// (experiment A3).
 func ProjectedGradient(f Objective, x0 mat.Vec, box Box, opts Options) (mat.Vec, float64, Stats, error) {
+	return projectedGradientCore(fdProblem(f, box, opts), x0, box, opts)
+}
+
+// ProjectedGradientGrad is ProjectedGradient with a caller-supplied
+// gradient (typically an adjoint solve) instead of finite differences.
+func ProjectedGradientGrad(f GradObjective, x0 mat.Vec, box Box, opts Options) (mat.Vec, float64, Stats, error) {
+	return projectedGradientCore(gradProblem(f), x0, box, opts)
+}
+
+func projectedGradientCore(p *problem, x0 mat.Vec, box Box, opts Options) (mat.Vec, float64, Stats, error) {
 	if len(x0) != len(box.Lo) {
 		return nil, 0, Stats{}, fmt.Errorf("optimize: x0 length %d vs box %d", len(x0), len(box.Lo))
 	}
-	cf := &countingObjective{f: f}
 	x := x0.Clone()
 	box.Project(x)
-	fx, err := cf.eval(x)
+	fx, err := p.value(x)
 	if err != nil {
 		return nil, 0, Stats{}, fmt.Errorf("%w: %v", ErrEvaluation, err)
 	}
@@ -85,7 +146,8 @@ func ProjectedGradient(f Objective, x0 mat.Vec, box Box, opts Options) (mat.Vec,
 
 	for iter := 0; iter < opts.maxIter(); iter++ {
 		stats.Iterations = iter + 1
-		if _, err := BoxGradient(cf.eval, x, box, opts.GradStep, g); err != nil {
+		if err := p.grad(x, g); err != nil {
+			p.fill(&stats)
 			return x, fx, stats, err
 		}
 		gn := box.ProjectedGradientNorm(x, g)
@@ -102,7 +164,7 @@ func ProjectedGradient(f Objective, x0 mat.Vec, box Box, opts Options) (mat.Vec,
 				trial[i] = x[i] - step*g[i]
 			}
 			box.Project(trial)
-			ft, err := cf.eval(trial)
+			ft, err := p.value(trial)
 			if err != nil {
 				step *= 0.5
 				continue
@@ -130,7 +192,7 @@ func ProjectedGradient(f Objective, x0 mat.Vec, box Box, opts Options) (mat.Vec,
 			break
 		}
 	}
-	stats.Evaluations = cf.n
+	p.fill(&stats)
 	if !stats.Converged && stats.Iterations >= opts.maxIter() {
 		return x, fx, stats, fmt.Errorf("%w after %d iterations (‖Pg‖=%.3g)",
 			ErrMaxIterations, stats.Iterations, stats.GradNorm)
@@ -142,22 +204,36 @@ func ProjectedGradient(f Objective, x0 mat.Vec, box Box, opts Options) (mat.Vec,
 // method: the quasi-Newton direction is computed from the two-loop
 // recursion, projected steps are globalized with Armijo backtracking, and
 // curvature pairs are only stored when they satisfy the positivity
-// condition. This is the workhorse solver for channel modulation.
+// condition. Gradients are estimated by finite differences; this is the
+// workhorse solver for channel modulation when no analytic gradient is
+// available.
 func LBFGSB(f Objective, x0 mat.Vec, box Box, opts Options) (mat.Vec, float64, Stats, error) {
+	return lbfgsbCore(fdProblem(f, box, opts), x0, box, opts)
+}
+
+// LBFGSBGrad is LBFGSB with a caller-supplied gradient (typically an
+// adjoint solve) instead of finite differences: one gradient evaluation
+// per accepted iterate regardless of the dimension.
+func LBFGSBGrad(f GradObjective, x0 mat.Vec, box Box, opts Options) (mat.Vec, float64, Stats, error) {
+	return lbfgsbCore(gradProblem(f), x0, box, opts)
+}
+
+func lbfgsbCore(p *problem, x0 mat.Vec, box Box, opts Options) (mat.Vec, float64, Stats, error) {
 	n := len(x0)
 	if n != len(box.Lo) {
 		return nil, 0, Stats{}, fmt.Errorf("optimize: x0 length %d vs box %d", n, len(box.Lo))
 	}
-	cf := &countingObjective{f: f}
 	x := x0.Clone()
 	box.Project(x)
-	fx, err := cf.eval(x)
+	fx, err := p.value(x)
 	if err != nil {
 		return nil, 0, Stats{}, fmt.Errorf("%w: %v", ErrEvaluation, err)
 	}
 	g := make(mat.Vec, n)
-	if _, err := BoxGradient(cf.eval, x, box, opts.GradStep, g); err != nil {
-		return x, fx, Stats{Evaluations: cf.n}, err
+	if err := p.grad(x, g); err != nil {
+		stats := Stats{}
+		p.fill(&stats)
+		return x, fx, stats, err
 	}
 
 	mem := opts.memory()
@@ -215,7 +291,7 @@ func LBFGSB(f Objective, x0 mat.Vec, box Box, opts Options) (mat.Vec, float64, S
 				trial[i] = x[i] + st*dir[i]
 			}
 			box.Project(trial)
-			fv, fe := cf.eval(trial)
+			fv, fe := p.value(trial)
 			if fe != nil {
 				return 0, false
 			}
@@ -257,7 +333,8 @@ func LBFGSB(f Objective, x0 mat.Vec, box Box, opts Options) (mat.Vec, float64, S
 			}
 			box.Project(trial)
 		}
-		if _, err := BoxGradient(cf.eval, trial, box, opts.GradStep, gNew); err != nil {
+		if err := p.grad(trial, gNew); err != nil {
+			p.fill(&stats)
 			return x, fx, stats, err
 		}
 		// Curvature pair.
@@ -280,7 +357,7 @@ func LBFGSB(f Objective, x0 mat.Vec, box Box, opts Options) (mat.Vec, float64, S
 			break
 		}
 	}
-	stats.Evaluations = cf.n
+	p.fill(&stats)
 	if !stats.Converged && stats.Iterations >= opts.maxIter() {
 		return x, fx, stats, fmt.Errorf("%w after %d iterations (‖Pg‖=%.3g)",
 			ErrMaxIterations, stats.Iterations, stats.GradNorm)

@@ -55,6 +55,11 @@ type File struct {
 	EqualPressure bool `json:"equal_pressure,omitempty"`
 	// Solver is "lbfgsb" (default), "projgrad" or "neldermead".
 	Solver string `json:"solver,omitempty"`
+	// Gradient selects how the gradient-based solvers obtain objective
+	// gradients: "adjoint" (default — one exact adjoint pass per gradient)
+	// or "fd" (the finite-difference escape hatch). Ignored by the
+	// derivative-free neldermead solver.
+	Gradient string `json:"gradient,omitempty"`
 	// Channels lists the heat loads (the static map, and the base map a
 	// trace's scale phases multiply). Mutually exclusive with Preset.
 	Channels []Channel `json:"channels,omitempty"`
@@ -302,6 +307,10 @@ func (f *File) Spec() (*control.Spec, error) {
 	if err != nil {
 		return nil, err
 	}
+	gradient, err := parseGradient(f.Gradient)
+	if err != nil {
+		return nil, err
+	}
 
 	spec := &control.Spec{
 		Params:          p,
@@ -312,6 +321,7 @@ func (f *File) Spec() (*control.Spec, error) {
 		MaxPressure:     units.Bar(f.MaxPressureBar),
 		EqualPressure:   f.EqualPressure,
 		Solver:          solver,
+		Gradient:        gradient,
 	}
 	if f.MaxPressureBar == 0 {
 		spec.MaxPressure = 0 // control applies the 10-bar default
@@ -332,6 +342,17 @@ func parseSolver(name string) (control.Solver, error) {
 		return control.SolverNelderMead, nil
 	default:
 		return 0, fmt.Errorf("scenario: unknown solver %q", name)
+	}
+}
+
+func parseGradient(name string) (control.Gradient, error) {
+	switch name {
+	case "", "adjoint":
+		return control.GradientAdjoint, nil
+	case "fd":
+		return control.GradientFD, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown gradient mode %q (want adjoint or fd)", name)
 	}
 }
 
@@ -381,6 +402,11 @@ func (f *File) specFromPreset() (*control.Spec, error) {
 		return nil, err
 	}
 	spec.Solver = solver
+	gradient, err := parseGradient(f.Gradient)
+	if err != nil {
+		return nil, err
+	}
+	spec.Gradient = gradient
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}

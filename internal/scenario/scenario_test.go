@@ -54,6 +54,7 @@ func TestLoadFullScenario(t *testing.T) {
 	  "max_pressure_bar": 4,
 	  "equal_pressure": true,
 	  "solver": "neldermead",
+	  "gradient": "fd",
 	  "channels": [
 	    {"top_wcm2": [10, 20], "bottom_wcm2": [5, 5]},
 	    {"top_wcm2": [30, 30], "bottom_wcm2": [30, 30]}
@@ -87,6 +88,9 @@ func TestLoadFullScenario(t *testing.T) {
 	if spec.Solver != control.SolverNelderMead {
 		t.Error("solver")
 	}
+	if spec.Gradient != control.GradientFD {
+		t.Error("gradient mode")
+	}
 	if len(spec.Channels) != 2 {
 		t.Error("channels")
 	}
@@ -98,6 +102,7 @@ func TestLoadErrors(t *testing.T) {
 		`{"name":"x"}`, // no channels
 		`{"channels":[{"top_wcm2":[],"bottom_wcm2":[1]}]}`,                        // empty flux
 		`{"solver":"magic","channels":[{"top_wcm2":[1],"bottom_wcm2":[1]}]}`,      // bad solver
+		`{"gradient":"newton","channels":[{"top_wcm2":[1],"bottom_wcm2":[1]}]}`,   // bad gradient mode
 		`{"unknown_field":1,"channels":[{"top_wcm2":[1],"bottom_wcm2":[1]}]}`,     // unknown field
 		`{"bounds_um":[200,300],"channels":[{"top_wcm2":[1],"bottom_wcm2":[1]}]}`, // bounds above pitch
 	}
