@@ -1,0 +1,40 @@
+# Developer entry points. The module itself has no dependencies beyond
+# the Go toolchain; the two external analyzers below are fetched on
+# demand by `go run pkg@version`, pinned here and mirrored in CI
+# (.github/workflows/ci.yml) so local runs and the gate agree.
+
+GO ?= go
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build test race lint fmt vet staticcheck vulncheck
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -shuffle=on ./...
+
+# lint is the project gate: formatting, go vet, and the five invariant
+# analyzers of internal/analysis (see DESIGN.md §13). CI requires it.
+lint: fmt vet
+	$(GO) run ./cmd/lint ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Advisory analyzers (network-fetched, so not part of `make lint`).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...

@@ -305,7 +305,7 @@ func CompareContext(ctx context.Context, spec *Spec) (*Comparison, error) {
 // report: every spec below the failure is still evaluated, and specs
 // above it stop being started.
 func BatchCompare(specs []*Spec) ([]*Comparison, error) {
-	return core.BatchCompare(context.Background(), specs)
+	return BatchCompareContext(context.Background(), specs)
 }
 
 // BatchCompareContext is BatchCompare with caller-controlled cancellation:
@@ -318,7 +318,7 @@ func BatchCompareContext(ctx context.Context, specs []*Spec) ([]*Comparison, err
 // one bounded worker pool. Slot i of the result corresponds to specs[i];
 // results are bit-identical to a serial Optimize loop.
 func BatchOptimize(specs []*Spec) ([]*Result, error) {
-	return core.BatchOptimize(context.Background(), specs)
+	return BatchOptimizeContext(context.Background(), specs)
 }
 
 // BatchOptimizeContext is BatchOptimize with caller-controlled
@@ -381,7 +381,7 @@ func RunRuntimeContext(ctx context.Context, spec *RuntimeSpec) (*RuntimeResult, 
 // worker pool; slot i corresponds to specs[i] and results are
 // bit-identical to a serial loop.
 func BatchRuntime(specs []*RuntimeSpec) ([]*RuntimeResult, error) {
-	return control.BatchRuntime(context.Background(), specs)
+	return BatchRuntimeContext(context.Background(), specs)
 }
 
 // BatchRuntimeContext is BatchRuntime with caller-controlled cancellation.

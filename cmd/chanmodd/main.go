@@ -45,7 +45,12 @@ func run() error {
 	cacheN := flag.Int("cache", 0, "result-cache capacity in entries (0 = default)")
 	flag.Parse()
 
-	s := daemon.New(channelmod.NewEngine(*cacheN))
+	// Background executions outlive their originating requests but not
+	// the process: the base context cancels after graceful shutdown has
+	// drained (run's defers unwind last-in-first-out).
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	s := daemon.NewContext(baseCtx, channelmod.NewEngine(*cacheN))
 	httpSrv := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,

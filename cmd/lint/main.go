@@ -1,0 +1,83 @@
+// Command lint is the project's static-analysis gate: a multichecker
+// running the five invariant analyzers of internal/analysis (hashdet,
+// noalloc, exitpath, ctxflow, lockhold) over the module. It is enforced
+// in CI; run it locally as
+//
+//	go run ./cmd/lint ./...
+//
+// Findings print as file:line:col: message (analyzer) and make the
+// command exit 1. Suppress a finding — with a mandatory justification —
+// via a comment on the offending line or the line above:
+//
+//	//chanmod:allow <analyzer>: <reason>
+//
+// See DESIGN.md §13 for what each analyzer enforces and how to annotate
+// hash roots (//chanmod:hashdet) and zero-alloc hot paths
+// (//chanmod:noalloc).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	cliutil.Main(run)
+}
+
+func run() error {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			return cliutil.UsageErrorf("lint: unknown analyzer %q (use -list)", name)
+		}
+		suite = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		return err
+	}
+	diags := analysis.Run(pkgs, suite)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		return fmt.Errorf("lint: %d finding(s)", n)
+	}
+	return nil
+}

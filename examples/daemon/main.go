@@ -22,15 +22,18 @@ import (
 	"strings"
 
 	channelmod "repro"
+	"repro/internal/cliutil"
 	"repro/internal/daemon"
 )
 
-func main() {
+func main() { cliutil.Main(run) }
+
+func run() error {
 	// An in-process daemon on a loopback port: the same Server that
 	// cmd/chanmodd serves.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	go func() {
 		if err := http.Serve(ln, daemon.New(channelmod.NewEngine(64)).Handler()); err != nil {
@@ -54,12 +57,22 @@ func main() {
 	}
 
 	fmt.Println("-- submit a 3-point pressure sweep and stream its events --")
-	id := submit(base, sweep([]float64{2, 4, 8}))
-	streamEvents(base, id)
+	id, err := submit(base, sweep([]float64{2, 4, 8}))
+	if err != nil {
+		return err
+	}
+	if err := streamEvents(base, id); err != nil {
+		return err
+	}
 
 	fmt.Println("\n-- widen the sweep to 5 points: the 3 shared points are warm --")
-	wide := submit(base, sweep([]float64{2, 4, 8, 16, 32}))
-	streamEvents(base, wide)
+	wide, err := submit(base, sweep([]float64{2, 4, 8, 16, 32}))
+	if err != nil {
+		return err
+	}
+	if err := streamEvents(base, wide); err != nil {
+		return err
+	}
 
 	// The engine's counters confirm the reuse.
 	var stats struct {
@@ -68,16 +81,19 @@ func main() {
 			Misses uint64 `json:"misses"`
 		} `json:"cache"`
 	}
-	getJSON(base+"/v1/stats", &stats)
+	if err := getJSON(base+"/v1/stats", &stats); err != nil {
+		return err
+	}
 	fmt.Printf("\nengine cache: %d hits / %d misses (shared points solved once)\n",
 		stats.Cache.Hits, stats.Cache.Misses)
+	return nil
 }
 
 // submit POSTs a job and returns its content address.
-func submit(base, body string) string {
+func submit(base, body string) (string, error) {
 	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
-		log.Fatal(err)
+		return "", err
 	}
 	defer resp.Body.Close()
 	var st struct {
@@ -85,18 +101,18 @@ func submit(base, body string) string {
 		Status string `json:"status"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		log.Fatal(err)
+		return "", err
 	}
 	fmt.Printf("submitted %.12s… (%s)\n", st.ID, st.Status)
-	return st.ID
+	return st.ID, nil
 }
 
 // streamEvents follows a job's NDJSON event stream, printing one line
 // per point as it completes, with its cache provenance.
-func streamEvents(base, id string) {
+func streamEvents(base, id string) error {
 	resp, err := http.Get(base + "/v1/jobs/" + id + "/events?format=ndjson")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer resp.Body.Close()
 	sc := bufio.NewScanner(resp.Body)
@@ -114,7 +130,7 @@ func streamEvents(base, id string) {
 			Error string `json:"error"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		switch ev.Type {
 		case "point":
@@ -123,22 +139,18 @@ func streamEvents(base, id string) {
 		case "done":
 			fmt.Printf("  done (parent served as %s)\n", ev.Cache)
 		case "error":
-			log.Fatalf("job failed: %s", ev.Error)
+			return fmt.Errorf("job failed: %s", ev.Error)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
-	}
+	return sc.Err()
 }
 
 // getJSON fetches and decodes a JSON endpoint.
-func getJSON(url string, v any) {
+func getJSON(url string, v any) error {
 	resp, err := http.Get(url)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		log.Fatal(err)
-	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }

@@ -10,16 +10,18 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	channelmod "repro"
+	"repro/internal/cliutil"
 )
 
-func main() {
+func main() { cliutil.Main(run) }
+
+func run() error {
 	cfg := channelmod.DefaultTestB()
 	spec, err := channelmod.TestB(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	spec.Segments = 10
 	spec.OuterIterations = 4
@@ -32,7 +34,7 @@ func main() {
 
 	cmp, err := channelmod.Compare(spec)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Print(channelmod.Report(cmp))
 
@@ -57,4 +59,5 @@ func main() {
 		fmt.Printf("%7.1f", w.Width(i)*1e6)
 	}
 	fmt.Println()
+	return nil
 }

@@ -9,12 +9,14 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	channelmod "repro"
+	"repro/internal/cliutil"
 )
 
-func main() {
+func main() { cliutil.Main(run) }
+
+func run() error {
 	var labels []string
 	var values []float64
 
@@ -22,7 +24,7 @@ func main() {
 		for _, mode := range []channelmod.Mode{channelmod.Peak, channelmod.Average} {
 			spec, err := channelmod.Architecture(arch, mode)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			// Example-sized budgets; cmd/experiments runs the full ones.
 			spec.Segments = 8
@@ -30,7 +32,7 @@ func main() {
 
 			cmp, err := channelmod.Compare(spec)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			fmt.Printf("Arch %d, %s power:\n%s\n", arch, mode, channelmod.Report(cmp))
 
@@ -42,4 +44,5 @@ func main() {
 
 	fmt.Println("thermal gradients (K) — uniform vs optimally modulated:")
 	fmt.Print(channelmod.RenderBars(labels, values, "K"))
+	return nil
 }

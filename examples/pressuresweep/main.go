@@ -9,25 +9,27 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	channelmod "repro"
+	"repro/internal/cliutil"
 	"repro/internal/units"
 )
 
-func main() {
+func main() { cliutil.Main(run) }
+
+func run() error {
 	budgetsBar := []float64{1, 2, 4, 10, 30}
 
 	// The uniform max-width reference: the design every budget competes
 	// against.
 	ref, err := channelmod.TestA()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ref.Segments = 10
 	uniform, err := channelmod.Baseline(ref, ref.Bounds.Max)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("uniform max-width design: ΔT = %.2f K at ΔP = %.2f bar\n\n",
 		uniform.GradientK, units.ToBar(uniform.MaxPressureDrop()))
@@ -36,7 +38,7 @@ func main() {
 	for _, bar := range budgetsBar {
 		spec, err := channelmod.TestA()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		spec.Segments = 10
 		spec.OuterIterations = 4
@@ -44,7 +46,7 @@ func main() {
 
 		res, err := channelmod.Optimize(spec)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		red := (uniform.GradientK - res.GradientK) / uniform.GradientK * 100
 		fmt.Printf("%10.1f   %6.2f   %8.1f%%   %10.2f\n",
@@ -53,4 +55,5 @@ func main() {
 	fmt.Println("\nthe curve saturates once the profile can reach the minimum width")
 	fmt.Println("everywhere the cost function wants it — extra pumping budget past")
 	fmt.Println("that point buys nothing (the paper's 'well below safe limits' regime).")
+	return nil
 }

@@ -9,17 +9,19 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	channelmod "repro"
+	"repro/internal/cliutil"
 )
 
-func main() {
+func main() { cliutil.Main(run) }
+
+func run() error {
 	// Test A of the paper: a single microchannel column between two active
 	// silicon layers, both dissipating a uniform 50 W/cm².
 	spec, err := channelmod.TestA()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Reduced budgets keep the example fast; drop these two lines for
@@ -31,7 +33,7 @@ func main() {
 	// channel widths (the paper's standard evaluation).
 	cmp, err := channelmod.Compare(spec)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Println("Test A — thermal balancing by channel modulation")
 	fmt.Print(channelmod.Report(cmp))
@@ -42,4 +44,5 @@ func main() {
 	for i := 0; i < w.Segments(); i++ {
 		fmt.Printf("  segment %2d: %5.1f\n", i, w.Width(i)*1e6)
 	}
+	return nil
 }

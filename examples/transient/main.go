@@ -18,14 +18,16 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	channelmod "repro"
+	"repro/internal/cliutil"
 	"repro/internal/grid"
 	"repro/internal/units"
 )
 
-func main() {
+func main() { cliutil.Main(run) }
+
+func run() error {
 	p := channelmod.DefaultParams()
 
 	mkStack := func(width func(x, y float64) float64) *channelmod.GridStack {
@@ -65,11 +67,11 @@ func main() {
 	fmt.Println("   t(ms)   uniform ΔT(K)   modulated ΔT(K)")
 	ru, err := uniform.SolveTransient(step, step, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rm, err := modulated.SolveTransient(step, step, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	gu, gm := ru.GradientSeries(), rm.GradientSeries()
 	for i, t := range ru.Times {
@@ -93,18 +95,18 @@ func main() {
 	}
 	ws, err := plant.NewTransientWorkspace(grid.TransientConfig{Dt: 2e-3})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for n := 1; n <= 60; n++ {
 		if err := ws.Step(duty, duty); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if n == 30 {
 			// Actuate: open the valve. The factorization is rebuilt, the
 			// temperature field is continuous across the change.
 			plant.FlowScale = func(x, y float64) float64 { return 1.5 }
 			if err := ws.Refresh(); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			fmt.Println("   ---- flow boost applied ----")
 		}
@@ -113,4 +115,5 @@ func main() {
 				ws.Time()*1e3, ws.Gradient(), units.ToCelsius(ws.PeakTemperature()))
 		}
 	}
+	return nil
 }

@@ -1,0 +1,235 @@
+// Package analysis is the project's static-analysis suite: a small,
+// dependency-free framework in the shape of golang.org/x/tools/go/analysis,
+// plus the five analyzers that encode this repository's load-bearing
+// invariants (see DESIGN.md §13):
+//
+//   - hashdet:  nothing nondeterministic (unordered map iteration,
+//     time.Now, global math/rand) reachable from content-hashing and
+//     streamed-row roots annotated //chanmod:hashdet
+//   - noalloc:  functions annotated //chanmod:noalloc contain no
+//     allocating constructs on their warm path
+//   - exitpath: os.Exit/log.Fatal only inside internal/cliutil, panics
+//     carry the "pkg: " invariant prefix, every cmd/* main routes
+//     through cliutil.Main
+//   - ctxflow:  context.Background only in package main and in
+//     single-statement ...Context wrappers; ctx is the first parameter;
+//     batch/engine entry points thread a context
+//   - lockhold: no channel sends, HTTP writes or engine solves while
+//     holding a mutex
+//
+// The framework is intentionally stdlib-only (the module has no
+// third-party dependencies by design): packages are loaded through
+// `go list -export -deps -json`, module packages are type-checked from
+// source, and imports outside the module resolve through compiler export
+// data. The API mirrors go/analysis closely enough that porting an
+// analyzer to the upstream framework is mechanical.
+//
+// Findings are suppressed — with a mandatory justification — by a
+// comment on the offending line or the line above it:
+//
+//	//chanmod:allow <analyzer>: <reason>
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //chanmod:allow suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run analyzes one package. Packages are presented in dependency
+	// order, so facts recorded for a dependency's objects are visible
+	// when its importers are analyzed.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// facts is the analyzer's cross-package store, keyed by the defining
+	// object (shared object identity: module packages import each other's
+	// source-checked types.Package directly).
+	facts map[types.Object]any
+	// allow maps "file:line" to the suppressions in force there.
+	allow map[posKey][]suppression
+	// out collects the pass's diagnostics.
+	out *[]Diagnostic
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type suppression struct {
+	analyzer string
+	reason   string
+}
+
+// Reportf records a finding at pos unless a //chanmod:allow suppression
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.Allowed(pos) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether a //chanmod:allow comment for this analyzer
+// covers the given position (same line, or the line directly above).
+// Analyzers that propagate information from a site (rather than
+// reporting at it) call this at the site so a justified suppression
+// kills the propagation at its source.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, s := range p.allow[posKey{position.Filename, line}] {
+			if s.analyzer == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Fact returns the fact previously recorded for obj by this analyzer in
+// this or any dependency package.
+func (p *Pass) Fact(obj types.Object) (any, bool) {
+	v, ok := p.facts[obj]
+	return v, ok
+}
+
+// SetFact records a fact for obj, visible to later packages.
+func (p *Pass) SetFact(obj types.Object, v any) {
+	p.facts[obj] = v
+}
+
+// allowPrefix introduces a suppression comment.
+const allowPrefix = "//chanmod:allow "
+
+// parseAllows extracts the suppressions of a file's comments. A
+// malformed allow (missing analyzer or missing justification) is itself
+// a diagnostic: the whole point of the mechanism is the recorded reason.
+func parseAllows(fset *token.FileSet, file *ast.File, diags *[]Diagnostic) map[posKey][]suppression {
+	out := make(map[posKey][]suppression)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, allowPrefix)
+			name, reason, ok := strings.Cut(rest, ":")
+			name = strings.TrimSpace(name)
+			reason = strings.TrimSpace(reason)
+			pos := fset.Position(c.Pos())
+			if !ok || name == "" || reason == "" {
+				*diags = append(*diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "allow",
+					Message:  "malformed suppression: want //chanmod:allow <analyzer>: <justification>",
+				})
+				continue
+			}
+			k := posKey{pos.Filename, pos.Line}
+			out[k] = append(out[k], suppression{analyzer: name, reason: reason})
+		}
+	}
+	return out
+}
+
+// mergeAllows folds per-file suppression maps into one per-package map.
+func mergeAllows(maps []map[posKey][]suppression) map[posKey][]suppression {
+	out := make(map[posKey][]suppression)
+	for _, m := range maps {
+		for k, v := range m {
+			out[k] = append(out[k], v...)
+		}
+	}
+	return out
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{HashDet, NoAlloc, ExitPath, CtxFlow, LockHold}
+}
+
+// Run type-checks the loaded packages (dependency order) and applies
+// every analyzer to each, returning the surviving diagnostics sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	facts := make(map[string]map[types.Object]any, len(analyzers))
+	for _, a := range analyzers {
+		facts[a.Name] = make(map[types.Object]any)
+	}
+	for _, pkg := range pkgs {
+		maps := make([]map[posKey][]suppression, 0, len(pkg.Files))
+		for _, f := range pkg.Files {
+			maps = append(maps, parseAllows(pkg.Fset, f, &diags))
+		}
+		allow := mergeAllows(maps)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				facts:    facts[a.Name],
+				allow:    allow,
+				out:      &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: pkg.PkgPath},
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("analyzer failed: %v", err),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

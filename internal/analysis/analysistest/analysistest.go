@@ -1,0 +1,110 @@
+// Package analysistest runs one analyzer over fixture packages and
+// matches its diagnostics against expectations written in the fixture
+// sources, in the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	xs = append(xs, x) // want `append may grow its backing array`
+//
+// A // want comment holds one or more Go string literals (quoted or
+// backquoted), each a regular expression. Every diagnostic reported on
+// that line must match exactly one expectation and every expectation
+// must be consumed, so both false positives and false negatives fail
+// the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// want is one expectation: a regexp at a file:line, consumed by the
+// first diagnostic that matches it.
+type want struct {
+	re   *regexp.Regexp
+	text string
+	used bool
+}
+
+// wantRe extracts the string literals of a // want comment.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run loads the packages matched by the patterns (relative to the
+// test's working directory, i.e. its package directory), applies the
+// analyzer, and compares its diagnostics against the // want
+// expectations found in the loaded sources.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	diags := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	wants := collectWants(t, pkgs)
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: no diagnostic matched `%s`", key, w.text)
+			}
+		}
+	}
+}
+
+// collectWants parses the // want expectations out of every loaded
+// file's comments, keyed by file:line.
+func collectWants(t *testing.T, pkgs []*analysis.Package) map[string][]*want {
+	t.Helper()
+	out := make(map[string][]*want)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					_, rest, ok := strings.Cut(c.Text, "// want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, lit := range wantRe.FindAllString(rest, -1) {
+						text, err := unquote(lit)
+						if err != nil {
+							t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+						}
+						re, err := regexp.Compile(text)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, text, err)
+						}
+						out[key] = append(out[key], &want{re: re, text: text})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// unquote resolves a quoted or backquoted Go string literal.
+func unquote(lit string) (string, error) {
+	if strings.HasPrefix(lit, "`") {
+		return strings.Trim(lit, "`"), nil
+	}
+	return strconv.Unquote(lit)
+}

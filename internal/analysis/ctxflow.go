@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context threading so cancellation reaches every
+// solve: batch and engine entry points accept a context.Context (or
+// provide a ...Context sibling), ctx is always the first parameter, and
+// context.Background()/context.TODO() appear only
+//
+//   - in package main (a process root owns its context),
+//   - in internal/cliutil (SignalContext builds the root context), or
+//   - in a single-statement convenience wrapper `func F(...)` whose
+//     body just returns/calls its own `FContext(context.Background(), ...)`
+//     sibling — the library's documented no-context API surface.
+//
+// Everywhere else a fresh Background severs the caller's cancellation
+// and deadline, which on the serving path means an abandoned request
+// keeps a worker solving forever.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "thread context.Context; no stray context.Background outside main and ...Context wrappers",
+	Run:  runCtxFlow,
+}
+
+// ctxEntryPkgs are the packages whose exported entry points must be
+// cancellable.
+var ctxEntryPkgs = map[string]bool{
+	"repro":                 true,
+	"repro/internal/batch":  true,
+	"repro/internal/engine": true,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Path() == cliutilPath {
+		return nil
+	}
+	isMain := pass.Pkg.Name() == "main"
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn := funcOf(pass.Info, fd)
+			if fn == nil {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			checkCtxPosition(pass, fd, sig)
+			if ctxEntryPkgs[pass.Pkg.Path()] {
+				checkEntryPoint(pass, fd, fn, sig)
+			}
+			if fd.Body == nil {
+				continue
+			}
+			hasCtxParam := ctxParamIndex(sig) >= 0
+			wrapper := isContextWrapper(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(pass.Info, call)
+				if pkgPathOf(callee) != "context" {
+					return true
+				}
+				switch callee.Name() {
+				case "Background":
+					switch {
+					case hasCtxParam:
+						pass.Reportf(call.Pos(),
+							"%s already receives a context.Context; thread it instead of context.Background()",
+							funcDisplayName(fn))
+					case wrapper, isMain:
+						// Allowed: process root or documented wrapper idiom.
+					default:
+						pass.Reportf(call.Pos(),
+							"context.Background() in library code severs cancellation: accept a ctx, or add a %sContext sibling and make %s a one-line wrapper",
+							fd.Name.Name, funcDisplayName(fn))
+					}
+				case "TODO":
+					pass.Reportf(call.Pos(), "context.TODO() is a placeholder: pick a real context")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// ctxParamIndex returns the position of the context.Context parameter,
+// or -1.
+func ctxParamIndex(sig *types.Signature) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isNamed(sig.Params().At(i).Type(), "context", "Context") {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkCtxPosition enforces ctx-first parameter order.
+func checkCtxPosition(pass *Pass, fd *ast.FuncDecl, sig *types.Signature) {
+	if i := ctxParamIndex(sig); i > 0 {
+		pass.Reportf(fd.Name.Pos(),
+			"context.Context must be the first parameter of %s (found at position %d)", fd.Name.Name, i+1)
+	}
+}
+
+// checkEntryPoint requires exported Run*/Stream*/Do/Map entry points of
+// the batch/engine layers to take a context, or to have a <Name>Context
+// sibling that does.
+func checkEntryPoint(pass *Pass, fd *ast.FuncDecl, fn *types.Func, sig *types.Signature) {
+	name := fn.Name()
+	if !fn.Exported() || strings.HasSuffix(name, "Context") {
+		return
+	}
+	entry := name == "Do" || name == "Map" ||
+		strings.HasPrefix(name, "Run") || strings.HasPrefix(name, "Stream")
+	if !entry || ctxParamIndex(sig) >= 0 {
+		return
+	}
+	if sig.Recv() != nil {
+		if sibling, _, _ := types.LookupFieldOrMethod(sig.Recv().Type(), true, pass.Pkg, name+"Context"); sibling != nil {
+			return
+		}
+	} else if pass.Pkg.Scope().Lookup(name+"Context") != nil {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"entry point %s must accept a context.Context (first parameter) or delegate to a %sContext sibling",
+		funcDisplayName(fn), name)
+}
+
+// isContextWrapper matches the documented convenience idiom: a function
+// whose body is exactly one statement — a return of (or expression call
+// to) <Name>Context(context.Background(), ...).
+func isContextWrapper(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch st := fd.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(st.Results) != 1 {
+			return false
+		}
+		call, _ = ast.Unparen(st.Results[0]).(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(st.X).(*ast.CallExpr)
+	}
+	if call == nil || len(call.Args) == 0 {
+		return false
+	}
+	callee := staticCallee(pass.Info, call)
+	if callee == nil || callee.Name() != fd.Name.Name+"Context" {
+		return false
+	}
+	first, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	firstCallee := staticCallee(pass.Info, first)
+	return isPkgFunc(firstCallee, "context", "Background")
+}

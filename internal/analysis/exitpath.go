@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// cliutilPath is the only package allowed to terminate the process.
+const cliutilPath = "repro/internal/cliutil"
+
+// cmdPrefix selects the main packages bound to the cliutil.Main exit
+// contract. A variable so tests can point it at fixture packages (the
+// real cmd/ tree cannot live under testdata).
+var cmdPrefix = "repro/cmd/"
+
+// ExitPath enforces the exit contract of DESIGN.md §7: run functions
+// return errors, and cliutil.Main is the single os.Exit of every
+// command — so deferred cleanup (profile flushes, file closes, daemon
+// shutdown) always unwinds. Concretely:
+//
+//   - os.Exit and log.Fatal*/log.Panic* (including on a *log.Logger) are
+//     forbidden outside internal/cliutil;
+//   - every package main under cmd/ must call cliutil.Main from main();
+//   - panic is reserved for programmer-error invariants and must carry
+//     the package-prefixed message idiom — panic("pkg: ...") or
+//     panic(fmt.Sprintf("pkg: ...", ...)); a naked panic(err) or
+//     panic("oops") is flagged.
+var ExitPath = &Analyzer{
+	Name: "exitpath",
+	Doc:  "route every process exit through cliutil.Main; panics carry the pkg-prefixed invariant idiom",
+	Run:  runExitPath,
+}
+
+func runExitPath(pass *Pass) error {
+	if pass.Pkg.Path() == cliutilPath {
+		return nil
+	}
+	isCmd := pass.Pkg.Name() == "main" && strings.HasPrefix(pass.Pkg.Path(), cmdPrefix)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isCmd && fd.Name.Name == "main" && fd.Recv == nil {
+				if !callsCliutilMain(pass, fd.Body) {
+					pass.Reportf(fd.Name.Pos(),
+						"main of %s must route its exit through cliutil.Main(run) (DESIGN.md §7)", pass.Pkg.Path())
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isBuiltin(pass.Info, call, "panic") {
+					checkPanicIdiom(pass, call)
+					return true
+				}
+				callee := staticCallee(pass.Info, call)
+				if callee == nil {
+					return true
+				}
+				switch {
+				case isPkgFunc(callee, "os", "Exit"):
+					pass.Reportf(call.Pos(),
+						"os.Exit outside internal/cliutil: return an error and let cliutil.Main map it to an exit code")
+				case pkgPathOf(callee) == "log" && terminalLogName(callee.Name()):
+					pass.Reportf(call.Pos(),
+						"log.%s outside internal/cliutil: it skips deferred cleanup; return an error through cliutil.Main", callee.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// terminalLogName matches the log functions/methods that exit or panic.
+func terminalLogName(name string) bool {
+	switch name {
+	case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+		return true
+	}
+	return false
+}
+
+// callsCliutilMain reports whether the body contains a call to
+// cliutil.Main.
+func callsCliutilMain(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := staticCallee(pass.Info, call); isPkgFunc(callee, cliutilPath, "Main") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkPanicIdiom accepts panics whose message is a constant string (or
+// a fmt.Sprintf/fmt.Errorf format) starting with "<pkgname>: " — the
+// repository's invariant-violation idiom — and flags everything else.
+func checkPanicIdiom(pass *Pass, call *ast.CallExpr) {
+	prefix := pass.Pkg.Name() + ": "
+	if len(call.Args) == 1 {
+		arg := ast.Unparen(call.Args[0])
+		if msg, ok := constString(pass.Info, arg); ok {
+			if strings.HasPrefix(msg, prefix) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"panic message %q must carry the package prefix %q (the invariant-panic idiom); or return an error", msg, prefix)
+			return
+		}
+		if inner, ok := arg.(*ast.CallExpr); ok {
+			callee := staticCallee(pass.Info, inner)
+			if callee != nil && pkgPathOf(callee) == "fmt" &&
+				(callee.Name() == "Sprintf" || callee.Name() == "Errorf") && len(inner.Args) > 0 {
+				if msg, ok := constString(pass.Info, ast.Unparen(inner.Args[0])); ok && strings.HasPrefix(msg, prefix) {
+					return
+				}
+			}
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"naked panic: panic only for programmer-error invariants, with a %q-prefixed constant message; otherwise return an error",
+		pass.Pkg.Name()+": ")
+}
+
+// constString resolves an expression to its constant string value.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,21 @@
+package analysis
+
+// Test hooks rebinding the path-gated configuration, so rules keyed on
+// real package paths (repro/cmd/*, the batch/engine entry packages) can
+// be exercised on fixtures under testdata, whose import paths cannot
+// live at those locations. Each returns a restore function.
+
+// SetCmdPrefix rebinds the prefix selecting cliutil.Main-bound main
+// packages.
+func SetCmdPrefix(prefix string) (restore func()) {
+	old := cmdPrefix
+	cmdPrefix = prefix
+	return func() { cmdPrefix = old }
+}
+
+// AddCtxEntryPkg adds a package to the set whose exported entry points
+// must be cancellable.
+func AddCtxEntryPkg(path string) (restore func()) {
+	ctxEntryPkgs[path] = true
+	return func() { delete(ctxEntryPkgs, path) }
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HashDet enforces hash determinism: no unordered map iteration,
+// time.Now, or global math/rand use may be reachable (through static
+// calls inside the module) from a function annotated //chanmod:hashdet —
+// the content-address canonicalization/hashing roots and the streamed
+// result-row marshalers. A nondeterministic hash poisons the shared
+// content-addressed cache across replicas, so this invariant is
+// load-bearing for the whole serving layer.
+//
+// Limitations (by design, documented in DESIGN.md §13): only static
+// calls are followed — calls through function values and interface
+// methods are not — and standard-library internals are assumed
+// deterministic (encoding/json sorts map keys itself).
+var HashDet = &Analyzer{
+	Name: "hashdet",
+	Doc:  "forbid nondeterminism (map iteration, time.Now, math/rand) reachable from //chanmod:hashdet roots",
+	Run:  runHashDet,
+}
+
+// taintFact records why a function is nondeterministic, as a
+// human-readable call chain ending at the offending construct.
+type taintFact struct {
+	reason string
+}
+
+func runHashDet(pass *Pass) error {
+	type fnInfo struct {
+		decl  *ast.FuncDecl
+		fn    *types.Func
+		taint string                    // direct or propagated nondeterminism, "" if none
+		calls map[*types.Func]token.Pos // same-package callees, for the local fixpoint
+	}
+	var fns []*fnInfo
+	byObj := make(map[*types.Func]*fnInfo)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := funcOf(pass.Info, fd)
+			if fn == nil {
+				continue
+			}
+			info := &fnInfo{decl: fd, fn: fn, calls: make(map[*types.Func]token.Pos)}
+			fns = append(fns, info)
+			byObj[fn] = info
+
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					if t := pass.Info.TypeOf(n.X); t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap && !pass.Allowed(n.Pos()) && info.taint == "" {
+							info.taint = "iterates over an unordered map at " + pass.Fset.Position(n.Pos()).String()
+						}
+					}
+				case *ast.CallExpr:
+					callee := staticCallee(pass.Info, n)
+					if callee == nil {
+						return true
+					}
+					if reason := directNondet(callee); reason != "" {
+						if !pass.Allowed(n.Pos()) && info.taint == "" {
+							info.taint = reason + " at " + pass.Fset.Position(n.Pos()).String()
+						}
+						return true
+					}
+					// Cross-package module callee with a recorded taint
+					// fact (dependencies were analyzed first).
+					if f, ok := pass.Fact(callee); ok && info.taint == "" && !pass.Allowed(n.Pos()) {
+						info.taint = "calls " + funcDisplayName(callee) + ", which " + f.(taintFact).reason
+					}
+					if callee.Pkg() == pass.Pkg {
+						if _, seen := info.calls[callee]; !seen {
+							info.calls[callee] = n.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Intra-package fixpoint: taint flows from callee to caller until
+	// nothing changes (handles any declaration order and recursion).
+	for changed := true; changed; {
+		changed = false
+		for _, info := range fns {
+			if info.taint != "" {
+				continue
+			}
+			for callee, pos := range info.calls {
+				ci, ok := byObj[callee]
+				if !ok || ci.taint == "" || pass.Allowed(pos) {
+					continue
+				}
+				info.taint = "calls " + funcDisplayName(callee) + ", which " + ci.taint
+				changed = true
+				break
+			}
+		}
+	}
+
+	for _, info := range fns {
+		if info.taint == "" {
+			continue
+		}
+		pass.SetFact(info.fn, taintFact{reason: info.taint})
+		if hasAnnotation(info.decl, "hashdet") {
+			pass.Reportf(info.decl.Name.Pos(),
+				"%s is a content-hash root (//chanmod:hashdet) but %s",
+				funcDisplayName(info.fn), info.taint)
+		}
+	}
+	return nil
+}
+
+// directNondet classifies callees that are nondeterministic by
+// themselves: wall-clock reads and the global math/rand generators.
+// rand.New(rand.NewSource(seed)) streams are deterministic and pass.
+func directNondet(fn *types.Func) string {
+	switch pkgPathOf(fn) {
+	case "time":
+		if fn.Name() == "Now" {
+			return "reads the wall clock (time.Now)"
+		}
+	case "math/rand", "math/rand/v2":
+		sig, _ := fn.Type().(*types.Signature)
+		// Package-level draws use the shared global generator; the New*
+		// constructors (New, NewSource, NewPCG, …) only build explicitly
+		// seeded — hence reproducible — streams.
+		if sig != nil && sig.Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+			return "draws from the global math/rand generator (" + fn.Name() + ")"
+		}
+	}
+	return ""
+}

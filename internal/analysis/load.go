@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one type-checked module package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct{ Err string }
+}
+
+// Load resolves the patterns (e.g. "./...") to module packages and
+// type-checks them from source, in dependency order. Imports from
+// outside the module (the standard library; the module has no
+// third-party dependencies) are resolved through compiler export data,
+// so loading works hermetically offline.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string)
+	module := make(map[string]*listedPackage)
+	var order []string
+	for _, lp := range listed {
+		switch {
+		case lp.Module != nil && lp.Module.Main:
+			if lp.Error != nil {
+				return nil, fmt.Errorf("analysis: load %s: %s", lp.ImportPath, lp.Error.Err)
+			}
+			module[lp.ImportPath] = lp
+			order = append(order, lp.ImportPath)
+		case lp.Export != "":
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	order = topoSort(order, module)
+
+	checked := make(map[string]*types.Package, len(module))
+	imp := &combinedImporter{
+		checked: checked,
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("analysis: no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
+
+	var out []*Package
+	for _, path := range order {
+		lp := module[path]
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+		}
+		checked[path] = tpkg
+		out = append(out, &Package{
+			PkgPath: path,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return out, nil
+}
+
+// goList shells out to the go tool for package metadata and export data.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listedPackage
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		out = append(out, &lp)
+	}
+	return out, nil
+}
+
+// topoSort orders the module packages so every package follows its
+// module-internal imports. `go list -deps` already emits dependencies
+// first; this makes the property locally guaranteed instead of assumed.
+func topoSort(paths []string, module map[string]*listedPackage) []string {
+	const (
+		unseen = iota
+		visiting
+		done
+	)
+	state := make(map[string]int, len(paths))
+	out := make([]string, 0, len(paths))
+	var visit func(string)
+	visit = func(path string) {
+		lp, ok := module[path]
+		if !ok || state[path] != unseen {
+			return
+		}
+		state[path] = visiting
+		for _, dep := range lp.Imports {
+			visit(dep)
+		}
+		state[path] = done
+		out = append(out, path)
+	}
+	for _, p := range paths {
+		visit(p)
+	}
+	return out
+}
+
+// combinedImporter resolves module packages to their source-checked
+// types.Package (shared object identity for cross-package facts) and
+// everything else through gc export data.
+type combinedImporter struct {
+	checked map[string]*types.Package
+	gc      types.Importer
+}
+
+func (ci *combinedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ci.checked[path]; ok {
+		return p, nil
+	}
+	return ci.gc.Import(path)
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockHold forbids blocking or slow operations inside mutex critical
+// sections: channel sends, HTTP response writes (including handing the
+// ResponseWriter to a helper), and engine solves. The daemon registry
+// and cache mutexes guard maps on request hot paths — one send to a slow
+// subscriber or one solve under the registry lock stalls every other
+// request. The established pattern is snapshot-under-lock, act-after-
+// unlock (see daemon.handleSubmit), and this analyzer keeps it that way.
+//
+// Critical sections are recognized intraprocedurally and block-aware:
+// from a statement `x.mu.Lock()` (or RLock) until `x.mu.Unlock()` — in
+// the same block or a nested one — or to the end of the function when
+// the unlock is deferred. Each control-flow branch tracks its own held
+// set. Closures are not entered: a goroutine launched under a lock runs
+// outside the critical section.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "no channel sends, HTTP writes or engine solves while holding a mutex",
+	Run:  runLockHold,
+}
+
+func runLockHold(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.stmts(fd.Body.List, nil)
+		}
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// stmts walks one statement list with the held set active at its start,
+// returning the held set active after it (so a nested unlock releases
+// for the statements that follow in the enclosing block).
+func (w *lockWalker) stmts(list []ast.Stmt, held []string) []string {
+	held = append([]string(nil), held...)
+	for _, stmt := range list {
+		held = w.stmt(stmt, held)
+	}
+	return held
+}
+
+// stmt processes one statement and returns the updated held set.
+func (w *lockWalker) stmt(stmt ast.Stmt, held []string) []string {
+	if key, acquire, release := lockCall(w.pass, stmt); key != "" {
+		if acquire {
+			return append(held, key)
+		}
+		if release {
+			return removeHeld(held, key)
+		}
+	}
+	switch s := stmt.(type) {
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() holds to function end: the held set simply
+		// never shrinks. Other defers run after the section; skip them.
+		if _, _, release := lockCallExpr(w.pass, s.Call); release {
+			return held
+		}
+		return held
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.exprs(s.Cond, held)
+		bodyHeld := w.stmts(s.Body.List, held)
+		switch els := s.Else.(type) {
+		case *ast.BlockStmt:
+			w.stmts(els.List, held)
+		case *ast.IfStmt:
+			w.stmt(els, held)
+		}
+		// A branch that falls through (no terminating return) propagates
+		// its unlocks only when both arms agree; be conservative and keep
+		// the smaller held set so early-unlock-and-return patterns don't
+		// poison the code after the if.
+		if len(bodyHeld) < len(held) && endsInReturn(s.Body) {
+			return held
+		}
+		if len(bodyHeld) < len(held) {
+			return bodyHeld
+		}
+		return held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.exprs(s.Cond, held)
+		w.stmts(s.Body.List, held)
+		return held
+	case *ast.RangeStmt:
+		w.exprs(s.X, held)
+		w.stmts(s.Body.List, held)
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.exprs(s.Tag, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok && len(held) > 0 {
+					w.pass.Reportf(send.Pos(),
+						"channel send while holding %s: snapshot under the lock, send after unlocking", heldName(held))
+				}
+				w.stmts(cc.Body, held)
+			}
+		}
+		return held
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.pass.Reportf(s.Pos(),
+				"channel send while holding %s: snapshot under the lock, send after unlocking", heldName(held))
+		}
+		w.exprs(s.Chan, held)
+		w.exprs(s.Value, held)
+		return held
+	default:
+		// Leaf statements (assignments, expressions, returns, go, …):
+		// no nested blocks outside closures, so a plain inspection of
+		// the contained expressions suffices.
+		w.exprs(stmt, held)
+		return held
+	}
+}
+
+// exprs flags forbidden operations inside an expression tree evaluated
+// with the given held set. Closures are not entered.
+func (w *lockWalker) exprs(n ast.Node, held []string) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs outside the critical section
+		case *ast.CallExpr:
+			w.heldCall(n, heldName(held))
+		}
+		return true
+	})
+}
+
+func heldName(held []string) string {
+	return strings.Join(held, ", ")
+}
+
+// heldCall flags slow/blocking calls under a held mutex.
+func (w *lockWalker) heldCall(call *ast.CallExpr, held string) {
+	callee := staticCallee(w.pass.Info, call)
+	if callee != nil {
+		// The unlock call itself is processed at statement level; skip
+		// sync primitives here so `defer mu.Unlock()` isn't misflagged.
+		if pkgPathOf(callee) == "sync" {
+			return
+		}
+		sig := callee.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			if isHTTPIface(recv.Type(), "ResponseWriter") {
+				w.pass.Reportf(call.Pos(), "HTTP response write while holding %s", held)
+				return
+			}
+			if isHTTPIface(recv.Type(), "Flusher") {
+				w.pass.Reportf(call.Pos(), "HTTP flush while holding %s", held)
+				return
+			}
+			if engineSolve(recv.Type(), callee.Name()) {
+				w.pass.Reportf(call.Pos(), "engine solve (%s) while holding %s: run it after unlocking",
+					funcDisplayName(callee), held)
+				return
+			}
+		}
+	}
+	// Handing the ResponseWriter to any helper under the lock writes (or
+	// can write) the response inside the critical section.
+	for _, arg := range call.Args {
+		if t := w.pass.Info.TypeOf(arg); t != nil && isHTTPIface(t, "ResponseWriter") {
+			w.pass.Reportf(arg.Pos(), "passing an http.ResponseWriter while holding %s: respond after unlocking", held)
+		}
+	}
+}
+
+// lockCall matches `<recv>.Lock()` / `.RLock()` / unlock variants on a
+// sync mutex statement and returns the printed receiver expression (the
+// critical-section key) and whether it acquires or releases.
+func lockCall(pass *Pass, stmt ast.Stmt) (key string, acquire, release bool) {
+	expr, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false, false
+	}
+	return lockCallExpr(pass, expr.X)
+}
+
+func lockCallExpr(pass *Pass, e ast.Expr) (key string, acquire, release bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	callee := staticCallee(pass.Info, call)
+	if callee == nil || pkgPathOf(callee) != "sync" {
+		return "", false, false
+	}
+	switch callee.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+func removeHeld(held []string, key string) []string {
+	out := make([]string, 0, len(held))
+	for _, h := range held {
+		if h != key {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// isHTTPIface reports whether t is the net/http interface of that name.
+func isHTTPIface(t types.Type, name string) bool {
+	n, _ := namedType(t)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "net/http" && n.Obj().Name() == name
+}
+
+// engineSolve matches the solve entry points of the job engine (both
+// the internal package and its root-package re-export).
+func engineSolve(recv types.Type, name string) bool {
+	if !strings.HasPrefix(name, "Run") {
+		return false
+	}
+	return isNamed(recv, "repro/internal/engine", "Engine") || isNamed(recv, "repro", "Engine")
+}

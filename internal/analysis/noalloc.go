@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc rejects allocating constructs in functions annotated
+// //chanmod:noalloc — the zero-alloc hot paths (sparse.LU.SolveInto,
+// grid.TransientWorkspace.Step, mat.ExpmWS.Expm, bvp.SolveWS and peers)
+// whose runtime behavior is additionally pinned by testing.AllocsPerRun
+// gates. The static check catches the construct classes that regress
+// silently; the dynamic gate catches everything else; the
+// annotation-sync harness (internal/analysis sync_test) keeps the two
+// sets aligned.
+//
+// Flagged constructs: make/new, append, map and slice literals,
+// heap-escaping &T{...} literals, escaping closures, string
+// concatenation, string<->[]byte conversions, and implicit interface
+// boxing at call sites.
+//
+// Exempt automatically (the codebase's established cold-path idioms):
+//   - constructs inside a return statement (error construction on exit)
+//   - constructs inside an if/else block that ends in a return
+//     (guard clauses)
+//   - constructs inside an if whose condition tests cap/len bounds or
+//     nil-ness (the workspace grow-on-first-use idiom)
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "forbid allocating constructs in //chanmod:noalloc hot paths",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasAnnotation(fd, "noalloc") {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoAlloc(pass *Pass, fd *ast.FuncDecl) {
+	report := func(n ast.Node, stack []ast.Node, what string) {
+		if coldPath(stack) {
+			return
+		}
+		pass.Reportf(n.Pos(), "%s in //chanmod:noalloc function %s: %s",
+			what, funcDisplayName(funcOf(pass.Info, fd)), "move it off the warm path or justify with //chanmod:allow noalloc")
+	}
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(pass.Info, n, "make"):
+				report(n, stack, "make allocates")
+			case isBuiltin(pass.Info, n, "new"):
+				report(n, stack, "new allocates")
+			case isBuiltin(pass.Info, n, "append"):
+				report(n, stack, "append may grow its backing array")
+			case isConversion(pass.Info, n):
+				if stringByteConversion(pass.Info, n) {
+					report(n, stack, "string conversion copies")
+				}
+			default:
+				checkBoxing(pass, n, stack, report)
+			}
+		case *ast.CompositeLit:
+			t := pass.Info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(n, stack, "map literal allocates")
+			case *types.Slice:
+				report(n, stack, "slice literal allocates")
+			default:
+				if len(stack) > 0 {
+					if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+						report(n, stack, "&composite literal escapes to the heap")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if escapingClosure(n, stack) {
+				report(n, stack, "closure literal allocates")
+			}
+			return false // a closure's own body runs outside the hot path contract
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pass.Info, n) {
+				report(n, stack, "string concatenation allocates")
+			}
+		case *ast.GoStmt:
+			report(n, stack, "go statement allocates a goroutine")
+		}
+		return true
+	})
+}
+
+// coldPath reports whether the construct (whose ancestors are stack,
+// outermost first) sits on an exempt cold path: a return statement, a
+// guard block that ends in return, or a grow-on-first-use guard.
+func coldPath(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.IfStmt:
+			if growGuard(n.Cond) {
+				return true
+			}
+			// Which arm are we under? Exempt if that arm ends in a return.
+			if i+1 < len(stack) {
+				if block, ok := stack[i+1].(*ast.BlockStmt); ok && endsInReturn(block) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// endsInReturn reports whether a block's final statement is a return.
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// growGuard matches the workspace grow-on-first-use idiom: an if
+// condition comparing cap(...) or len(...) against a bound, or testing
+// nil-ness. Allocations under such a guard happen at most once per
+// workspace growth, never in the steady state.
+func growGuard(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				found = true
+			}
+		case *ast.Ident:
+			if n.Name == "nil" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// escapingClosure reports whether a closure in this syntactic position
+// may be heap-allocated: anything but a plain local assignment or an
+// immediately-invoked literal.
+func escapingClosure(lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return true
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if _, ok := lhs.(*ast.Ident); !ok {
+				return true // assigned to a field/element: escapes
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		// func(){...}() — immediately invoked, not flagged; as an
+		// argument it escapes into the callee.
+		return ast.Unparen(parent.Fun) != ast.Expr(lit)
+	}
+	return true
+}
+
+// isConversion reports whether the call is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// stringByteConversion matches string([]byte), []byte(string) and the
+// rune variants — conversions that copy their operand.
+func stringByteConversion(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	dst := info.TypeOf(call.Fun)
+	src := info.TypeOf(call.Args[0])
+	if dst == nil || src == nil {
+		return false
+	}
+	return (isStringType(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isStringType(src))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isStringExpr reports whether e is a non-constant string expression
+// (constant concatenations fold at compile time).
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	return tv.Type != nil && isStringType(tv.Type)
+}
+
+// checkBoxing flags call arguments whose concrete value is implicitly
+// converted to an interface parameter — the boxing allocates unless the
+// compiler proves otherwise.
+func checkBoxing(pass *Pass, call *ast.CallExpr, stack []ast.Node, report func(ast.Node, []ast.Node, string)) {
+	callee := staticCallee(pass.Info, call)
+	if callee == nil {
+		// Function-value calls: check via the expression's signature.
+		t := pass.Info.TypeOf(call.Fun)
+		if t == nil {
+			return
+		}
+		if _, ok := t.Underlying().(*types.Signature); !ok {
+			return
+		}
+	}
+	sigType := pass.Info.TypeOf(call.Fun)
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice: no boxing here
+			}
+			vs, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = vs.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !isInterface(pt) {
+			continue
+		}
+		at := pass.Info.TypeOf(arg)
+		if at == nil || isInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg, stack, "implicit interface conversion may allocate")
+	}
+}

@@ -1,0 +1,39 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestHashDet(t *testing.T) {
+	analysistest.Run(t, analysis.HashDet, "./testdata/src/hashdet")
+}
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.NoAlloc, "./testdata/src/noalloc")
+}
+
+func TestExitPath(t *testing.T) {
+	analysistest.Run(t, analysis.ExitPath, "./testdata/src/exitpath")
+}
+
+func TestExitPathMain(t *testing.T) {
+	defer analysis.SetCmdPrefix("repro/internal/analysis/testdata/src/exitpathmain")()
+	analysistest.Run(t, analysis.ExitPath,
+		"./testdata/src/exitpathmain", "./testdata/src/exitpathmainok")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "./testdata/src/ctxflow")
+}
+
+func TestCtxFlowEntryPoints(t *testing.T) {
+	defer analysis.AddCtxEntryPkg("repro/internal/analysis/testdata/src/ctxentry")()
+	analysistest.Run(t, analysis.CtxFlow, "./testdata/src/ctxentry")
+}
+
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, analysis.LockHold, "./testdata/src/lockhold")
+}

@@ -1,0 +1,114 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestNoallocGateSync keeps the static and dynamic halves of the
+// zero-alloc contract aligned: every function annotated //chanmod:noalloc
+// must have a testing.AllocsPerRun gate marked //chanmod:allocgate
+// <pkg>.<Type>.<Func>, and every gate marker must point at an annotated
+// function. A hot path with only the static check can regress through
+// constructs the analyzer cannot see (callee allocations); a gate with no
+// annotation stops guarding anything when the function is renamed.
+func TestNoallocGateSync(t *testing.T) {
+	root := repoRoot(t)
+	fset := token.NewFileSet()
+	annotated := make(map[string]string) // key -> position
+	gates := make(map[string]string)
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//chanmod:allocgate ")
+					if !ok {
+						continue
+					}
+					gates[strings.TrimSpace(rest)] = fset.Position(c.Pos()).String()
+				}
+			}
+			return nil
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.TrimSpace(c.Text) == "//chanmod:noalloc" {
+					annotated[funcKey(f.Name.Name, fd)] = fset.Position(fd.Pos()).String()
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(annotated) == 0 {
+		t.Fatal("no //chanmod:noalloc annotations found; the walk is broken")
+	}
+
+	for key, pos := range annotated {
+		if _, ok := gates[key]; !ok {
+			t.Errorf("%s: //chanmod:noalloc function %s has no AllocsPerRun gate marked `//chanmod:allocgate %s`",
+				pos, key, key)
+		}
+	}
+	for key, pos := range gates {
+		if _, ok := annotated[key]; !ok {
+			t.Errorf("%s: alloc gate %s references no //chanmod:noalloc function (renamed or missing annotation?)",
+				pos, key)
+		}
+	}
+}
+
+// funcKey names a function as <pkg>.<Func> or <pkg>.<Type>.<Func>,
+// pointer receivers stripped.
+func funcKey(pkg string, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		typ := fd.Recv.List[0].Type
+		if star, ok := typ.(*ast.StarExpr); ok {
+			typ = star.X
+		}
+		if id, ok := typ.(*ast.Ident); ok {
+			return pkg + "." + id.Name + "." + fd.Name.Name
+		}
+	}
+	return pkg + "." + fd.Name.Name
+}
+
+// repoRoot locates the module root from this file's compiled-in path.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller information")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}

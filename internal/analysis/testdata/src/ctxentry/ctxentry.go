@@ -1,0 +1,25 @@
+// Package ctxentry holds the fixtures for the entry-point rule of the
+// context-threading analyzer (enabled for this package by a test hook).
+package ctxentry
+
+import "context"
+
+// RunBatch lacks both a ctx parameter and a RunBatchContext sibling.
+func RunBatch(n int) int { return n } // want `entry point .*RunBatch must accept a context.Context`
+
+// RunSolve threads a context directly: allowed.
+func RunSolve(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// RunSweep delegates to its Context sibling: allowed.
+func RunSweep(n int) int {
+	return RunSweepContext(context.Background(), n)
+}
+
+// RunSweepContext is the cancellable core.
+func RunSweepContext(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}

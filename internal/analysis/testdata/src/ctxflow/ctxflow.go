@@ -1,0 +1,40 @@
+// Package ctxflow holds the fixtures for the context-threading
+// analyzer.
+package ctxflow
+
+import "context"
+
+// SolveContext is the cancellable core.
+func SolveContext(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Solve is the documented one-line wrapper idiom: allowed.
+func Solve(n int) int {
+	return SolveContext(context.Background(), n)
+}
+
+// stray severs cancellation mid-library.
+func stray(n int) int {
+	ctx := context.Background() // want `severs cancellation`
+	_ = ctx
+	return n
+}
+
+// placeholder never picked a real context.
+func placeholder() {
+	_ = context.TODO() // want `placeholder`
+}
+
+// misordered hides the context in second position.
+func misordered(n int, ctx context.Context) { // want `must be the first parameter`
+	_ = ctx
+	_ = n
+}
+
+// doubleDip has a context and ignores it.
+func doubleDip(ctx context.Context) {
+	_ = ctx
+	_ = context.Background() // want `already receives a context.Context`
+}

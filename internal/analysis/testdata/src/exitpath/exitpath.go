@@ -1,0 +1,42 @@
+// Package exitpath holds the fixtures for the exit-contract analyzer.
+package exitpath
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func quit() {
+	os.Exit(1) // want `os.Exit outside internal/cliutil`
+}
+
+func fatal(err error) {
+	log.Fatal(err) // want `log.Fatal outside internal/cliutil`
+}
+
+func fatalf(err error) {
+	log.Fatalf("boom: %v", err) // want `log.Fatalf outside internal/cliutil`
+}
+
+// invariant panics with the package-prefixed idiom: allowed.
+func invariant(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("exitpath: negative count %d", n))
+	}
+}
+
+// checked uses the constant-message form of the idiom: allowed.
+func checked(n int) {
+	if n < 0 {
+		panic("exitpath: negative count")
+	}
+}
+
+func sloppy(err error) {
+	panic(err) // want `naked panic`
+}
+
+func wrongPrefix() {
+	panic("boom") // want `must carry the package prefix`
+}

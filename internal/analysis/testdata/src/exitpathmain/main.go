@@ -1,0 +1,7 @@
+// Command exitpathmain is a fixture: a cmd-style main that bypasses the
+// cliutil.Main exit contract.
+package main
+
+func main() { // want `must route its exit through cliutil.Main`
+	println("no exit contract")
+}

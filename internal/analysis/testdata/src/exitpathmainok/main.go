@@ -1,0 +1,9 @@
+// Command exitpathmainok is a fixture: a cmd-style main honoring the
+// cliutil.Main exit contract.
+package main
+
+import "repro/internal/cliutil"
+
+func main() { cliutil.Main(run) }
+
+func run() error { return nil }

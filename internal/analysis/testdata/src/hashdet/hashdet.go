@@ -1,0 +1,68 @@
+// Package hashdet holds the fixtures for the hash-determinism analyzer.
+package hashdet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// keys iterates a map: tainted, but unannotated, so never reported at
+// its own declaration — the taint surfaces at annotated roots only.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Canonicalize reaches map iteration through a helper.
+//
+//chanmod:hashdet
+func Canonicalize(m map[string]int) []string { // want `Canonicalize is a content-hash root .* iterates over an unordered map`
+	return keys(m)
+}
+
+// Stamp reads the wall clock directly.
+//
+//chanmod:hashdet
+func Stamp() int64 { // want `reads the wall clock`
+	return time.Now().UnixNano()
+}
+
+// Draw uses the global generator.
+//
+//chanmod:hashdet
+func Draw() float64 { // want `draws from the global math/rand generator`
+	return rand.Float64()
+}
+
+// Seeded draws from an explicitly seeded stream: reproducible, passes.
+//
+//chanmod:hashdet
+func Seeded(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// count iterates a map order-independently, with the justification
+// recorded; the suppression kills the taint at its source.
+func count(m map[string]int) int {
+	n := 0
+	//chanmod:allow hashdet: pure aggregation, order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Count therefore stays clean.
+//
+//chanmod:hashdet
+func Count(m map[string]int) int {
+	return count(m)
+}

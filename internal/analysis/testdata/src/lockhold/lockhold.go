@@ -1,0 +1,73 @@
+// Package lockhold holds the fixtures for the critical-section
+// analyzer.
+package lockhold
+
+import (
+	"net/http"
+	"sync"
+)
+
+type registry struct {
+	mu   sync.Mutex
+	jobs map[string]int
+	subs []chan int
+}
+
+// publishLocked sends on subscriber channels while the lock is held.
+func (r *registry) publishLocked(v int) {
+	r.mu.Lock()
+	for _, ch := range r.subs {
+		ch <- v // want `channel send while holding r.mu`
+	}
+	r.mu.Unlock()
+}
+
+// publish snapshots under the lock and sends after unlocking: the
+// established pattern, allowed.
+func (r *registry) publish(v int) {
+	r.mu.Lock()
+	subs := make([]chan int, len(r.subs))
+	copy(subs, r.subs)
+	r.mu.Unlock()
+	for _, ch := range subs {
+		ch <- v
+	}
+}
+
+// deferred holds to function end, so the send is inside the section.
+func (r *registry) deferred(v int, ch chan int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch <- v // want `channel send while holding r.mu`
+}
+
+// respond writes the HTTP response inside the critical section.
+func (r *registry) respond(w http.ResponseWriter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, err := w.Write([]byte("busy")); err != nil { // want `HTTP response write while holding r.mu`
+		return
+	}
+}
+
+// respondAfter unlocks before responding: allowed.
+func (r *registry) respondAfter(w http.ResponseWriter) {
+	r.mu.Lock()
+	n := len(r.jobs)
+	r.mu.Unlock()
+	if n > 0 {
+		_, _ = w.Write([]byte("busy"))
+	}
+}
+
+// handoff passes the ResponseWriter to a helper while locked.
+func (r *registry) handoff(w http.ResponseWriter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	render(w, len(r.jobs)) // want `passing an http.ResponseWriter while holding r.mu`
+}
+
+func render(w http.ResponseWriter, n int) {
+	_ = n
+	_, _ = w.Write([]byte("ok"))
+}

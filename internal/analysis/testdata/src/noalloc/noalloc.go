@@ -1,0 +1,77 @@
+// Package noalloc holds the fixtures for the hot-path allocation
+// analyzer.
+package noalloc
+
+// Sum is annotated and clean: it only walks caller-owned storage.
+//
+//chanmod:noalloc
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Grow allocates only under the documented grow-on-first-use guard.
+//
+//chanmod:noalloc
+func Grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Bad appends on the warm path.
+//
+//chanmod:noalloc
+func Bad(xs []float64, x float64) []float64 {
+	xs = append(xs, x) // want `append may grow its backing array`
+	return xs
+}
+
+// BadMake allocates unconditionally.
+//
+//chanmod:noalloc
+func BadMake(n int) []float64 {
+	buf := make([]float64, n) // want `make allocates`
+	for i := range buf {
+		buf[i] = 1
+	}
+	return buf
+}
+
+// BadConcat builds a string on the warm path.
+//
+//chanmod:noalloc
+func BadConcat(a, b string) int {
+	s := a + b // want `string concatenation allocates`
+	return len(s)
+}
+
+// BadBox boxes an int into an interface parameter.
+//
+//chanmod:noalloc
+func BadBox(x int) {
+	sink(x) // want `implicit interface conversion may allocate`
+}
+
+func sink(v any) { _ = v }
+
+// Helper is unannotated: it may allocate freely.
+func Helper(n int) []float64 {
+	return make([]float64, n)
+}
+
+// Allowed carries a justified suppression.
+//
+//chanmod:noalloc
+func Allowed(n int) []float64 {
+	//chanmod:allow noalloc: one-time setup, pinned by the alloc gate
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = 1
+	}
+	return buf
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// walkStack traverses n in source order, calling fn with each node and
+// the stack of its ancestors (outermost first, not including n). If fn
+// returns false the node's children are skipped.
+func walkStack(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(node, stack) {
+			// The node's subtree is skipped; it is never pushed, so no
+			// pop event will arrive for it.
+			return false
+		}
+		stack = append(stack, node)
+		return true
+	})
+}
+
+// staticCallee resolves a call expression to the *types.Func it
+// statically invokes: a package-level function, a method with a concrete
+// receiver, or an interface method (the caller decides whether dynamic
+// dispatch matters). Calls through plain function values return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// funcOf returns the object a function declaration defines.
+func funcOf(info *types.Info, decl *ast.FuncDecl) *types.Func {
+	fn, _ := info.Defs[decl.Name].(*types.Func)
+	return fn
+}
+
+// hasAnnotation reports whether a declaration's doc comment carries the
+// given //chanmod:<tag> marker line.
+func hasAnnotation(decl *ast.FuncDecl, tag string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	marker := "//chanmod:" + tag
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgPathOf returns the package path of a function's defining package
+// ("" for builtins).
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isPkgFunc reports whether fn is the package-level function (or method
+// set member) pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && pkgPathOf(fn) == pkgPath && fn.Name() == name
+}
+
+// funcDisplayName renders a function as pkgname.Name or
+// pkgname.(*Recv).Name for diagnostics and the annotation-sync harness.
+func funcDisplayName(fn *types.Func) string {
+	if fn == nil {
+		return "<dynamic>"
+	}
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := false
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			ptr = true
+		}
+		if named, ok := t.(*types.Named); ok {
+			if ptr {
+				return pkg + "(*" + named.Obj().Name() + ")." + name
+			}
+			return pkg + named.Obj().Name() + "." + name
+		}
+	}
+	return pkg + name
+}
+
+// isInterface reports whether t's underlying type is an interface.
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// namedType returns the named type (and pointer-ness) behind t, or nil.
+func namedType(t types.Type) (*types.Named, bool) {
+	ptr := false
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+		ptr = true
+	}
+	n, _ := t.(*types.Named)
+	return n, ptr
+}
+
+// isNamed reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n, _ := namedType(t)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}

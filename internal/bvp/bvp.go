@@ -175,6 +175,8 @@ func Solve(p *Problem) (*Solution, error) {
 
 // SolveWS is Solve with a reusable workspace. A nil ws allocates a local
 // one (equivalent to Solve). See Workspace for the aliasing contract.
+//
+//chanmod:noalloc
 func SolveWS(p *Problem, ws *Workspace) (*Solution, error) {
 	if ws == nil {
 		ws = &Workspace{}

@@ -436,3 +436,52 @@ func TestSolveTransitionHook(t *testing.T) {
 		t.Fatal("transition error not propagated")
 	}
 }
+
+// SolveWS with memoized transitions and a warm workspace must stay down
+// at the few unavoidable result allocations (the params clone and the
+// Solution header).
+func TestSolveWSWarmAllocs(t *testing.T) {
+	dim := 2
+	zs := []float64{0, 0.25, 0.5, 0.75, 1}
+	phi := mat.NewDense(dim, dim)
+	phi.Set(0, 0, 1)
+	phi.Set(0, 1, 0.1)
+	phi.Set(1, 1, 0.5)
+	psi := make(mat.Vec, dim)
+	psi[0] = 0.2
+	// A reconstruction propagator reusing one preallocated segment whose
+	// end state matches the transition map.
+	seg := &ode.Solution{
+		Z: mat.Vec{0, 1},
+		X: []mat.Vec{make(mat.Vec, dim), make(mat.Vec, dim)},
+	}
+	p := &Problem{
+		Dim:        dim,
+		Length:     1,
+		Interfaces: zs,
+		Propagate: func(a, b float64, x0 mat.Vec, homogeneous bool) (*ode.Solution, error) {
+			seg.Z[0], seg.Z[1] = a, b
+			copy(seg.X[0], x0)
+			phi.MulVec(seg.X[1], x0)
+			seg.X[1].AddScaled(1, psi)
+			return seg, nil
+		},
+		Transition:   func(a, b float64) (*mat.Dense, mat.Vec, error) { return phi, psi, nil },
+		X0Base:       mat.Vec{0, 0},
+		X0Modes:      []mat.Vec{{0, 1}},
+		TerminalZero: []int{1},
+	}
+	ws := &Workspace{}
+	if _, err := SolveWS(p, ws); err != nil {
+		t.Fatal(err)
+	}
+	//chanmod:allocgate bvp.SolveWS
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := SolveWS(p, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("warm SolveWS allocated %v objects per run, want <= 2", allocs)
+	}
+}

@@ -90,6 +90,11 @@ func retainable(p *channelmod.PreparedJob) *channelmod.PreparedJob {
 // Server owns the engine and the submission registry.
 type Server struct {
 	eng *channelmod.Engine
+	// baseCtx scopes background executions (async submissions detach
+	// from their originating request) to the daemon's lifetime instead
+	// of to nothing: when the process is done serving, in-flight solves
+	// become cancellable instead of leaking.
+	baseCtx context.Context
 
 	mu    sync.Mutex
 	jobs  map[string]*jobState
@@ -101,9 +106,19 @@ type Server struct {
 	failed    atomic.Uint64
 }
 
-// New returns a server over the given engine.
+// New returns a server over the given engine, scoped to the process
+// lifetime.
 func New(eng *channelmod.Engine) *Server {
-	return &Server{eng: eng, jobs: make(map[string]*jobState)}
+	return NewContext(context.Background(), eng)
+}
+
+// NewContext returns a server over the given engine whose background
+// executions (async submissions, detached event replays) are scoped to
+// ctx: cancelling it aborts solves that no completed request is waiting
+// on. Pass the context that outlives graceful shutdown, not a
+// per-request one.
+func NewContext(ctx context.Context, eng *channelmod.Engine) *Server {
+	return &Server{eng: eng, baseCtx: ctx, jobs: make(map[string]*jobState)}
 }
 
 // track registers a new state under s.mu and prunes the oldest
@@ -201,7 +216,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) execute(p *channelmod.PreparedJob, fd *feed) {
 	s.setStatus(p.Hash, statusRunning, nil)
 	s.running.Add(1)
-	_, info, err := s.eng.RunStreamPrepared(context.Background(), p,
+	_, info, err := s.eng.RunStreamPrepared(s.baseCtx, p,
 		func(ev channelmod.JobPointEvent) error {
 			fd.appendPoint(ev.JSON())
 			return nil

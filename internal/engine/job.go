@@ -196,6 +196,8 @@ const hashDomain = "chanmod/job/v1\n"
 // not hash — the scenario's trace). Two jobs describing different
 // computations always canonicalize to different values; jobs differing
 // only cosmetically canonicalize identically.
+//
+//chanmod:hashdet
 func (j *Job) Canonicalize() (*Job, error) {
 	if !j.Kind.Valid() {
 		return nil, fmt.Errorf("engine: unknown job kind %q", j.Kind)
@@ -548,6 +550,8 @@ func (m *MapSpec) canonicalize() error {
 // Jobs that compute different things never share a hash; jobs differing
 // only cosmetically (name, resolved defaults, ignored sections) always
 // do.
+//
+//chanmod:hashdet
 func (j *Job) Hash() (string, error) {
 	c, err := j.Canonicalize()
 	if err != nil {
@@ -557,6 +561,8 @@ func (j *Job) Hash() (string, error) {
 }
 
 // canonicalHash hashes an already-canonical job.
+//
+//chanmod:hashdet
 func (j *Job) canonicalHash() (string, error) {
 	b, err := json.Marshal(j)
 	if err != nil {

@@ -207,7 +207,11 @@ type RuntimeJSON struct {
 	PlantNY        int         `json:"plant_ny"`
 }
 
-// JSON projects the result into its serializable wire form.
+// JSON projects the result into its serializable wire form. Result
+// bytes are part of the cache contract — replayed fetches must be
+// bit-identical — so the projection must be deterministic.
+//
+//chanmod:hashdet
 func (r *Result) JSON() *ResultJSON {
 	out := &ResultJSON{Kind: r.Kind, Hash: r.Hash}
 	switch {
@@ -242,6 +246,8 @@ func (r *Result) JSON() *ResultJSON {
 
 // MarshalJSON encodes the projection, so a *Result can be handed
 // directly to an encoder.
+//
+//chanmod:hashdet
 func (r *Result) MarshalJSON() ([]byte, error) {
 	return json.Marshal(r.JSON())
 }
@@ -308,7 +314,11 @@ type PointEventJSON struct {
 	Design *OptimizeJSON       `json:"design,omitempty"`
 }
 
-// JSON projects the event into its serializable wire form.
+// JSON projects the event into its serializable wire form. Streamed
+// rows replay byte-identically from the event log, so the projection
+// must be deterministic.
+//
+//chanmod:hashdet
 func (ev *PointEvent) JSON() *PointEventJSON {
 	out := &PointEventJSON{
 		Index: ev.Index,

@@ -243,6 +243,8 @@ func (w *TransientWorkspace) Refresh() error {
 // Step advances the state by one Δt under the given power inputs,
 // evaluated at the end-of-step time (backward Euler). With EngineDirect it
 // performs no allocations.
+//
+//chanmod:noalloc
 func (w *TransientWorkspace) Step(pTop, pBottom TimeFieldFunc) error {
 	if pTop == nil || pBottom == nil {
 		return errors.New("grid: transient power inputs must be set")

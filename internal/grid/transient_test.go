@@ -375,6 +375,7 @@ func TestTransientStepZeroAlloc(t *testing.T) {
 	if err := w.Step(constP, constP); err != nil {
 		t.Fatal(err)
 	}
+	//chanmod:allocgate grid.TransientWorkspace.Step
 	allocs := testing.AllocsPerRun(10, func() {
 		if err := w.Step(constP, constP); err != nil {
 			t.Fatal(err)

@@ -33,6 +33,8 @@ type ExpmWS struct {
 // Padé 13 approximant. dst may be nil (allocates) but must not alias a.
 // The input is not modified. Deterministic: identical inputs produce
 // bit-identical results regardless of workspace reuse.
+//
+//chanmod:noalloc
 func (ws *ExpmWS) Expm(dst *Dense, a *Dense) (*Dense, error) {
 	n := a.Rows()
 	if a.Cols() != n {

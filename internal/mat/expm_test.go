@@ -310,3 +310,23 @@ func TestExpmWorkspaceReuseLargeNorm(t *testing.T) {
 		}
 	}
 }
+
+// The workspace exponential must not allocate once warm.
+func TestExpmWarmZeroAlloc(t *testing.T) {
+	g := lcg(31)
+	var ws ExpmWS
+	a := randDense(&g, 6, 2)
+	dst := NewDense(6, 6)
+	if _, err := ws.Expm(dst, a); err != nil {
+		t.Fatal(err)
+	}
+	//chanmod:allocgate mat.ExpmWS.Expm
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := ws.Expm(dst, a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Expm allocated %v times per run, want 0", allocs)
+	}
+}

@@ -114,6 +114,8 @@ func (f *LU) Solve(dst Vec, b Vec) (Vec, error) {
 
 // SolveWS is Solve with a caller-supplied scratch vector: when work has
 // capacity n no temporary is allocated. work must not alias dst or b.
+//
+//chanmod:noalloc
 func (f *LU) SolveWS(dst, b, work Vec) (Vec, error) {
 	n := f.lu.Rows()
 	if len(b) != n {

@@ -444,3 +444,38 @@ func TestRefactorizeMatchesFactorize(t *testing.T) {
 		t.Fatal("singular refactorize not rejected")
 	}
 }
+
+// The factorized solve must not allocate with caller-supplied storage.
+func TestLUSolveWSWarmZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 12
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			v := r.NormFloat64()
+			a.Set(i, j, v)
+			rowSum += math.Abs(v)
+		}
+		a.Add(i, i, rowSum+1)
+	}
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make(Vec, n)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	dst := make(Vec, n)
+	work := make(Vec, n)
+	//chanmod:allocgate mat.LU.SolveWS
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := f.SolveWS(dst, b, work); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveWS allocated %v times per run with caller storage, want 0", allocs)
+	}
+}

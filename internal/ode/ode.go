@@ -149,6 +149,8 @@ func (s *RK4Scratch) step(f Func, z, h float64) {
 // Reset and refilled, reusing grid and state-vector capacity left by
 // previous integrations of the same shape. The recorded values are
 // bit-identical to RK4's.
+//
+//chanmod:noalloc
 func RK4Into(f Func, z0, z1 float64, x0 mat.Vec, n int, sol *Solution, sc *RK4Scratch) error {
 	if n < 1 {
 		return fmt.Errorf("%w: RK4 needs n >= 1, got %d", ErrInvalidInput, n)

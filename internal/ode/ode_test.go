@@ -291,6 +291,7 @@ func TestRK4IntoMatchesRK4AndReusesStorage(t *testing.T) {
 	}
 	// After a warm-up, repeated integrations into the same storage must not
 	// allocate per step.
+	//chanmod:allocgate ode.RK4Into
 	allocs := testing.AllocsPerRun(10, func() {
 		if err := RK4Into(harmonic2, 0, 3, x0, 150, sol, sc); err != nil {
 			t.Fatal(err)

@@ -198,6 +198,8 @@ func (f *LUFactor) Solve(b mat.Vec) (mat.Vec, error) {
 // the permutation scratch lives in the factor. Safe for repeated per-step
 // use but not for concurrent use of one factor (clone the factor or guard
 // it for parallel solves).
+//
+//chanmod:noalloc
 func (f *LUFactor) SolveInto(dst, b mat.Vec) error {
 	if len(b) != f.n || len(dst) != f.n {
 		return fmt.Errorf("%w: LU solve wants length %d, got dst %d, b %d", ErrShape, f.n, len(dst), len(b))

@@ -156,6 +156,7 @@ func TestLUSolveIntoAllocs(t *testing.T) {
 		b[i] = rng.Float64()
 	}
 	x := make(mat.Vec, n)
+	//chanmod:allocgate sparse.LUFactor.SolveInto
 	allocs := testing.AllocsPerRun(20, func() {
 		if err := f.SolveInto(x, b); err != nil {
 			t.Fatal(err)
