@@ -17,10 +17,16 @@
 // Usage:
 //
 //	benchjson [-out BENCH_optimize.json] [-smoke]
+//	benchjson -transient [-out BENCH_transient.json] [-smoke]
 //
 // -smoke shrinks the problem (8 segments, truncated outer loop, fewer
 // repetitions) so CI can exercise the same code path in seconds; the
 // committed snapshot is the full-size run (20 segments).
+//
+// -transient switches to the transient-engine mesh-scaling sweep and
+// E10-style closed-loop measurement documented in transient.go
+// (BENCH_transient.json is the committed full run; -smoke caps the
+// sweep at 96×24 so CI exercises the scaling curve in seconds).
 package main
 
 import (
@@ -65,9 +71,19 @@ type Report struct {
 func main() { cliutil.Main(run) }
 
 func run() error {
-	out := flag.String("out", "BENCH_optimize.json", "output path for the JSON snapshot")
+	out := flag.String("out", "", "output path for the JSON snapshot (default BENCH_optimize.json, or BENCH_transient.json with -transient)")
 	smoke := flag.Bool("smoke", false, "shrunken problem and repetitions for CI")
+	transient := flag.Bool("transient", false, "measure the transient engines' mesh-size scaling instead of the gradient path")
 	flag.Parse()
+	if *transient {
+		if *out == "" {
+			*out = "BENCH_transient.json"
+		}
+		return runTransient(*out, *smoke)
+	}
+	if *out == "" {
+		*out = "BENCH_optimize.json"
+	}
 
 	// The tight 2-bar budget is the pressure-sweep ablation's hard-point
 	// configuration (cmd/sweep uses outer=10 there for the same reason:

@@ -1,0 +1,306 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/compact"
+	"repro/internal/grid"
+	"repro/internal/units"
+)
+
+// The -transient mode measures the transient engines' mesh-size scaling
+// (BENCH_transient.json at the repo root is the committed full run): for
+// each mesh of the 48×12 → 480×120 sweep it times workspace setup and
+// the warm per-step cost of the factor-once LU engine, the BiCGSTAB
+// baseline, and the reduced-order EngineMOR, all integrating the same
+// 50 Hz duty-cycled power trace. The headline ratio is
+// step_mor_vs_lu@480x120 (DESIGN.md §14 requires ≥ 20×).
+//
+// peak_delta_vs_lu_k records |peak(MOR) − peak(LU)| after the same step
+// count as a cross-check; at dt = 1 ms the delta is dominated by the LU
+// engine's own first-order backward-Euler bias, not by projection error
+// (the corpus invariant in internal/genscen/props pins the agreement at
+// small Δt, where both engines converge to the same trajectory).
+//
+// The closed_loop section is the E10-style acceptance run: a
+// peak-temperature feedback controller throttles the power trace
+// (DVFS-style capping — an input-pattern change EngineMOR absorbs via
+// its cached projections, with no matrix refactor) on the largest mesh
+// of the sweep, and realtime_factor reports simulated time over wall
+// time for the control loop itself (setup excluded, every epoch's
+// peak read and throttle decision included).
+
+// TransientBench is one (mesh, engine) measurement.
+type TransientBench struct {
+	Mesh    string  `json:"mesh"`
+	Cells   int     `json:"cells"`
+	Engine  string  `json:"engine"`
+	SetupMs float64 `json:"setup_ms"`
+	StepMs  float64 `json:"step_ms"`
+	Steps   int     `json:"steps"`
+	// ReducedDim is the dimension of the projection subspace (MOR only).
+	ReducedDim int `json:"reduced_dim,omitempty"`
+	// PeakK is the peak silicon temperature (K) after warm+measured steps.
+	PeakK float64 `json:"peak_k"`
+	// PeakDeltaVsLUK cross-checks non-LU engines against the LU peak at
+	// the same step count (see the package comment for what bounds it).
+	PeakDeltaVsLUK float64 `json:"peak_delta_vs_lu_k,omitempty"`
+}
+
+// ClosedLoop is the E10-style feedback-control acceptance measurement.
+type ClosedLoop struct {
+	Mesh           string  `json:"mesh"`
+	Cells          int     `json:"cells"`
+	Engine         string  `json:"engine"`
+	ReducedDim     int     `json:"reduced_dim"`
+	DtMs           float64 `json:"dt_ms"`
+	EpochMs        float64 `json:"epoch_ms"`
+	HorizonMs      float64 `json:"horizon_ms"`
+	Epochs         int     `json:"epochs"`
+	Actuations     int     `json:"actuations"`
+	FinalThrottle  float64 `json:"final_throttle"`
+	FinalPeakK     float64 `json:"final_peak_k"`
+	WallMs         float64 `json:"wall_ms"`
+	RealtimeFactor float64 `json:"realtime_factor"`
+}
+
+// TransientReport is the document -transient emits.
+type TransientReport struct {
+	Generated  string           `json:"generated"`
+	GoVersion  string           `json:"go_version"`
+	Smoke      bool             `json:"smoke,omitempty"`
+	DtMs       float64          `json:"dt_ms"`
+	Benchmarks []TransientBench `json:"benchmarks"`
+	// Speedups are LU-step-time / engine-step-time ratios per mesh.
+	Speedups   map[string]float64 `json:"speedups"`
+	ClosedLoop *ClosedLoop        `json:"closed_loop,omitempty"`
+}
+
+// transientStack mirrors the internal/grid benchmark domain: the Fig.
+// 1-scale die meshed at nx×ny (at 480×120 the 125 µm cell width still
+// clears the channel pitch).
+func transientStack(nx, ny int) *grid.Stack {
+	pw := units.WattsPerCm2(50)
+	return &grid.Stack{
+		Cfg: grid.Config{
+			Params:  compact.DefaultParams(),
+			LengthX: units.Millimeters(14),
+			WidthY:  units.Millimeters(15),
+			NX:      nx,
+			NY:      ny,
+		},
+		PowerTop:    func(x, y float64) float64 { return pw },
+		PowerBottom: func(x, y float64) float64 { return pw },
+		Width:       func(x, y float64) float64 { return 50e-6 },
+	}
+}
+
+func runTransient(out string, smoke bool) error {
+	meshes := []struct{ nx, ny int }{{48, 12}, {96, 24}, {192, 48}, {480, 120}}
+	warm, measured := 25, 30
+	horizonMs := 4000.0
+	if smoke {
+		meshes = meshes[:2]
+		measured = 20
+		horizonMs = 400
+	}
+	const dt = 1e-3
+	pw := units.WattsPerCm2(50)
+	// 10 ms on at full power, 10 ms at 20% — the 50 Hz duty cycle the
+	// go-test benchmark integrates; warm covers both phases so every
+	// engine measures its periodic steady regime (for MOR that means
+	// both input patterns are projected and cached before the timer).
+	duty := func(x, y, t float64) float64 {
+		if int(t/0.01)%2 == 0 {
+			return pw
+		}
+		return 0.2 * pw
+	}
+
+	rep := TransientReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Smoke:     smoke,
+		DtMs:      dt * 1e3,
+		Speedups:  map[string]float64{},
+	}
+
+	for _, m := range meshes {
+		mesh := fmt.Sprintf("%dx%d", m.nx, m.ny)
+		luPeak, luStep := 0.0, time.Duration(0)
+		for _, ec := range []struct {
+			name   string
+			engine grid.TransientEngine
+		}{
+			{"lu", grid.EngineDirect},
+			{"bicgstab", grid.EngineBiCGSTAB},
+			{"mor", grid.EngineMOR},
+		} {
+			s := transientStack(m.nx, m.ny)
+			t0 := time.Now()
+			ws, err := s.NewTransientWorkspace(grid.TransientConfig{Dt: dt, Engine: ec.engine})
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", mesh, ec.name, err)
+			}
+			setup := time.Since(t0)
+			for i := 0; i < warm; i++ {
+				if err := ws.Step(duty, duty); err != nil {
+					return fmt.Errorf("%s/%s warm-up: %w", mesh, ec.name, err)
+				}
+			}
+			t0 = time.Now()
+			for i := 0; i < measured; i++ {
+				if err := ws.Step(duty, duty); err != nil {
+					return fmt.Errorf("%s/%s step: %w", mesh, ec.name, err)
+				}
+			}
+			step := time.Since(t0) / time.Duration(measured)
+			b := TransientBench{
+				Mesh:       mesh,
+				Cells:      m.nx * m.ny,
+				Engine:     ec.name,
+				SetupMs:    ms(setup),
+				StepMs:     ms(step),
+				Steps:      measured,
+				ReducedDim: ws.ReducedDim(),
+				PeakK:      ws.PeakTemperature(),
+			}
+			switch ec.name {
+			case "lu":
+				luPeak, luStep = b.PeakK, step
+			default:
+				b.PeakDeltaVsLUK = abs(b.PeakK - luPeak)
+				rep.Speedups["step_"+ec.name+"_vs_lu@"+mesh] = ratio(luStep, step)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+			fmt.Printf("%-8s %-8s setup %8.1f ms  step %10.4f ms  dim %d\n",
+				mesh, ec.name, b.SetupMs, b.StepMs, b.ReducedDim)
+		}
+	}
+
+	// Closed loop on the largest mesh of the active sweep.
+	last := meshes[len(meshes)-1]
+	cl, err := closedLoop(last.nx, last.ny, horizonMs)
+	if err != nil {
+		return err
+	}
+	rep.ClosedLoop = cl
+	fmt.Printf("closed loop %s: %d epochs, %d actuations, %.0f ms wall for %.0f ms simulated (%.2fx real time)\n",
+		cl.Mesh, cl.Epochs, cl.Actuations, cl.WallMs, cl.HorizonMs, cl.RealtimeFactor)
+
+	fh, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	enc := json.NewEncoder(fh)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	headline := fmt.Sprintf("step_mor_vs_lu@%dx%d", last.nx, last.ny)
+	fmt.Printf("wrote %s: %s = %.0fx\n", out, headline, rep.Speedups[headline])
+	return nil
+}
+
+// closedLoop runs the E10-style feedback loop: every epoch the
+// controller reads the lifted peak temperature and throttles the duty
+// trace multiplicatively (DVFS-style capping) to hold it inside a
+// hysteresis band. Throttle changes are input-pattern changes only —
+// EngineMOR projects each new pattern once and replays it from cache —
+// so the loop never refactors the plant and stays ahead of real time
+// even at the 480×120 production mesh.
+func closedLoop(nx, ny int, horizonMs float64) (*ClosedLoop, error) {
+	const (
+		dt = 2e-3 // epoch-scale control step (the reduced propagator is exact in Δt)
+		// One epoch per four 20 ms duty periods, read half a duty period
+		// out of phase (see the warm-up below) so the controller samples
+		// the crest of a full-power phase, not the trough after cooling.
+		// The epoch peak read is the loop's dominant reduced-order cost
+		// (a prefix lift, O(n·m), memory-bound), so its cadence is the
+		// realtime budget knob: 12.5 Hz polling reacts two orders of
+		// magnitude faster than the die's second-scale thermal time
+		// constant while keeping the lift off the step budget.
+		epochMs = 80.0
+		// The band sits just under the ~331.5 K uncontrolled crest so the
+		// controller has real work; the ~10% throttle step drops the
+		// quasi-steady crest by ~3 K, i.e. from just above the band to
+		// inside it, so the loop settles instead of limit-cycling.
+		peakHi = 330.0 // throttle above this crest (K)...
+		peakLo = 327.0 // ...and release below this
+		tStep  = 0.9   // multiplicative throttle step
+		tMin   = 0.5
+	)
+	pw := units.WattsPerCm2(50)
+	throttle := 1.0
+	duty := func(x, y, t float64) float64 {
+		if int(t/0.01)%2 == 0 {
+			return throttle * pw
+		}
+		return throttle * 0.2 * pw
+	}
+	s := transientStack(nx, ny)
+	ws, err := s.NewTransientWorkspace(grid.TransientConfig{Dt: dt, Engine: grid.EngineMOR})
+	if err != nil {
+		return nil, err
+	}
+	cl := &ClosedLoop{
+		Mesh:      fmt.Sprintf("%dx%d", nx, ny),
+		Cells:     nx * ny,
+		Engine:    grid.EngineMOR.String(),
+		DtMs:      dt * 1e3,
+		EpochMs:   epochMs,
+		HorizonMs: horizonMs,
+	}
+	stepsPerEpoch := int(epochMs / (dt * 1e3))
+	cl.Epochs = int(horizonMs/epochMs + 0.5)
+	// Warm 50 ms before the timer: this covers both duty phases, so the
+	// engine projects and caches both input patterns (the cold adoption
+	// of a pattern runs its Krylov chain — setup-class work the steady
+	// loop never repeats, and the reported dimension is the adopted
+	// basis), and it leaves the loop at t ≡ 10 ms (mod 20 ms), so with
+	// the epoch a multiple of the duty period every subsequent epoch
+	// read lands on the crest of a full-power phase.
+	for i := 0; i < int(50.0/(dt*1e3)); i++ {
+		if err := ws.Step(duty, duty); err != nil {
+			return nil, err
+		}
+	}
+	cl.ReducedDim = ws.ReducedDim()
+	t0 := time.Now()
+	for e := 0; e < cl.Epochs; e++ {
+		for i := 0; i < stepsPerEpoch; i++ {
+			if err := ws.Step(duty, duty); err != nil {
+				return nil, err
+			}
+		}
+		peak := ws.PeakTemperature()
+		switch {
+		case peak > peakHi && throttle*tStep >= tMin:
+			throttle *= tStep
+			cl.Actuations++
+		case peak < peakLo && throttle < 1:
+			throttle /= tStep
+			if throttle > 1 {
+				throttle = 1
+			}
+			cl.Actuations++
+		}
+	}
+	cl.WallMs = ms(time.Since(t0))
+	cl.FinalThrottle = throttle
+	cl.FinalPeakK = ws.PeakTemperature()
+	cl.RealtimeFactor = float64(cl.Epochs*stepsPerEpoch) * dt * 1e3 / cl.WallMs
+	return cl, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -56,6 +56,8 @@ func run() error {
 	gradientStr := flag.String("gradient", "adjoint", "gradient mode for gradient-based solvers: adjoint or fd")
 	showStats := flag.Bool("stats", false, "print solver work statistics for the optimization")
 	runtime := flag.Bool("runtime", false, "run the static-vs-runtime flow-control comparison (needs -scenario-file with a trace)")
+	transient := flag.Bool("transient", false, "run the open-loop transient simulation of the scenario's trace (needs -scenario-file)")
+	engineStr := flag.String("engine", "", "transient plant engine for -transient/-runtime: lu (default), bicgstab, or mor")
 	genSeed := flag.Int64("generate", 0, "generate a procedural scenario from this seed and optimize it (seed 0 is a valid seed)")
 	emitScenario := flag.String("emit-scenario", "", "with -generate: also write the generated scenario JSON to this file")
 	flag.Parse()
@@ -84,11 +86,21 @@ func run() error {
 		return cliutil.UsageErrorf("unknown gradient mode %q", *gradientStr)
 	}
 
-	if *runtime {
-		if cliutil.FlagWasSet("generate") {
-			return cliutil.UsageErrorf("-runtime needs -scenario-file; generate first with -generate -emit-scenario")
+	if *runtime && *transient {
+		return cliutil.UsageErrorf("-runtime and -transient are mutually exclusive")
+	}
+	if *runtime || *transient {
+		mode := "-runtime"
+		if *transient {
+			mode = "-transient"
 		}
-		return runRuntime(*scnFile, *solverStr, *gradientStr)
+		if cliutil.FlagWasSet("generate") {
+			return cliutil.UsageErrorf("%s needs -scenario-file; generate first with -generate -emit-scenario", mode)
+		}
+		return runTraceJob(*scnFile, *solverStr, *gradientStr, *engineStr, *transient)
+	}
+	if cliutil.FlagWasSet("engine") {
+		return cliutil.UsageErrorf("-engine only applies to -transient and -runtime")
 	}
 
 	var file *scenario.File
@@ -243,15 +255,20 @@ func assembleScenario(preset, path, mode, solver, gradient string, segments int,
 	return f, nil
 }
 
-// runRuntime executes the closed-loop flow-control experiment of a
-// scenario file as a runtime Job.
-func runRuntime(path, solver, gradient string) error {
+// runTraceJob executes a trace-driven experiment of a scenario file as a
+// Job: the closed-loop flow-control comparison (-runtime) or the
+// open-loop transient simulation (-transient).
+func runTraceJob(path, solver, gradient, engine string, transient bool) error {
+	mode := "-runtime"
+	if transient {
+		mode = "-transient"
+	}
 	if path == "" {
-		return cliutil.UsageErrorf("-runtime needs -scenario-file pointing at a scenario with a trace section")
+		return cliutil.UsageErrorf("%s needs -scenario-file pointing at a scenario with a trace section", mode)
 	}
 	for _, ignored := range []string{"out-json", "stats", "segments", "dpmax-bar", "mode", "seed"} {
 		if cliutil.FlagWasSet(ignored) {
-			fmt.Fprintf(os.Stderr, "note: -%s is ignored with -runtime (the scenario file drives the experiment)\n", ignored)
+			fmt.Fprintf(os.Stderr, "note: -%s is ignored with %s (the scenario file drives the experiment)\n", ignored, mode)
 		}
 	}
 	fh, err := os.Open(path)
@@ -269,18 +286,53 @@ func runRuntime(path, solver, gradient string) error {
 	if cliutil.FlagWasSet("gradient") {
 		file.Gradient = gradient
 	}
+	if cliutil.FlagWasSet("engine") {
+		if file.Runtime == nil {
+			file.Runtime = &scenario.Runtime{}
+		}
+		file.Runtime.Engine = engine
+	}
 	// Surface scenario mistakes as usage errors before the engine runs.
 	if _, err := file.RuntimeSpec(); err != nil {
 		return cliutil.AsUsage(err)
 	}
 
-	job := &channelmod.Job{Kind: channelmod.JobRuntime, Scenario: *file}
+	kind := channelmod.JobRuntime
+	if transient {
+		kind = channelmod.JobTransient
+	}
+	job := &channelmod.Job{Kind: kind, Scenario: *file}
 	res, err := channelmod.RunJob(context.Background(), job)
 	if err != nil {
 		return err
 	}
-	printRuntime(file.Name, res.Runtime)
+	if transient {
+		printTransient(file.Name, res.Transient)
+	} else {
+		printRuntime(file.Name, res.Runtime)
+	}
 	return nil
+}
+
+// engineLabel renders a plant engine with its reduced dimension when one
+// exists ("mor/m=49"), the provenance of a reduced-order run.
+func engineLabel(eng string, reducedDim int) string {
+	if reducedDim > 0 {
+		return fmt.Sprintf("%s/m=%d", eng, reducedDim)
+	}
+	return eng
+}
+
+// printTransient reports the open-loop transient run: the plant shape
+// and engine, then the trajectory metrics.
+func printTransient(name string, tr *channelmod.TransientJobRun) {
+	s := &tr.Series
+	steps := len(s.Times) - 1
+	fmt.Printf("transient simulation — scenario %s (%d steps over %s, engine %s)\n",
+		name, steps, units.Duration(s.Times[len(s.Times)-1]),
+		engineLabel(tr.Engine.String(), tr.ReducedDim))
+	fmt.Printf("  max ΔT = %6.2f K   mean ΔT = %6.2f K   max peak = %s\n",
+		s.MaxGradient(), s.MeanGradient(), units.Temperature(s.MaxPeak()))
 }
 
 // printRuntime reports the static-vs-runtime comparison: both arms'
@@ -288,9 +340,10 @@ func runRuntime(path, solver, gradient string) error {
 // per-epoch flow decisions.
 func printRuntime(name string, rr *channelmod.RuntimeJobResult) {
 	res := rr.Result
-	fmt.Printf("runtime flow control — scenario %s (%d channels, %d epochs over %s, plant %d×%d)\n",
+	fmt.Printf("runtime flow control — scenario %s (%d channels, %d epochs over %s, plant %d×%d, engine %s)\n",
 		name, rr.Channels, len(res.Epochs),
-		units.Duration(res.Controlled.Times[len(res.Controlled.Times)-1]), rr.NX, rr.NY)
+		units.Duration(res.Controlled.Times[len(res.Controlled.Times)-1]), rr.NX, rr.NY,
+		engineLabel(res.Engine.String(), res.ReducedDim))
 	row := func(arm string, s *channelmod.RuntimeSeries) {
 		fmt.Printf("  %-22s max ΔT = %6.2f K   mean ΔT = %6.2f K   max peak = %s\n",
 			arm, s.MaxGradient(), s.MeanGradient(), units.Temperature(s.MaxPeak()))

@@ -49,6 +49,10 @@ type RuntimeSpec struct {
 	FlowScaleMin, FlowScaleMax float64
 	// NX is the plant grid resolution along the flow (0 → 40).
 	NX int
+	// Engine selects the transient plant's linear-algebra engine (the
+	// zero value is the factor-once direct LU; grid.EngineMOR runs both
+	// arms on the reduced-order plant).
+	Engine grid.TransientEngine
 	// ReoptimizeWidths additionally re-optimizes the width profiles at
 	// every epoch — physically impossible on fabricated silicon, but a
 	// useful upper bound on what any runtime actuation could achieve.
@@ -202,6 +206,11 @@ type RuntimeResult struct {
 	Controlled RuntimeSeries
 	// Epochs are the controller's decisions.
 	Epochs []EpochDecision
+	// Engine is the transient plant engine both arms ran.
+	Engine grid.TransientEngine
+	// ReducedDim is the reduced plant's subspace dimension when Engine
+	// is grid.EngineMOR (0 for the full-order engines).
+	ReducedDim int
 }
 
 // GradientImprovement returns the relative reduction of the worst-case
@@ -241,14 +250,16 @@ func RunRuntimeContext(ctx context.Context, rs *RuntimeSpec) (*RuntimeResult, er
 	res := &RuntimeResult{Profiles: profiles}
 
 	// Static arm: uniform flow over the whole horizon.
-	staticSeries, _, err := rs.runArm(ctx, profiles, nil)
+	staticSeries, _, dim, err := rs.runArm(ctx, profiles, nil)
 	if err != nil {
 		return nil, fmt.Errorf("control: runtime static arm: %w", err)
 	}
 	res.Static = *staticSeries
+	res.Engine = rs.Engine
+	res.ReducedDim = dim
 
 	// Controlled arm: re-decide flow scales at each epoch boundary.
-	controlled, epochs, err := rs.runArm(ctx, profiles, rs.decide)
+	controlled, epochs, _, err := rs.runArm(ctx, profiles, rs.decide)
 	if err != nil {
 		return nil, fmt.Errorf("control: runtime controlled arm: %w", err)
 	}
@@ -265,6 +276,11 @@ type TransientRun struct {
 	Profiles []*microchannel.Profile
 	// Series is the per-step trajectory.
 	Series RuntimeSeries
+	// Engine is the transient plant engine the run used.
+	Engine grid.TransientEngine
+	// ReducedDim is the reduced plant's subspace dimension when Engine
+	// is grid.EngineMOR (0 for the full-order engines).
+	ReducedDim int
 }
 
 // SimulateTransient integrates the transient plant over the trace with
@@ -292,11 +308,11 @@ func SimulateTransientContext(ctx context.Context, rs *RuntimeSpec) (*TransientR
 		}
 		profiles = static
 	}
-	series, _, err := rs.runArm(ctx, profiles, nil)
+	series, _, dim, err := rs.runArm(ctx, profiles, nil)
 	if err != nil {
 		return nil, fmt.Errorf("control: transient simulation: %w", err)
 	}
-	return &TransientRun{Profiles: profiles, Series: *series}, nil
+	return &TransientRun{Profiles: profiles, Series: *series, Engine: rs.Engine, ReducedDim: dim}, nil
 }
 
 // TraceDesign runs the design-time optimization of a trace-driven
@@ -349,7 +365,7 @@ type decideFunc func(ctx context.Context, t float64, loads []power.PhaseLoad,
 // runArm integrates one arm over the horizon. decide == nil keeps the
 // static actuation (uniform flow, fixed profiles) throughout.
 func (rs *RuntimeSpec) runArm(ctx context.Context, profiles []*microchannel.Profile,
-	decide decideFunc) (*RuntimeSeries, []EpochDecision, error) {
+	decide decideFunc) (*RuntimeSeries, []EpochDecision, int, error) {
 
 	p := rs.Spec.Params
 	n := len(rs.Spec.Channels)
@@ -413,9 +429,9 @@ func (rs *RuntimeSpec) runArm(ctx context.Context, profiles []*microchannel.Prof
 		return loadsAt(t)[chOf(y)].Bottom.At(x) / clusterW
 	}
 
-	ws, err := stack.NewTransientWorkspace(grid.TransientConfig{Dt: rs.dt()})
+	ws, err := stack.NewTransientWorkspace(grid.TransientConfig{Dt: rs.dt(), Engine: rs.Engine})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 
 	series := &RuntimeSeries{}
@@ -436,31 +452,31 @@ func (rs *RuntimeSpec) runArm(ctx context.Context, profiles []*microchannel.Prof
 
 	for e := 0; e < epochs; e++ {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		if decide != nil {
 			t0 := ws.Time()
 			loads, err := rs.epochMeanLoads(t0, stepsPerEpoch)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, 0, err
 			}
 			dec, err := decide(ctx, t0, loads, state)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, 0, err
 			}
 			decisions = append(decisions, *dec)
 			if err := ws.Refresh(); err != nil {
-				return nil, nil, err
+				return nil, nil, 0, err
 			}
 		}
 		for s := 0; s < stepsPerEpoch; s++ {
 			if err := ws.Step(topF, bottomF); err != nil {
-				return nil, nil, err
+				return nil, nil, 0, err
 			}
 			recordStep()
 		}
 	}
-	return series, decisions, nil
+	return series, decisions, ws.ReducedDim(), nil
 }
 
 // epochMeanLoads returns the duration-weighted mean loads over the epoch

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/grid"
 	"repro/internal/scenario"
 )
 
@@ -184,6 +185,24 @@ type TransientSpec struct {
 	WidthUM float64 `json:"width_um,omitempty"`
 }
 
+// canonicalizeEngineKnob resolves the runtime section's transient.engine
+// knob to its canonical spelling: aliases of the default factor-once LU
+// engine ("lu", "direct", "direct-lu") collapse to the empty string, so
+// jobs that merely spell out the default hash identically to jobs that
+// omit it; non-default engines keep their one canonical name.
+func canonicalizeEngineKnob(rt *scenario.Runtime) error {
+	eng, err := grid.ParseTransientEngine(rt.Engine)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if eng == grid.EngineDirect {
+		rt.Engine = ""
+	} else {
+		rt.Engine = eng.String()
+	}
+	return nil
+}
+
 // hashDomain versions the hash so persisted hashes cannot collide across
 // incompatible canonicalization rules.
 const hashDomain = "chanmod/job/v1\n"
@@ -261,6 +280,9 @@ func (j *Job) Canonicalize() (*Job, error) {
 			return nil, fmt.Errorf("engine: negative transient width %g µm", c.Transient.WidthUM)
 		}
 		if rt := c.Scenario.Runtime; rt != nil {
+			if err := canonicalizeEngineKnob(rt); err != nil {
+				return nil, err
+			}
 			// No controller runs in an open-loop transient, so the valve
 			// range is inert and must not hash. EpochMS stays: the
 			// horizon rounds up to whole epochs, so it shapes the
@@ -268,6 +290,12 @@ func (j *Job) Canonicalize() (*Job, error) {
 			rt.FlowScaleRange = [2]float64{}
 			if *rt == (scenario.Runtime{}) {
 				c.Scenario.Runtime = nil
+			}
+		}
+	case KindRuntime:
+		if rt := c.Scenario.Runtime; rt != nil {
+			if err := canonicalizeEngineKnob(rt); err != nil {
+				return nil, err
 			}
 		}
 	}

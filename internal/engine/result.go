@@ -187,6 +187,11 @@ type SeriesJSON struct {
 type TransientJSON struct {
 	Series     SeriesJSON  `json:"series"`
 	ProfilesUM [][]float64 `json:"profiles_um"`
+	// Engine is the transient plant engine the run used, and ReducedDim
+	// the projection-subspace dimension when that engine is "mor" —
+	// provenance for reduced-order results.
+	Engine     string `json:"engine,omitempty"`
+	ReducedDim int    `json:"reduced_dim,omitempty"`
 }
 
 // EpochJSON projects one runtime-controller decision.
@@ -205,6 +210,10 @@ type RuntimeJSON struct {
 	ProfilesUM     [][]float64 `json:"profiles_um"`
 	PlantNX        int         `json:"plant_nx"`
 	PlantNY        int         `json:"plant_ny"`
+	// Engine is the transient plant engine both arms ran, and ReducedDim
+	// the projection-subspace dimension when that engine is "mor".
+	Engine     string `json:"engine,omitempty"`
+	ReducedDim int    `json:"reduced_dim,omitempty"`
 }
 
 // JSON projects the result into its serializable wire form. Result
@@ -237,6 +246,8 @@ func (r *Result) JSON() *ResultJSON {
 		out.Transient = &TransientJSON{
 			Series:     seriesJSON(&r.Transient.Series),
 			ProfilesUM: profilesUM(r.Transient.Profiles),
+			Engine:     r.Transient.Engine.String(),
+			ReducedDim: r.Transient.ReducedDim,
 		}
 	case r.Runtime != nil:
 		out.Runtime = runtimeJSON(r.Runtime)
@@ -385,6 +396,8 @@ func runtimeJSON(r *RuntimeJobResult) *RuntimeJSON {
 		ProfilesUM:     profilesUM(r.Result.Profiles),
 		PlantNX:        r.NX,
 		PlantNY:        r.NY,
+		Engine:         r.Result.Engine.String(),
+		ReducedDim:     r.Result.ReducedDim,
 	}
 	for _, d := range r.Result.Epochs {
 		out.Epochs = append(out.Epochs, EpochJSON{

@@ -27,10 +27,13 @@ func envInt(t *testing.T, name string, def int) int {
 // TestCorpusInvariants is the physics fuzzer's main sweep: every seeded
 // scenario must satisfy the steady-state invariant catalog (energy
 // balance, flow and power monotonicity, forcing linearity, mirror
-// symmetry) and the adjoint-vs-finite-difference gradient agreement, and
-// a stride subset additionally runs the full three-way optimization —
-// routed through the engine as content-addressed compare jobs — and must
-// satisfy the optimality invariants.
+// symmetry) and the adjoint-vs-finite-difference gradient agreement,
+// every traced scenario must additionally keep the reduced-order
+// transient engine in agreement with the LU engine (including across
+// mid-run Refresh re-projections), and a stride subset runs the full
+// three-way optimization — routed through the engine as
+// content-addressed compare jobs — and must satisfy the optimality
+// invariants.
 //
 // Size knobs (CI's corpus smoke runs 200 seeds; the acceptance sweep is
 // GENSCEN_CORPUS_SEEDS=1000 GENSCEN_CORPUS_OPT_STRIDE=1):
@@ -61,6 +64,12 @@ func TestCorpusInvariants(t *testing.T) {
 			continue
 		}
 		if err := props.GradientAgreement(f, tol); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+			continue
+		}
+		// Traced seeds also cross-validate the reduced-order transient
+		// engine against the LU engine (a no-op for untraced seeds).
+		if err := props.TransientEngineAgreement(f, tol); err != nil {
 			t.Errorf("seed %d: %v", seed, err)
 			continue
 		}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/compact"
 	"repro/internal/control"
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/microchannel"
 	"repro/internal/scenario"
 )
@@ -63,6 +64,18 @@ type Tolerances struct {
 	// central finite difference of the full solve, relative to the
 	// gradient's inf-norm.
 	GradientRel float64
+	// TransientEngineRel bounds the reduced-order (MOR) transient
+	// engine's peak/gradient series deviation from the factor-once LU
+	// engine, relative to each series' dynamic range over the run, plus
+	// a small absolute floor for near-constant series. The two engines
+	// discretize time differently — backward Euler vs exact exponential
+	// propagation on the projected system — so their gap is dominated by
+	// the LU engine's own first-order O(Δt) truncation bias, not by
+	// projection error: on the benchmark duty cycle the gap is 0.22 K of
+	// a 5 K swing (~4.4%) at Δt = 0.125 ms and halves with Δt, while the
+	// steady states agree to 0.02 K. The corpus runs at Δt = 0.1 ms and
+	// allows 15% of the swing — more than triple margin.
+	TransientEngineRel float64
 }
 
 // Default returns the corpus tolerances. The conservation and symmetry
@@ -80,13 +93,14 @@ type Tolerances struct {
 // (an order of margin) for the harder generated stacks.
 func Default() Tolerances {
 	return Tolerances{
-		EnergyRel:      1e-4,
-		MonotonicRel:   1e-9,
-		LinearityRel:   1e-3,
-		SymmetryRel:    1e-3,
-		OptimalityRel:  1e-6,
-		FeasibilityRel: 1e-2,
-		GradientRel:    1e-3,
+		EnergyRel:          1e-4,
+		MonotonicRel:       1e-9,
+		LinearityRel:       1e-3,
+		SymmetryRel:        1e-3,
+		OptimalityRel:      1e-6,
+		FeasibilityRel:     1e-2,
+		GradientRel:        1e-3,
+		TransientEngineRel: 0.15,
 	}
 }
 
@@ -415,6 +429,131 @@ func GradientAgreement(f *scenario.File, tol Tolerances) error {
 				gp.Channel, gp.Kind, gp.Segment, grad[i], bestFD, bestDiff, scale))
 		}
 	}
+	return errors.Join(errs...)
+}
+
+// Transient cross-validation geometry: a plant small enough that every
+// traced corpus seed can afford two full engine runs, integrated at a
+// step small enough that the LU engine's O(Δt) bias stays well inside
+// TransientEngineRel (see that field's rationale).
+const (
+	transientNX       = 24
+	transientDt       = 1e-4
+	transientSteps    = 60
+	transientFloorK   = 0.05
+	transientActScale = 1.5
+)
+
+// TransientEngineAgreement cross-validates the reduced-order transient
+// engine (grid.EngineMOR) against the factor-once LU engine on the
+// scenario's power trace: both plants integrate the same trace from the
+// same cold start at the max-width uniform design, including two mid-run
+// flow-scale actuations with `Refresh` — the second returning to the
+// original operating point — so the reduced basis must survive
+// re-projection in both directions. The peak and gradient series must
+// agree within TransientEngineRel of their dynamic range. Scenarios
+// without a trace have no transient experiment and skip (return nil).
+func TransientEngineAgreement(f *scenario.File, tol Tolerances) error {
+	if f.Trace == nil {
+		return nil
+	}
+	rs, err := f.RuntimeSpec()
+	if err != nil {
+		return fmt.Errorf("props: transient: %w", err)
+	}
+	spec := rs.Spec
+	n := len(spec.Channels)
+	p := spec.Params
+	clusterW := p.ClusterWidth()
+	chOf := func(y float64) int {
+		k := int(y / clusterW)
+		if k < 0 {
+			k = 0
+		}
+		if k >= n {
+			k = n - 1
+		}
+		return k
+	}
+
+	run := func(eng grid.TransientEngine) (peak, grad []float64, err error) {
+		scale := 1.0
+		stack := &grid.Stack{
+			Cfg: grid.Config{
+				Params:  p,
+				LengthX: p.Length,
+				WidthY:  float64(n) * clusterW,
+				NX:      transientNX,
+				NY:      n,
+			},
+			PowerTop: func(x, y float64) float64 {
+				return rs.Trace.LoadsAt(0)[chOf(y)].Top.At(x) / clusterW
+			},
+			PowerBottom: func(x, y float64) float64 {
+				return rs.Trace.LoadsAt(0)[chOf(y)].Bottom.At(x) / clusterW
+			},
+			Width:     func(x, y float64) float64 { return spec.Bounds.Max },
+			FlowScale: func(x, y float64) float64 { return scale },
+		}
+		ws, err := stack.NewTransientWorkspace(grid.TransientConfig{Dt: transientDt, Engine: eng})
+		if err != nil {
+			return nil, nil, err
+		}
+		topF := func(x, y, t float64) float64 {
+			return rs.Trace.LoadsAt(t)[chOf(y)].Top.At(x) / clusterW
+		}
+		bottomF := func(x, y, t float64) float64 {
+			return rs.Trace.LoadsAt(t)[chOf(y)].Bottom.At(x) / clusterW
+		}
+		for i := 0; i < transientSteps; i++ {
+			switch i {
+			case transientSteps / 3:
+				scale = transientActScale
+				if err := ws.Refresh(); err != nil {
+					return nil, nil, err
+				}
+			case 2 * transientSteps / 3:
+				scale = 1.0
+				if err := ws.Refresh(); err != nil {
+					return nil, nil, err
+				}
+			}
+			if err := ws.Step(topF, bottomF); err != nil {
+				return nil, nil, err
+			}
+			peak = append(peak, ws.PeakTemperature())
+			grad = append(grad, ws.Gradient())
+		}
+		return peak, grad, nil
+	}
+
+	luPeak, luGrad, err := run(grid.EngineDirect)
+	if err != nil {
+		return fmt.Errorf("props: transient: lu engine: %w", err)
+	}
+	morPeak, morGrad, err := run(grid.EngineMOR)
+	if err != nil {
+		return fmt.Errorf("props: transient: mor engine: %w", err)
+	}
+
+	var errs []error
+	check := func(name string, lu, mor []float64) {
+		lo, hi, worst := math.Inf(1), math.Inf(-1), 0.0
+		at := 0
+		for i := range lu {
+			lo = math.Min(lo, lu[i])
+			hi = math.Max(hi, lu[i])
+			if d := math.Abs(lu[i] - mor[i]); d > worst {
+				worst, at = d, i
+			}
+		}
+		if bound := tol.TransientEngineRel*(hi-lo) + transientFloorK; worst > bound {
+			errs = append(errs, fmt.Errorf("props: transient: %s series diverges: |lu−mor| = %.4g K at step %d (lu %.6g, mor %.6g), tolerance %.4g K for a %.4g K swing",
+				name, worst, at, lu[at], mor[at], bound, hi-lo))
+		}
+	}
+	check("peak", luPeak, morPeak)
+	check("gradient", luGrad, morGrad)
 	return errors.Join(errs...)
 }
 

@@ -1,0 +1,416 @@
+package grid
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// This file implements EngineMOR, the reduced-order transient engine: a
+// block-Arnoldi (rational Krylov) projection of the descriptor system
+//
+//	C·Ṫ + G·T = u(t),   u = P(t) + b
+//
+// onto an m-dimensional subspace, stepped exactly with the matrix
+// exponential of the reduced system.
+//
+// Projection. The basis V (orthonormal columns) seeds with the current
+// temperature state — so the initial condition is represented without
+// error — followed by rational-Krylov chains A⁻¹·s, (A⁻¹C)·A⁻¹·s, … for
+// each input direction s, where A = G + C/Δt is the backward-Euler
+// matrix the direct engine already factors (sparse.KrylovChain reuses
+// that LUFactor as the shifted solve). The chains moment-match the
+// transfer function at the shift σ = 1/Δt: exactly the frequency band a
+// Δt-stepped simulation resolves. Galerkin projection gives the reduced
+// pair Cr = VᵀCV (SPD, C is the diagonal capacitance), Gr = VᵀGV.
+//
+// Stepping. mat.ReducedPropagator caches E = exp(−Cr⁻¹Gr·Δt) and the
+// input map Ψ, so a step with an unchanged input pattern is
+// z ← E·z + Ψ·(Vᵀu) at O(m²) — exact for piecewise-constant inputs, in
+// contrast to the O(Δt) backward-Euler error of the full-order engines.
+// Because power inputs are opaque TimeFieldFuncs, patterns are detected
+// by value: each step evaluates u (O(n)) and compares against the adopted
+// pattern; repeats advance on the cached projection, unseen patterns go
+// through the cold adoption path (basis enrichment with the pattern's
+// Krylov chain while room remains, O(n·m) projection, hash-keyed cache).
+//
+// Lifting. Temperatures return to full order lazily: the state vector is
+// reconstructed as V·z only when an output is read (PeakTemperature,
+// Gradient, Field), tracked by a dirty flag.
+//
+// Refresh. Actuation changes mutate G, so the subspace is rebuilt from
+// scratch: the current state is lifted, A is re-factored, and the basis
+// re-seeds with {lifted state, boundary input, last power pattern} — the
+// state and clock carry over exactly because the lifted state is the
+// first basis direction.
+
+const (
+	// morDefaultDim caps the subspace at 96 directions unless
+	// TransientConfig.ReducedDim overrides it (the m ≈ 30–100 band where
+	// the projection error is far below the backward-Euler error of the
+	// full-order engines, see DESIGN.md §14).
+	morDefaultDim = 96
+	// morChainDepth is the rational-Krylov chain length per input
+	// direction: the number of moments matched at the shift 1/Δt.
+	morChainDepth = 24
+	// morDropTol is the relative Gram-Schmidt norm below which a chain
+	// direction counts as already represented (happy breakdown).
+	morDropTol = 1e-10
+	// morExpandTol is the relative projection residual of a new input
+	// pattern above which the basis is enriched with its Krylov chain.
+	morExpandTol = 1e-9
+	// morMaxPatterns bounds the pattern cache; workloads with more
+	// distinct patterns re-project on every recurrence instead of caching.
+	morMaxPatterns = 32
+)
+
+// morPattern is one adopted input pattern: the full vector (the equality
+// witness behind the hash) and its projection onto the current basis.
+type morPattern struct {
+	u  mat.Vec
+	ur mat.Vec
+}
+
+// morState is the reduced-order engine state hanging off a
+// TransientWorkspace with EngineMOR.
+type morState struct {
+	maxDim int
+	basis  []mat.Vec // orthonormal columns, each of full length n
+	cr, gr *mat.Dense
+	prop   mat.ReducedPropagator
+
+	z, zNext mat.Vec // reduced state and step scratch (capacity maxDim)
+	ur       mat.Vec // reduced input of the adopted pattern
+	uPrev    mat.Vec // full input of the adopted pattern
+	primed   bool    // uPrev holds a real pattern
+
+	patterns     map[uint64][]morPattern
+	patternCount int
+
+	scratch   mat.Vec // full-length scratch
+	liftDirty bool    // w.x is stale relative to z
+}
+
+// buildMOR (re)builds the projection from the workspace's current full
+// state and factored A — the cold path behind construction and Refresh.
+func (w *TransientWorkspace) buildMOR() error {
+	sys := w.sys
+	n := 3 * sys.nx * sys.ny
+	maxDim := w.cfg.ReducedDim
+	if maxDim == 0 {
+		maxDim = morDefaultDim
+	}
+	if maxDim > n {
+		maxDim = n
+	}
+	m := w.mor
+	if m == nil {
+		m = &morState{
+			uPrev:   make(mat.Vec, n),
+			scratch: make(mat.Vec, n),
+			z:       make(mat.Vec, 0, maxDim),
+			zNext:   make(mat.Vec, 0, maxDim),
+			ur:      make(mat.Vec, 0, maxDim),
+		}
+		w.mor = m
+	}
+	m.maxDim = maxDim
+	m.patterns = make(map[uint64][]morPattern)
+	m.patternCount = 0
+	m.basis = m.basis[:0]
+
+	// Seed directions: exact current state, then the Krylov chains of the
+	// constant boundary input and (after Refresh) the last power pattern.
+	var err error
+	m.basis, _ = sparse.Orthonormalize(m.basis, w.x.Clone(), morDropTol)
+	m.basis, err = sparse.KrylovChain(w.lu, sys.caps, m.basis, sys.rhsConst, morChainDepth, m.maxDim, morDropTol)
+	if err != nil {
+		return err
+	}
+	if m.primed {
+		m.basis, err = sparse.KrylovChain(w.lu, sys.caps, m.basis, m.uPrev, morChainDepth, m.maxDim, morDropTol)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Galerkin projection Cr = VᵀCV, Gr = VᵀGV, rebuilt densely.
+	dim := len(m.basis)
+	m.cr = mat.ReshapeDense(m.cr, dim, dim)
+	m.gr = mat.ReshapeDense(m.gr, dim, dim)
+	for j := 0; j < dim; j++ {
+		vj := m.basis[j]
+		for i, c := range sys.caps {
+			m.scratch[i] = c * vj[i]
+		}
+		for i := 0; i < dim; i++ {
+			m.cr.Set(i, j, m.basis[i].Dot(m.scratch))
+		}
+		sys.g.MulVec(m.scratch, vj)
+		for i := 0; i < dim; i++ {
+			m.gr.Set(i, j, m.basis[i].Dot(m.scratch))
+		}
+	}
+	if err := m.prop.Rebuild(m.cr, m.gr, w.cfg.Dt); err != nil {
+		return err
+	}
+
+	// z = Vᵀx is exact: x is the first basis direction.
+	m.z = m.z[:dim]
+	m.project(w.x, m.z)
+	m.zNext = m.zNext[:dim]
+	m.ur = m.ur[:dim]
+	if m.primed {
+		m.project(m.uPrev, m.ur)
+	}
+	m.liftDirty = false
+	return nil
+}
+
+// stepReduced advances the reduced system by one Δt under the full input
+// vector u (power plus constant boundary terms; the caller's rhs buffer,
+// unused afterwards). A repeated pattern advances on the cached
+// projection — one O(n) comparison plus the O(m²) propagator, no
+// allocations; unseen patterns take the cold adoption path.
+//
+//chanmod:noalloc
+func (m *morState) stepReduced(w *TransientWorkspace, u mat.Vec) error {
+	if !m.primed || !vecsEqual(u, m.uPrev) {
+		if err := m.adopt(w, u); err != nil {
+			return err
+		}
+	}
+	if err := m.prop.Advance(m.zNext, m.z, m.ur); err != nil {
+		return err
+	}
+	m.z, m.zNext = m.zNext, m.z
+	m.liftDirty = true
+	return nil
+}
+
+// adopt switches the engine to a new input pattern: cache lookup first,
+// otherwise basis enrichment with the pattern's Krylov chain (while room
+// remains and the pattern is not already represented) and projection.
+func (m *morState) adopt(w *TransientWorkspace, u mat.Vec) error {
+	copy(m.uPrev, u)
+	m.primed = true
+	h := hashVec(u)
+	for _, p := range m.patterns[h] {
+		if vecsEqual(p.u, u) {
+			copy(m.ur, p.ur)
+			return nil
+		}
+	}
+	if len(m.basis) < m.maxDim && m.projResidual(u) > morExpandTol {
+		grown, err := sparse.KrylovChain(w.lu, w.sys.caps, m.basis, u, morChainDepth, m.maxDim, morDropTol)
+		if err != nil {
+			return err
+		}
+		if len(grown) > len(m.basis) {
+			if err := m.grow(w, grown); err != nil {
+				return err
+			}
+		}
+	}
+	m.project(u, m.ur)
+	if m.patternCount < morMaxPatterns {
+		m.patterns[h] = append(m.patterns[h], morPattern{u: u.Clone(), ur: m.ur.Clone()})
+		m.patternCount++
+	}
+	return nil
+}
+
+// grow extends the projection to an enriched basis with a border update:
+// only the new rows and columns of Cr and Gr are computed (O(n·m) per new
+// direction), then the propagator is rebuilt. The reduced state extends
+// with zeros — the old state lies exactly in the old span.
+func (m *morState) grow(w *TransientWorkspace, grown []mat.Vec) error {
+	old := len(m.basis)
+	m.basis = grown
+	dim := len(m.basis)
+	m.cr = growDense(m.cr, dim)
+	m.gr = growDense(m.gr, dim)
+	sys := w.sys
+	for j := old; j < dim; j++ {
+		vj := m.basis[j]
+		for i, c := range sys.caps {
+			m.scratch[i] = c * vj[i]
+		}
+		for i := 0; i < dim; i++ {
+			c := m.basis[i].Dot(m.scratch)
+			m.cr.Set(i, j, c)
+			if i < old {
+				m.cr.Set(j, i, c) // C diagonal ⇒ Cr symmetric
+			}
+		}
+		sys.g.MulVec(m.scratch, vj)
+		for i := 0; i < dim; i++ {
+			m.gr.Set(i, j, m.basis[i].Dot(m.scratch))
+		}
+		// Row j against the old block needs vjᵀ·G·vi = (Gᵀvj)·vi; the
+		// advection part of G is nonsymmetric.
+		sys.g.MulTransVec(m.scratch, vj)
+		for i := 0; i < old; i++ {
+			m.gr.Set(j, i, m.scratch.Dot(m.basis[i]))
+		}
+	}
+	if err := m.prop.Rebuild(m.cr, m.gr, w.cfg.Dt); err != nil {
+		return err
+	}
+	m.z = m.z[:dim]
+	for j := old; j < dim; j++ {
+		m.z[j] = 0
+	}
+	m.zNext = m.zNext[:dim]
+	m.ur = m.ur[:dim]
+	// Cached reduced inputs are stale in the grown basis.
+	m.patterns = make(map[uint64][]morPattern)
+	m.patternCount = 0
+	return nil
+}
+
+// project computes dst = Vᵀu onto the current basis. dst has length m.
+func (m *morState) project(u, dst mat.Vec) {
+	for j, vj := range m.basis {
+		dst[j] = vj.Dot(u)
+	}
+}
+
+// projResidual returns ‖u − V·Vᵀu‖/‖u‖, the relative part of u the
+// current subspace cannot represent. Uses zNext and scratch as scratch.
+func (m *morState) projResidual(u mat.Vec) float64 {
+	un := u.Norm2()
+	if un == 0 {
+		return 0
+	}
+	m.project(u, m.zNext)
+	copy(m.scratch, u)
+	for j, vj := range m.basis {
+		if c := m.zNext[j]; c != 0 {
+			m.scratch.AddScaled(-c, vj)
+		}
+	}
+	return m.scratch.Norm2() / un
+}
+
+// syncLift reconstructs the full temperature state w.x = V·z after
+// reduced steps. Allocation-free; no-op when already synchronized.
+// The accumulation is tiled so each x-tile stays cache-resident across
+// all basis columns: the lift streams the basis once (~n·m reads)
+// instead of re-streaming x per column — at production meshes this is
+// the difference between a memory-bound 3-pass and a 1-pass epoch read,
+// and it is what keeps per-epoch peak reads off the closed-loop
+// critical path.
+func (m *morState) syncLift(w *TransientWorkspace) {
+	if !m.liftDirty {
+		return
+	}
+	const tile = 2048
+	n := len(w.x)
+	for base := 0; base < n; base += tile {
+		end := base + tile
+		if end > n {
+			end = n
+		}
+		xs := w.x[base:end]
+		for i := range xs {
+			xs[i] = 0
+		}
+		for j, vj := range m.basis {
+			zj := m.z[j]
+			if zj == 0 {
+				continue
+			}
+			vs := vj[base:end]
+			for i, v := range vs {
+				xs[i] += zj * v
+			}
+		}
+	}
+	m.liftDirty = false
+}
+
+// extrema returns min/max of the first nSi entries of V·z without
+// syncing the full state: when the lift is dirty it reconstructs only
+// the silicon prefix into scratch (same tiling as syncLift) and leaves
+// w.x untouched. Epoch-rate controllers read one scalar per epoch, so
+// this prefix pass — not a full lift — is their steady-state cost.
+func (m *morState) extrema(w *TransientWorkspace, nSi int) (lo, hi float64) {
+	src := w.x
+	if m.liftDirty {
+		src = m.scratch
+		const tile = 2048
+		for base := 0; base < nSi; base += tile {
+			end := base + tile
+			if end > nSi {
+				end = nSi
+			}
+			xs := src[base:end]
+			for i := range xs {
+				xs[i] = 0
+			}
+			for j, vj := range m.basis {
+				zj := m.z[j]
+				if zj == 0 {
+					continue
+				}
+				vs := vj[base:end]
+				for i, v := range vs {
+					xs[i] += zj * v
+				}
+			}
+		}
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range src[:nSi] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// growDense returns an m×m matrix holding old's top-left block (zero
+// elsewhere). old may be nil.
+func growDense(old *mat.Dense, m int) *mat.Dense {
+	d := mat.NewDense(m, m)
+	if old != nil {
+		for i := 0; i < old.Rows(); i++ {
+			copy(d.Row(i)[:old.Cols()], old.Row(i))
+		}
+	}
+	return d
+}
+
+// vecsEqual reports exact element-wise equality — the pattern-change
+// detector of the reduced engine. NaN never matches, so a non-finite
+// input degrades to per-step re-adoption rather than silent reuse.
+func vecsEqual(a, b mat.Vec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hashVec is an FNV-1a-style mix over the IEEE-754 bit patterns of the
+// vector, one 64-bit lane per element. Collisions only cost an extra
+// vecsEqual in the bucket scan, so the wider lane (8× fewer multiplies
+// than byte-wise FNV) is the right trade for the per-switch hot path.
+func hashVec(v mat.Vec) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, x := range v {
+		h ^= math.Float64bits(x)
+		h *= prime
+	}
+	return h
+}

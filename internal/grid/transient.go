@@ -41,6 +41,13 @@ const (
 	// every step (warm-started from the previous state). Kept as the
 	// cross-validation and benchmark baseline for the direct engine.
 	EngineBiCGSTAB
+	// EngineMOR projects the descriptor system (C, G, inputs) onto a
+	// small rational-Krylov subspace moment-matched at the backward-Euler
+	// shift 1/Δt and steps the reduced dense system with the exact
+	// piecewise-constant-input matrix exponential — O(m²) per warm step
+	// with m ≈ 30–100, independent of the mesh size. Temperatures are
+	// lifted back lazily, only for the outputs actually read. See mor.go.
+	EngineMOR
 )
 
 // String names the engine.
@@ -50,9 +57,27 @@ func (e TransientEngine) String() string {
 		return "direct-lu"
 	case EngineBiCGSTAB:
 		return "bicgstab"
+	case EngineMOR:
+		return "mor"
 	default:
 		return fmt.Sprintf("TransientEngine(%d)", int(e))
 	}
+}
+
+// ParseTransientEngine maps the scenario-file engine names onto engines:
+// "" and "lu" (aliases "direct", "direct-lu") select the factor-once
+// direct engine, "bicgstab" the iterative baseline, and "mor" the
+// reduced-order Krylov/exponential engine.
+func ParseTransientEngine(s string) (TransientEngine, error) {
+	switch s {
+	case "", "lu", "direct", "direct-lu":
+		return EngineDirect, nil
+	case "bicgstab":
+		return EngineBiCGSTAB, nil
+	case "mor":
+		return EngineMOR, nil
+	}
+	return 0, fmt.Errorf("grid: unknown transient engine %q", s)
 }
 
 // TransientConfig parameterizes a backward-Euler transient run.
@@ -75,6 +100,9 @@ type TransientConfig struct {
 	SolveTol float64
 	// Engine selects the linear-solver strategy (default EngineDirect).
 	Engine TransientEngine
+	// ReducedDim caps the subspace dimension of EngineMOR (0 → a default
+	// of 96, clamped to the unknown count). Other engines ignore it.
+	ReducedDim int
 }
 
 // Validate reports the first invalid configuration entry.
@@ -96,8 +124,13 @@ func (c TransientConfig) validateStepping() error {
 	if !(c.Dt > 0) {
 		return fmt.Errorf("grid: transient Dt %g must be positive", c.Dt)
 	}
-	if c.Engine != EngineDirect && c.Engine != EngineBiCGSTAB {
+	switch c.Engine {
+	case EngineDirect, EngineBiCGSTAB, EngineMOR:
+	default:
 		return fmt.Errorf("grid: unknown transient engine %d", int(c.Engine))
+	}
+	if c.ReducedDim < 0 || c.ReducedDim == 1 {
+		return fmt.Errorf("grid: transient ReducedDim %d, want 0 (default) or >= 2", c.ReducedDim)
 	}
 	if c.InitialTemp != nil && !(*c.InitialTemp > 0) {
 		return fmt.Errorf("grid: initial temperature %g K must be positive", *c.InitialTemp)
@@ -158,8 +191,9 @@ type TransientWorkspace struct {
 	a     *sparse.CSR
 	lu    *sparse.LUFactor // nil for EngineBiCGSTAB
 	tol   float64
+	mor   *morState // reduced-order engine state, nil otherwise
 
-	x    mat.Vec // current temperatures, model ordering
+	x    mat.Vec // current temperatures, model ordering (EngineMOR: lazily lifted)
 	rhs  mat.Vec
 	t    float64
 	step int
@@ -183,9 +217,8 @@ func (s *Stack) NewTransientWorkspace(cfg TransientConfig) (*TransientWorkspace,
 	if w.tol <= 0 {
 		w.tol = 1e-8
 	}
-	if err := w.bind(sys); err != nil {
-		return nil, err
-	}
+	// The state is set up before bind: the reduced-order engine seeds its
+	// projection basis with the initial temperature vector.
 	nTot := 3 * sys.nx * sys.ny
 	t0 := s.Cfg.Params.InletTemp
 	if cfg.InitialTemp != nil {
@@ -196,11 +229,15 @@ func (s *Stack) NewTransientWorkspace(cfg TransientConfig) (*TransientWorkspace,
 		w.x[i] = t0
 	}
 	w.rhs = make(mat.Vec, nTot)
+	if err := w.bind(sys); err != nil {
+		return nil, err
+	}
 	return w, nil
 }
 
-// bind builds A = C/Δt + G from the assembled system and factors it for
-// the direct engine.
+// bind builds A = C/Δt + G from the assembled system, factors it for the
+// engines that need the factorization (direct stepping; shifted Arnoldi
+// solves of the reduced-order engine), and re-projects the MOR subspace.
 func (w *TransientWorkspace) bind(sys *system) error {
 	nTot := 3 * sys.nx * sys.ny
 	b := sparse.NewBuilder(nTot, nTot)
@@ -213,12 +250,15 @@ func (w *TransientWorkspace) bind(sys *system) error {
 	w.sys = sys
 	w.a = b.Build()
 	w.lu = nil
-	if w.cfg.Engine == EngineDirect {
+	if w.cfg.Engine == EngineDirect || w.cfg.Engine == EngineMOR {
 		lu, err := sparse.FactorLUPermuted(w.a, sys.interleavedPerm())
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrSolver, err)
 		}
 		w.lu = lu
+	}
+	if w.cfg.Engine == EngineMOR {
+		return w.buildMOR()
 	}
 	return nil
 }
@@ -229,6 +269,9 @@ func (w *TransientWorkspace) bind(sys *system) error {
 // boundaries after changing actuation; temperatures are continuous across
 // an actuation change, so the state carries over unchanged.
 func (w *TransientWorkspace) Refresh() error {
+	// The reduced-order engine re-projects from the lifted full state, so
+	// the state buffer must be synchronized before the basis is rebuilt.
+	w.syncState()
 	sys, err := w.stack.assemble()
 	if err != nil {
 		return err
@@ -252,6 +295,17 @@ func (w *TransientWorkspace) Step(pTop, pBottom TimeFieldFunc) error {
 	t := w.t + w.cfg.Dt
 	copy(w.rhs, w.sys.rhsConst)
 	w.stack.powerRHS(w.sys, w.rhs, pTop, pBottom, t)
+	if w.mor != nil {
+		// Reduced-order path: w.rhs now holds the pure input u = P + b.
+		// A repeated input pattern advances in O(m²) from the cached
+		// propagator; a new pattern triggers the (cold) adoption path.
+		if err := w.mor.stepReduced(w, w.rhs); err != nil {
+			return fmt.Errorf("%w at t=%g s: %v", ErrSolver, t, err)
+		}
+		w.t = t
+		w.step++
+		return nil
+	}
 	for i := range w.rhs {
 		w.rhs[i] += w.sys.caps[i] / w.cfg.Dt * w.x[i]
 	}
@@ -286,16 +340,41 @@ func (w *TransientWorkspace) StepCount() int { return w.step }
 // Engine returns the active linear-solver strategy.
 func (w *TransientWorkspace) Engine() TransientEngine { return w.cfg.Engine }
 
+// ReducedDim returns the current subspace dimension of the reduced-order
+// engine, 0 for the full-order engines. The dimension can grow as new
+// input patterns are adopted and changes on Refresh re-projections.
+func (w *TransientWorkspace) ReducedDim() int {
+	if w.mor == nil {
+		return 0
+	}
+	return len(w.mor.basis)
+}
+
+// syncState lifts the reduced state back to the full temperature vector
+// when the reduced-order engine has stepped past the last lift. The other
+// engines keep w.x current and this is a no-op.
+func (w *TransientWorkspace) syncState() {
+	if w.mor != nil {
+		w.mor.syncLift(w)
+	}
+}
+
 // Field snapshots the current temperature state (allocates; use the
 // scalar accessors on the hot path).
 func (w *TransientWorkspace) Field() *Field {
+	w.syncState()
 	return w.sys.unpack(w.x, w.lastIters, w.lastResid)
 }
 
 // siliconExtrema scans the silicon unknowns without unpacking a Field.
+// With the reduced-order engine the scan runs on a prefix-only lift
+// (the full state stays lazily dirty — Field still syncs it all).
 func (w *TransientWorkspace) siliconExtrema() (minT, maxT float64) {
-	minT, maxT = math.Inf(1), math.Inf(-1)
 	nSi := 2 * w.sys.nx * w.sys.ny
+	if w.mor != nil {
+		return w.mor.extrema(w, nSi)
+	}
+	minT, maxT = math.Inf(1), math.Inf(-1)
 	for _, v := range w.x[:nSi] {
 		if v < minT {
 			minT = v

@@ -1,6 +1,8 @@
 package grid
 
 import (
+	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/units"
@@ -9,22 +11,37 @@ import (
 // benchStack is the Fig. 1-scale transient benchmark domain: large enough
 // that the linear solve dominates, small enough for the CI smoke run.
 func benchStack() *Stack {
+	return benchStackAt(48, 12)
+}
+
+// benchStackAt refines the benchmark domain to an nx×ny mesh; the
+// physical die is fixed so finer meshes measure solver scaling, not a
+// different problem. At 480×120 the cell width is 125 µm, still above
+// the channel pitch as Config.Validate requires.
+func benchStackAt(nx, ny int) *Stack {
 	s := uniformStack(50, 50e-6)
-	s.Cfg.NX, s.Cfg.NY = 48, 12
+	s.Cfg.NX, s.Cfg.NY = nx, ny
 	s.Cfg.LengthX = units.Millimeters(14)
 	s.Cfg.WidthY = units.Millimeters(15)
 	return s
 }
 
-// BenchmarkTransientStep compares the per-step cost of the factor-once
-// direct engine against the per-step BiCGSTAB baseline on a warm
-// workspace driving a duty-cycled power trace — the workload class the
-// runtime controller integrates, where the state actually moves step to
-// step. (At an exact constant-power fixed point the warm-started Krylov
-// baseline converges in one iteration and nothing separates the engines;
-// that regime is not what transient simulation is for.) The direct
-// sub-benchmark must show ~0 allocs/op; the speedup claim in DESIGN.md
-// comes from the ratio of the two.
+// scalingMeshes is the mesh sweep from the CI-scale domain up to the
+// 3D-ICE-class 480×120 production mesh (100× the unknowns).
+var scalingMeshes = []struct{ nx, ny int }{
+	{48, 12}, {96, 24}, {192, 48}, {480, 120},
+}
+
+// BenchmarkTransientStep sweeps the per-step cost of the three engines
+// across mesh sizes on a warm workspace driving a duty-cycled power
+// trace — the workload class the runtime controller integrates, where
+// the state actually moves step to step. (At an exact constant-power
+// fixed point the warm-started Krylov baseline converges in one
+// iteration and nothing separates the engines; that regime is not what
+// transient simulation is for.) The direct and mor sub-benchmarks must
+// show ~0 allocs/op. The largest mesh takes minutes of setup per engine
+// and is gated behind CHANMOD_BENCH_LARGE=1; the committed scaling
+// snapshot BENCH_transient.json comes from cmd/benchjson -transient.
 func BenchmarkTransientStep(b *testing.B) {
 	pw := units.WattsPerCm2(50)
 	// 10 ms on at full power, 10 ms at 20% — a 50 Hz duty cycle.
@@ -34,34 +51,41 @@ func BenchmarkTransientStep(b *testing.B) {
 		}
 		return 0.2 * pw
 	}
-	for _, bc := range []struct {
-		name   string
-		engine TransientEngine
-	}{
-		{"direct", EngineDirect},
-		{"bicgstab", EngineBiCGSTAB},
-	} {
-		b.Run(bc.name, func(b *testing.B) {
-			s := benchStack()
-			w, err := s.NewTransientWorkspace(TransientConfig{Dt: 1e-3, Engine: bc.engine})
-			if err != nil {
-				b.Fatal(err)
-			}
-			// Warm past the cold-start ramp so steps measure the
-			// periodic steady regime.
-			for i := 0; i < 40; i++ {
-				if err := w.Step(duty, duty); err != nil {
+	for _, m := range scalingMeshes {
+		large := m.nx*m.ny >= 480*120
+		for _, bc := range []struct {
+			name   string
+			engine TransientEngine
+		}{
+			{"direct", EngineDirect},
+			{"bicgstab", EngineBiCGSTAB},
+			{"mor", EngineMOR},
+		} {
+			b.Run(fmt.Sprintf("%dx%d/%s", m.nx, m.ny, bc.name), func(b *testing.B) {
+				if large && os.Getenv("CHANMOD_BENCH_LARGE") == "" {
+					b.Skip("480x120 setup takes minutes; set CHANMOD_BENCH_LARGE=1 or use cmd/benchjson -transient")
+				}
+				s := benchStackAt(m.nx, m.ny)
+				w, err := s.NewTransientWorkspace(TransientConfig{Dt: 1e-3, Engine: bc.engine})
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := w.Step(duty, duty); err != nil {
-					b.Fatal(err)
+				// Warm past the cold-start ramp (covering both duty
+				// phases) so steps measure the periodic steady regime.
+				for i := 0; i < 25; i++ {
+					if err := w.Step(duty, duty); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := w.Step(duty, duty); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

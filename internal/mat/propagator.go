@@ -1,0 +1,127 @@
+package mat
+
+import "fmt"
+
+// ReducedPropagator caches the exact one-step propagator of a small dense
+// descriptor system Cr·ż + Gr·z = u over a fixed step Δt. With
+// Ar = −Cr⁻¹·Gr the variation-of-constants solution for an input held
+// constant across the step is
+//
+//	z(t+Δt) = E·z(t) + Ψ·u,   E = e^{Ar·Δt},   Ψ = ∫₀^Δt e^{Ar·s} ds · Cr⁻¹,
+//
+// both obtained from one matrix exponential of the 2m×2m block matrix
+// [[Ar·Δt, Δt·I], [0, 0]] (its top-right block is the integral term).
+// Rebuild is the cold path and reuses all workspaces; Advance is the
+// zero-alloc warm step of the reduced-order transient engine. This is the
+// piecewise-constant-input propagation the compact model's transition
+// maps use, specialized to the projected grid system.
+type ReducedPropagator struct {
+	dim int
+	dt  float64
+	e   *Dense // m×m state propagator E
+	psi *Dense // m×m input map Ψ
+
+	lu             LU     // dense factorization of Cr
+	ar             *Dense // −Cr⁻¹·Gr
+	aug, exp       *Dense // 2m×2m augmented matrix and its exponential
+	ws             ExpmWS
+	col, sol, work Vec
+}
+
+// Dim returns the reduced dimension m of the cached propagator, 0 before
+// the first Rebuild.
+func (p *ReducedPropagator) Dim() int { return p.dim }
+
+// Dt returns the step the propagator was built for.
+func (p *ReducedPropagator) Dt() float64 { return p.dt }
+
+// Rebuild recomputes E and Ψ for the projected matrices cr (symmetric
+// positive definite) and gr over the step dt, reusing the propagator's
+// workspaces when the dimension is unchanged. The inputs are not
+// modified. Deterministic: identical inputs give bit-identical
+// propagators regardless of workspace history.
+func (p *ReducedPropagator) Rebuild(cr, gr *Dense, dt float64) error {
+	m := cr.Rows()
+	if cr.Cols() != m || gr.Rows() != m || gr.Cols() != m {
+		return fmt.Errorf("%w: ReducedPropagator of %dx%d / %dx%d system", ErrDimension, cr.Rows(), cr.Cols(), gr.Rows(), gr.Cols())
+	}
+	if dt <= 0 {
+		return fmt.Errorf("mat: ReducedPropagator step %g, want > 0", dt)
+	}
+	if err := p.lu.Refactorize(cr); err != nil {
+		return fmt.Errorf("mat: ReducedPropagator capacitance factor: %w", err)
+	}
+	if cap(p.col) < m {
+		p.col = make(Vec, m)
+		p.sol = make(Vec, m)
+		p.work = make(Vec, m)
+	}
+	col, sol, work := p.col[:m], p.sol[:m], p.work[:m]
+
+	// Ar = −Cr⁻¹·Gr, column by column through the factorization.
+	p.ar = ReshapeDense(p.ar, m, m)
+	for j := 0; j < m; j++ {
+		for i := 0; i < m; i++ {
+			col[i] = gr.At(i, j)
+		}
+		if _, err := p.lu.SolveWS(sol, col, work); err != nil {
+			return err
+		}
+		for i := 0; i < m; i++ {
+			p.ar.Set(i, j, -sol[i])
+		}
+	}
+
+	// exp([[Ar·Δt, Δt·I], [0, 0]]) = [[E, ∫₀^Δt e^{Ar·s} ds], [0, I]].
+	p.aug = ReshapeDense(p.aug, 2*m, 2*m)
+	for i := 0; i < m; i++ {
+		row := p.aug.Row(i)
+		arow := p.ar.Row(i)
+		for j := 0; j < m; j++ {
+			row[j] = arow[j] * dt
+		}
+		row[m+i] = dt
+	}
+	var err error
+	p.exp, err = p.ws.Expm(p.exp, p.aug)
+	if err != nil {
+		return err
+	}
+
+	// Split the blocks: E directly, Ψ = Φ·Cr⁻¹ row-wise via the transposed
+	// solve (Crᵀ·Ψᵀ = Φᵀ, i.e. Ψ.Row(i) solves Crᵀ·x = Φ.Row(i)).
+	p.e = ReshapeDense(p.e, m, m)
+	p.psi = ReshapeDense(p.psi, m, m)
+	for i := 0; i < m; i++ {
+		xrow := p.exp.Row(i)
+		copy(p.e.Row(i), xrow[:m])
+		if _, err := p.lu.SolveTransposed(p.psi.Row(i), xrow[m:2*m]); err != nil {
+			return err
+		}
+	}
+	p.dim, p.dt = m, dt
+	return nil
+}
+
+// Advance computes one exact step dst = E·z + Ψ·u of the reduced system.
+// dst must not alias z or u. All three must have length Dim().
+//
+//chanmod:noalloc
+func (p *ReducedPropagator) Advance(dst, z, u Vec) error {
+	m := p.dim
+	if len(dst) != m || len(z) != m || len(u) != m {
+		return fmt.Errorf("%w: ReducedPropagator.Advance lengths %d/%d/%d, want %d", ErrDimension, len(dst), len(z), len(u), m)
+	}
+	for i := 0; i < m; i++ {
+		er, pr := p.e.Row(i), p.psi.Row(i)
+		var s float64
+		for j, zj := range z {
+			s += er[j] * zj
+		}
+		for j, uj := range u {
+			s += pr[j] * uj
+		}
+		dst[i] = s
+	}
+	return nil
+}

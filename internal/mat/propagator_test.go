@@ -1,0 +1,174 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// The 1×1 system c·ż + g·z = u has the closed form
+// z(Δt) = e^{-g/c·Δt}·z₀ + (1 − e^{-g/c·Δt})·u/g.
+func TestReducedPropagatorScalarExact(t *testing.T) {
+	cr := NewDenseFrom([][]float64{{2}})
+	gr := NewDenseFrom([][]float64{{3}})
+	const dt = 0.7
+	var p ReducedPropagator
+	if err := p.Rebuild(cr, gr, dt); err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 1 || p.Dt() != dt {
+		t.Fatalf("Dim/Dt = %d/%v", p.Dim(), p.Dt())
+	}
+	z, u, dst := Vec{1.5}, Vec{0.9}, make(Vec, 1)
+	if err := p.Advance(dst, z, u); err != nil {
+		t.Fatal(err)
+	}
+	e := math.Exp(-3.0 / 2.0 * dt)
+	want := e*1.5 + (1-e)*0.9/3.0
+	if math.Abs(dst[0]-want) > 1e-13 {
+		t.Fatalf("Advance = %.16g, want %.16g", dst[0], want)
+	}
+}
+
+func testSystem() (cr, gr *Dense) {
+	cr = NewDenseFrom([][]float64{
+		{2.0, 0.3, 0.1},
+		{0.3, 1.5, 0.2},
+		{0.1, 0.2, 3.0},
+	})
+	// Mildly nonsymmetric, diagonally dominant (stable like a projected
+	// conduction+advection operator).
+	gr = NewDenseFrom([][]float64{
+		{4.0, -1.0, -0.5},
+		{-1.2, 3.5, -0.8},
+		{-0.4, -0.9, 2.5},
+	})
+	return cr, gr
+}
+
+// The exact propagator satisfies the semigroup property: two Δt steps
+// under a constant input equal one 2Δt step, to roundoff — this is what
+// separates it from a first-order time-stepping scheme.
+func TestReducedPropagatorSemigroup(t *testing.T) {
+	cr, gr := testSystem()
+	const dt = 0.05
+	var p1, p2 ReducedPropagator
+	if err := p1.Rebuild(cr, gr, dt); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Rebuild(cr, gr, 2*dt); err != nil {
+		t.Fatal(err)
+	}
+	z := Vec{1, -2, 0.5}
+	u := Vec{0.4, 0.1, -0.3}
+	a, b, c := make(Vec, 3), make(Vec, 3), make(Vec, 3)
+	if err := p1.Advance(a, z, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Advance(b, a, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Advance(c, z, u); err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if math.Abs(b[i]-c[i]) > 1e-12 {
+			t.Fatalf("semigroup violated at %d: two steps %v vs one double step %v", i, b[i], c[i])
+		}
+	}
+}
+
+// The steady state z* = Gr⁻¹·u is a fixed point of the exact propagator.
+func TestReducedPropagatorFixedPoint(t *testing.T) {
+	cr, gr := testSystem()
+	var p ReducedPropagator
+	if err := p.Rebuild(cr, gr, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	u := Vec{1, 2, -0.5}
+	zs, err := Solve(gr, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make(Vec, 3)
+	if err := p.Advance(dst, zs, u); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if math.Abs(dst[i]-zs[i]) > 1e-11*math.Abs(zs[i])+1e-12 {
+			t.Fatalf("fixed point drifted at %d: %v -> %v", i, zs[i], dst[i])
+		}
+	}
+}
+
+// Rebuild must be deterministic and workspace-reuse invariant.
+func TestReducedPropagatorDeterministic(t *testing.T) {
+	cr, gr := testSystem()
+	var p, q ReducedPropagator
+	if err := p.Rebuild(cr, gr, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	// Disturb p's workspaces with a different system, then rebuild.
+	if err := p.Rebuild(gr, cr, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Rebuild(cr, gr, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Rebuild(cr, gr, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	z, u := Vec{0.2, -1, 3}, Vec{1, 0, -2}
+	a, b := make(Vec, 3), make(Vec, 3)
+	if err := p.Advance(a, z, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Advance(b, z, u); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rebuild not bit-identical at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReducedPropagatorErrors(t *testing.T) {
+	var p ReducedPropagator
+	if err := p.Rebuild(NewDense(2, 3), NewDense(2, 2), 0.1); err == nil {
+		t.Fatal("non-square Cr must fail")
+	}
+	if err := p.Rebuild(NewDense(2, 2), NewDense(3, 3), 0.1); err == nil {
+		t.Fatal("mismatched Gr must fail")
+	}
+	if err := p.Rebuild(Identity(2), Identity(2), 0); err == nil {
+		t.Fatal("zero step must fail")
+	}
+	if err := p.Rebuild(NewDense(2, 2), Identity(2), 0.1); err == nil {
+		t.Fatal("singular Cr must fail")
+	}
+	if err := p.Rebuild(Identity(2), Identity(2), 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Advance(make(Vec, 3), make(Vec, 2), make(Vec, 2)); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+// The warm step of the reduced-order transient engine must not allocate.
+func TestReducedPropagatorAdvanceAllocs(t *testing.T) {
+	cr, gr := testSystem()
+	var p ReducedPropagator
+	if err := p.Rebuild(cr, gr, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	z, u, dst := Vec{1, 2, 3}, Vec{0.1, 0.2, 0.3}, make(Vec, 3)
+	//chanmod:allocgate mat.ReducedPropagator.Advance
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.Advance(dst, z, u); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Advance allocated %v times per run, want 0", allocs)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/floorplan"
+	"repro/internal/grid"
 	"repro/internal/microchannel"
 	"repro/internal/power"
 	"repro/internal/units"
@@ -113,6 +114,10 @@ type Runtime struct {
 	FlowScaleRange [2]float64 `json:"flow_scale_range,omitempty"`
 	// NX is the grid resolution along the flow (0 → 40).
 	NX int `json:"nx,omitempty"`
+	// Engine selects the transient plant engine: "lu" (default — the
+	// factor-once direct solver), "bicgstab", or "mor" (the
+	// reduced-order Krylov/exponential engine for large meshes).
+	Engine string `json:"engine,omitempty"`
 }
 
 // Params mirrors compact.Params in engineering units. Dimensions and
@@ -487,6 +492,11 @@ func (f *File) RuntimeSpec() (*control.RuntimeSpec, error) {
 		rs.FlowScaleMin = rt.FlowScaleRange[0]
 		rs.FlowScaleMax = rt.FlowScaleRange[1]
 		rs.NX = rt.NX
+		eng, err := grid.ParseTransientEngine(rt.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %q: %w", f.Name, err)
+		}
+		rs.Engine = eng
 	}
 	if err := rs.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,83 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// This file holds the Krylov-subspace kernels of the reduced-order
+// transient engine (grid.EngineMOR): modified Gram-Schmidt
+// orthonormalization and the rational-Krylov chain that reuses an
+// existing LUFactor of the backward-Euler matrix A = G + C/Δt as the
+// shifted solve. The chain directions
+//
+//	A⁻¹·s, (A⁻¹C)·A⁻¹·s, (A⁻¹C)²·A⁻¹·s, …
+//
+// span the rational Krylov space K_d((G+σC)⁻¹C, (G+σC)⁻¹s) at the
+// shift σ = 1/Δt, so a Galerkin projection onto it matches the first d
+// moments of the transfer function expanded at the backward-Euler pole —
+// exactly the frequency band the stepping scheme resolves.
+
+// Orthonormalize orthogonalizes w against the basis with modified
+// Gram-Schmidt (two passes, which restores orthogonality to working
+// precision even for nearly dependent inputs), normalizes it, and appends
+// it. w is modified in place and owned by the returned basis when
+// accepted. The vector is rejected — a happy breakdown, the basis is
+// returned unchanged — when the norm remaining after orthogonalization
+// drops below dropTol times the input norm. The basis vectors must all
+// share w's length; the construction is deterministic.
+func Orthonormalize(basis []mat.Vec, w mat.Vec, dropTol float64) ([]mat.Vec, bool) {
+	norm0 := w.Norm2()
+	if norm0 == 0 {
+		return basis, false
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, v := range basis {
+			h := v.Dot(w)
+			if h != 0 {
+				w.AddScaled(-h, v)
+			}
+		}
+	}
+	nrm := w.Norm2()
+	if nrm <= dropTol*norm0 {
+		return basis, false
+	}
+	w.Scale(1 / nrm)
+	return append(basis, w), true
+}
+
+// KrylovChain extends an orthonormal basis with up to depth directions of
+// the rational Krylov chain seeded at seed: v₁ = A⁻¹·seed, then
+// v_{k+1} = A⁻¹·(C·v_k) where A is the factored matrix and C the diagonal
+// capacitance vector caps. Every direction is orthogonalized against the
+// whole basis (block-Arnoldi with full orthogonalization); the chain
+// stops early on happy breakdown or when the basis reaches maxDim. The
+// seed is not modified. The returned basis shares storage with the input.
+func KrylovChain(lu *LUFactor, caps mat.Vec, basis []mat.Vec, seed mat.Vec, depth, maxDim int, dropTol float64) ([]mat.Vec, error) {
+	n := lu.N()
+	if len(seed) != n || len(caps) != n {
+		return basis, fmt.Errorf("sparse: KrylovChain seed/caps length %d/%d, want %d", len(seed), len(caps), n)
+	}
+	w := make(mat.Vec, n)
+	if err := lu.SolveInto(w, seed); err != nil {
+		return basis, err
+	}
+	for k := 0; k < depth && len(basis) < maxDim; k++ {
+		next, ok := Orthonormalize(basis, w, dropTol)
+		if !ok {
+			break // chain direction exhausted: already represented
+		}
+		basis = next
+		last := basis[len(basis)-1]
+		w = make(mat.Vec, n)
+		for i, c := range caps {
+			w[i] = c * last[i]
+		}
+		if err := lu.SolveInto(w, w); err != nil {
+			return basis, err
+		}
+	}
+	return basis, nil
+}

@@ -1,0 +1,166 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// krylovTestSystem builds the backward-Euler matrix A = G + C/Δt of a
+// 1-D conduction chain (n cells, conductance 1 between neighbors, a sink
+// at cell 0) with nonuniform capacitances, factored for the chain solves.
+func krylovTestSystem(t *testing.T, n int, dt float64) (*LUFactor, mat.Vec) {
+	t.Helper()
+	caps := make(mat.Vec, n)
+	for i := range caps {
+		caps[i] = 1 + 0.1*float64(i)
+	}
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		d := caps[i] / dt
+		if i == 0 {
+			d += 1 // sink
+		}
+		if i > 0 {
+			d += 1
+			b.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			d += 1
+			b.Add(i, i+1, -1)
+		}
+		b.Add(i, i, d)
+	}
+	lu, err := FactorLU(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lu, caps
+}
+
+func TestOrthonormalize(t *testing.T) {
+	v1 := mat.Vec{3, 0, 0, 0}
+	basis, ok := Orthonormalize(nil, v1, 1e-12)
+	if !ok || len(basis) != 1 || math.Abs(basis[0].Norm2()-1) > 1e-15 {
+		t.Fatalf("first vector: ok=%v len=%d", ok, len(basis))
+	}
+	// A duplicate direction is a happy breakdown.
+	if _, ok := Orthonormalize(basis, mat.Vec{5, 0, 0, 0}, 1e-12); ok {
+		t.Fatal("duplicate direction must be rejected")
+	}
+	// The zero vector is rejected.
+	if _, ok := Orthonormalize(basis, mat.Vec{0, 0, 0, 0}, 1e-12); ok {
+		t.Fatal("zero vector must be rejected")
+	}
+	// An independent direction extends the basis orthonormally.
+	basis, ok = Orthonormalize(basis, mat.Vec{1, 2, 0, 0}, 1e-12)
+	if !ok || len(basis) != 2 {
+		t.Fatal("independent direction must be accepted")
+	}
+	if d := basis[0].Dot(basis[1]); math.Abs(d) > 1e-14 {
+		t.Fatalf("basis not orthogonal: %v", d)
+	}
+}
+
+func TestKrylovChainSpansShiftedSolves(t *testing.T) {
+	const n, dt = 12, 0.25
+	lu, caps := krylovTestSystem(t, n, dt)
+	seed := make(mat.Vec, n)
+	seed[n-1] = 2 // input at the far end
+	basis, err := KrylovChain(lu, caps, nil, seed, 4, 64, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(basis) != 4 {
+		t.Fatalf("chain depth 4 produced %d directions", len(basis))
+	}
+	// Orthonormality.
+	for i := range basis {
+		for j := range basis {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if d := basis[i].Dot(basis[j]); math.Abs(d-want) > 1e-12 {
+				t.Fatalf("VᵀV[%d][%d] = %v, want %v", i, j, d, want)
+			}
+		}
+	}
+	// The first chain direction A⁻¹·seed lies in the span: its projection
+	// residual vanishes.
+	w, err := lu.Solve(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Clone()
+	for _, v := range basis {
+		r.AddScaled(-v.Dot(w), v)
+	}
+	if rel := r.Norm2() / w.Norm2(); rel > 1e-12 {
+		t.Fatalf("A⁻¹·seed escapes the subspace: relative residual %v", rel)
+	}
+}
+
+func TestKrylovChainRespectsMaxDimAndBreakdown(t *testing.T) {
+	const n, dt = 8, 0.5
+	lu, caps := krylovTestSystem(t, n, dt)
+	seed := make(mat.Vec, n)
+	seed[0] = 1
+	basis, err := KrylovChain(lu, caps, nil, seed, 100, 3, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(basis) != 3 {
+		t.Fatalf("maxDim 3 exceeded: %d", len(basis))
+	}
+	// Depth beyond the space dimension must stop at n (happy breakdown).
+	basis, err = KrylovChain(lu, caps, nil, seed, 100, 100, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(basis) > n {
+		t.Fatalf("basis larger than the space: %d > %d", len(basis), n)
+	}
+	// A zero seed contributes nothing.
+	basis, err = KrylovChain(lu, caps, basis, make(mat.Vec, n), 5, 100, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(basis) > n {
+		t.Fatalf("zero seed grew the basis: %d", len(basis))
+	}
+	// Length mismatches are rejected.
+	if _, err := KrylovChain(lu, caps, nil, make(mat.Vec, n+1), 1, 10, 1e-12); err == nil {
+		t.Fatal("seed length mismatch must fail")
+	}
+	if _, err := KrylovChain(lu, caps[:n-1], nil, seed, 1, 10, 1e-12); err == nil {
+		t.Fatal("caps length mismatch must fail")
+	}
+}
+
+func TestMulTransVec(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.Add(0, 0, 2)
+	b.Add(0, 3, -1)
+	b.Add(1, 1, 5)
+	b.Add(2, 0, 1)
+	b.Add(2, 2, 4)
+	m := b.Build()
+	x := mat.Vec{1, 2, 3}
+	got := m.MulTransVec(nil, x)
+	want := mat.Vec{2*1 + 1*3, 5 * 2, 4 * 3, -1 * 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulTransVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Agreement with the dense transpose on the same vector.
+	d := m.Dense().Transpose()
+	dw := d.MulVec(nil, x)
+	for i := range dw {
+		if math.Abs(got[i]-dw[i]) > 1e-15 {
+			t.Fatalf("transpose mismatch at %d", i)
+		}
+	}
+}

@@ -135,6 +135,31 @@ func (m *CSR) MulVec(dst, x mat.Vec) mat.Vec {
 	return dst
 }
 
+// MulTransVec computes dst = Mᵀ·x without materializing the transpose
+// (scatter over the stored rows), allocating when dst is nil. dst must
+// not alias x.
+func (m *CSR) MulTransVec(dst, x mat.Vec) mat.Vec {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("sparse: MulTransVec wants %d elements, got %d", m.rows, len(x)))
+	}
+	if dst == nil {
+		dst = make(mat.Vec, m.cols)
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			dst[m.colIdx[k]] += m.values[k] * xi
+		}
+	}
+	return dst
+}
+
 // Diagonal extracts the main diagonal into a new vector; missing entries
 // are zero.
 func (m *CSR) Diagonal() mat.Vec {
