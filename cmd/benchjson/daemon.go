@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	channelmod "repro"
+	"repro/internal/daemon"
+	"repro/internal/loadgen"
+)
+
+// Daemon load benchmark (-daemon): drive a real chanmodd server over
+// HTTP with the deterministic internal/loadgen harness and commit the
+// serving-layer perf trajectory as BENCH_daemon.json.
+//
+// Two phases, each with a pinned seed so the request sequence is
+// reproducible run to run:
+//
+//   - steady: a mixed plan (sync runs, submit/poll cycles, overlapping
+//     sweep resubmissions, SSE/NDJSON subscribers) under generous
+//     admission limits — the daemon must serve everything with zero
+//     errors and zero sheds. Its per-endpoint p50/p95/p99, throughput
+//     and cache hit ratio are the trajectory.
+//   - overload: the same traffic shape bursting against deliberately
+//     tiny limits — the daemon must shed (429 + Retry-After) rather
+//     than error, and every admitted request must still complete.
+//
+// The emitted document embeds the daemon's own /v1/metrics snapshot
+// from the steady phase (server-side solve-latency distribution,
+// admission gauges) alongside the client-observed numbers, so the two
+// views can be cross-checked.
+
+// Pinned phase seeds: the committed trajectory is comparable across
+// revisions only because these never change.
+const (
+	steadySeed   = 101
+	overloadSeed = 202
+)
+
+// DaemonReport is the BENCH_daemon.json document.
+type DaemonReport struct {
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	Smoke     bool   `json:"smoke,omitempty"`
+	Seeds     struct {
+		Steady   int64 `json:"steady"`
+		Overload int64 `json:"overload"`
+	} `json:"seeds"`
+	Steady   loadgen.Report `json:"steady"`
+	Overload loadgen.Report `json:"overload"`
+	// ServerMetrics is the steady-phase daemon's own /v1/metrics
+	// snapshot, taken after the plan drained.
+	ServerMetrics json.RawMessage `json:"server_metrics"`
+}
+
+// runDaemonBench executes both phases and writes the report.
+func runDaemonBench(out string, smoke bool) error {
+	steadyCfg := loadgen.Config{Seed: steadySeed, Ops: 400, Concurrency: 16, Scenarios: 6}
+	overloadCfg := loadgen.Config{
+		Seed: overloadSeed, Ops: 128, Concurrency: 16, Scenarios: 4,
+		Mix: loadgen.Mix{Run: 6, Submit: 3, Resubmit: 1, Subscribe: 2},
+	}
+	if smoke {
+		steadyCfg.Ops, steadyCfg.Concurrency = 60, 8
+		overloadCfg.Ops, overloadCfg.Concurrency = 40, 12
+	}
+
+	rep := DaemonReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Smoke:     smoke,
+	}
+	rep.Seeds.Steady, rep.Seeds.Overload = steadySeed, overloadSeed
+
+	// Steady phase: generous limits, everything must be served.
+	steady, metrics, err := runPhase(steadyCfg, daemon.Limits{
+		RunInflight: 2 * runtime.GOMAXPROCS(0), RunQueue: daemon.Unlimited,
+		SubmitInflight: 2 * runtime.GOMAXPROCS(0), SubmitQueue: daemon.Unlimited,
+	}, true)
+	if err != nil {
+		return fmt.Errorf("steady phase: %w", err)
+	}
+	rep.Steady, rep.ServerMetrics = steady, metrics
+	if n := steady.TotalErrors(); n != 0 {
+		return fmt.Errorf("steady phase: %d non-shed errors, want 0", n)
+	}
+	if n := steady.TotalShed(); n != 0 {
+		return fmt.Errorf("steady phase: %d sheds under unlimited queues, want 0", n)
+	}
+	if steady.RequestsPerSec <= 0 {
+		return fmt.Errorf("steady phase: throughput %v, want > 0", steady.RequestsPerSec)
+	}
+	if steady.Cache.HitRatio <= 0 {
+		return fmt.Errorf("steady phase: cache hit ratio %v, want > 0", steady.Cache.HitRatio)
+	}
+
+	// Overload phase: tiny limits, the daemon must shed rather than
+	// error, and the admitted requests must all complete.
+	overload, _, err := runPhase(overloadCfg, daemon.Limits{
+		RunInflight: 1, RunQueue: 2, SubmitInflight: 1, SubmitQueue: 2,
+	}, false)
+	if err != nil {
+		return fmt.Errorf("overload phase: %w", err)
+	}
+	rep.Overload = overload
+	if n := overload.TotalErrors(); n != 0 {
+		return fmt.Errorf("overload phase: %d non-shed errors, want 0", n)
+	}
+	if overload.TotalShed() == 0 {
+		return fmt.Errorf("overload phase: no 429s under %dx-capacity burst, want >= 1", overloadCfg.Concurrency)
+	}
+
+	fh, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	enc := json.NewEncoder(fh)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: steady %.0f req/s, run p95 %.2f ms, hit ratio %.2f; overload shed %d of %d ops\n",
+		out, rep.Steady.RequestsPerSec, rep.Steady.Endpoints["run"].Latency.P95Ms,
+		rep.Steady.Cache.HitRatio, rep.Overload.TotalShed(), rep.Overload.Ops)
+	return nil
+}
+
+// runPhase starts a fresh daemon with the given limits on a loopback
+// listener, drives the plan, optionally snapshots /v1/metrics, and
+// shuts the server down.
+func runPhase(cfg loadgen.Config, limits daemon.Limits, wantMetrics bool) (loadgen.Report, json.RawMessage, error) {
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	srv := daemon.NewOptions(baseCtx, channelmod.NewEngine(1024), daemon.Options{Limits: limits})
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return loadgen.Report{}, nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	baseURL := "http://" + ln.Addr().String()
+
+	plan, err := loadgen.BuildPlan(cfg)
+	if err != nil {
+		return loadgen.Report{}, nil, err
+	}
+	report, err := loadgen.Run(context.Background(), baseURL, cfg, plan)
+	if err != nil {
+		return loadgen.Report{}, nil, err
+	}
+
+	var metrics json.RawMessage
+	if wantMetrics {
+		resp, err := http.Get(baseURL + "/v1/metrics")
+		if err != nil {
+			return loadgen.Report{}, nil, err
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return loadgen.Report{}, nil, rerr
+		}
+		metrics = json.RawMessage(b)
+	}
+
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return loadgen.Report{}, nil, fmt.Errorf("daemon drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return loadgen.Report{}, nil, err
+	}
+	<-serveErr
+	return report, metrics, nil
+}

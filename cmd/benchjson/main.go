@@ -18,6 +18,7 @@
 //
 //	benchjson [-out BENCH_optimize.json] [-smoke]
 //	benchjson -transient [-out BENCH_transient.json] [-smoke]
+//	benchjson -daemon [-out BENCH_daemon.json] [-smoke]
 //
 // -smoke shrinks the problem (8 segments, truncated outer loop, fewer
 // repetitions) so CI can exercise the same code path in seconds; the
@@ -27,6 +28,12 @@
 // E10-style closed-loop measurement documented in transient.go
 // (BENCH_transient.json is the committed full run; -smoke caps the
 // sweep at 96×24 so CI exercises the scaling curve in seconds).
+//
+// -daemon switches to the serving-layer load benchmark documented in
+// daemon.go: a deterministic internal/loadgen mixed-traffic plan
+// driven against a real chanmodd server, plus a deliberate overload
+// burst that must shed with 429 (BENCH_daemon.json is the committed
+// full run; -smoke shrinks the plan so CI can run it under -race).
 package main
 
 import (
@@ -71,15 +78,22 @@ type Report struct {
 func main() { cliutil.Main(run) }
 
 func run() error {
-	out := flag.String("out", "", "output path for the JSON snapshot (default BENCH_optimize.json, or BENCH_transient.json with -transient)")
+	out := flag.String("out", "", "output path for the JSON snapshot (default BENCH_optimize.json, BENCH_transient.json with -transient, or BENCH_daemon.json with -daemon)")
 	smoke := flag.Bool("smoke", false, "shrunken problem and repetitions for CI")
 	transient := flag.Bool("transient", false, "measure the transient engines' mesh-size scaling instead of the gradient path")
+	daemonBench := flag.Bool("daemon", false, "measure the chanmodd serving layer under deterministic mixed load instead of the gradient path")
 	flag.Parse()
 	if *transient {
 		if *out == "" {
 			*out = "BENCH_transient.json"
 		}
 		return runTransient(*out, *smoke)
+	}
+	if *daemonBench {
+		if *out == "" {
+			*out = "BENCH_daemon.json"
+		}
+		return runDaemonBench(*out, *smoke)
 	}
 	if *out == "" {
 		*out = "BENCH_optimize.json"

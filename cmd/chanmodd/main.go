@@ -12,15 +12,24 @@
 // Usage:
 //
 //	chanmodd [-addr 127.0.0.1:8080] [-cache 128]
+//	         [-run-inflight N] [-run-queue N] [-submit-inflight N] [-submit-queue N]
 //
-// Endpoints (see internal/daemon and DESIGN.md §9.3/§10):
+// The daemon admits work instead of queueing unboundedly: each heavy
+// endpoint class (synchronous runs, async submissions) has a fixed
+// number of execution slots plus a bounded accept queue, and a request
+// that finds both full is shed with 429 Too Many Requests and a
+// Retry-After estimate (DESIGN.md §15). The -run-*/-submit-* flags
+// override the GOMAXPROCS-derived defaults; 0 keeps the default.
+//
+// Endpoints (see internal/daemon and DESIGN.md §9.3/§10/§15):
 //
 //	POST /v1/jobs             submit a Job JSON; returns {"id", "status"} immediately
 //	GET  /v1/jobs/{id}        poll a submission's status
 //	GET  /v1/jobs/{id}/events stream per-point completions (SSE; ?format=ndjson for NDJSON)
 //	GET  /v1/results/{id}     fetch a cached result by content address (404 until done)
 //	POST /v1/run              run a Job synchronously; X-Cache: hit|coalesced|miss
-//	GET  /v1/stats            cache and worker-pool statistics
+//	GET  /v1/stats            cache, queue-depth and solve-latency statistics
+//	GET  /v1/metrics          full ops-metrics snapshot (per-endpoint latency histograms)
 //	GET  /healthz             liveness probe
 package main
 
@@ -43,6 +52,10 @@ func main() { cliutil.Main(run) }
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	cacheN := flag.Int("cache", 0, "result-cache capacity in entries (0 = default)")
+	runInflight := flag.Int("run-inflight", 0, "max concurrently executing synchronous runs (0 = 2x GOMAXPROCS)")
+	runQueue := flag.Int("run-queue", 0, "max synchronous runs waiting for a slot (0 = 4x run-inflight)")
+	submitInflight := flag.Int("submit-inflight", 0, "max concurrently executing async submissions (0 = 2x GOMAXPROCS)")
+	submitQueue := flag.Int("submit-queue", 0, "max accepted-but-not-executing submissions (0 = 8x submit-inflight)")
 	flag.Parse()
 
 	// Background executions outlive their originating requests but not
@@ -50,7 +63,12 @@ func run() error {
 	// drained (run's defers unwind last-in-first-out).
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
-	s := daemon.NewContext(baseCtx, channelmod.NewEngine(*cacheN))
+	s := daemon.NewOptions(baseCtx, channelmod.NewEngine(*cacheN), daemon.Options{
+		Limits: daemon.Limits{
+			RunInflight: *runInflight, RunQueue: *runQueue,
+			SubmitInflight: *submitInflight, SubmitQueue: *submitQueue,
+		},
+	})
 	httpSrv := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -72,6 +90,14 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "chanmodd: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		// Drain the daemon first (event streams flush a terminal message
+		// instead of being dropped mid-stream), then settle the HTTP
+		// connections; cancelBase aborts any still-detached solves last.
+		drainCtx, cancelDrain := context.WithTimeout(shutdownCtx, 8*time.Second)
+		defer cancelDrain()
+		if err := s.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "chanmodd: drain: %v\n", err)
+		}
 		return httpSrv.Shutdown(shutdownCtx)
 	}
 }

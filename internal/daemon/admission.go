@@ -1,0 +1,180 @@
+package daemon
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Admission control: the daemon bounds how much solve work it accepts
+// instead of queueing unboundedly. Each heavy endpoint class has a
+// limiter with a fixed number of execution slots plus a bounded accept
+// queue; a request that finds both full is shed immediately with
+// 429 Too Many Requests and a Retry-After estimate, so overload turns
+// into fast, explicit backpressure rather than collapse. Cheap
+// read-only endpoints (poll, result fetch, stats, metrics, health) are
+// never limited.
+//
+// Two limiters cover the two ways work enters the engine:
+//
+//   - run: synchronous executions — POST /v1/run, and the event
+//     endpoint's replay path when the address is no longer cached
+//     (a replay of a cached result is a read and bypasses admission).
+//   - submit: asynchronous background executions — POST /v1/jobs.
+//     A submission holds its admission from accept until its
+//     background execution completes, so the queue bound caps the
+//     daemon's total backlog, not just its instantaneous accept rate.
+
+// Limits configures admission control. The zero value of any field
+// selects its default; Unlimited disables a bound explicitly.
+type Limits struct {
+	// RunInflight bounds concurrently executing synchronous runs
+	// (default 2×GOMAXPROCS — the engine's solve pool saturates at
+	// GOMAXPROCS, so deeper concurrency only adds queueing delay).
+	RunInflight int
+	// RunQueue bounds synchronous runs waiting for a slot
+	// (default 4×RunInflight).
+	RunQueue int
+	// SubmitInflight bounds concurrently executing background
+	// submissions (default 2×GOMAXPROCS).
+	SubmitInflight int
+	// SubmitQueue bounds accepted-but-not-yet-executing submissions
+	// (default 8×SubmitInflight — async callers tolerate deeper queues
+	// than blocked synchronous ones).
+	SubmitQueue int
+}
+
+// Unlimited disables a limit field explicitly (Limits{RunQueue: Unlimited}).
+const Unlimited = math.MaxInt32
+
+// DefaultLimits returns the default admission configuration.
+func DefaultLimits() Limits {
+	procs := runtime.GOMAXPROCS(0)
+	l := Limits{
+		RunInflight:    2 * procs,
+		SubmitInflight: 2 * procs,
+	}
+	l.RunQueue = 4 * l.RunInflight
+	l.SubmitQueue = 8 * l.SubmitInflight
+	return l
+}
+
+// withDefaults fills zero fields from DefaultLimits.
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.RunInflight <= 0 {
+		l.RunInflight = d.RunInflight
+	}
+	if l.RunQueue <= 0 {
+		l.RunQueue = 4 * l.RunInflight
+	}
+	if l.SubmitInflight <= 0 {
+		l.SubmitInflight = d.SubmitInflight
+	}
+	if l.SubmitQueue <= 0 {
+		l.SubmitQueue = 8 * l.SubmitInflight
+	}
+	return l
+}
+
+// limiter is one endpoint class's admission gate: inflight execution
+// slots plus a bounded accept queue, both lock-free on the shed path.
+type limiter struct {
+	slots    chan struct{} // capacity = inflight
+	admitted telemetry.Gauge
+	inflight int
+	capacity int64 // inflight + queue
+	shed     telemetry.Counter
+}
+
+func newLimiter(inflight, queue int) *limiter {
+	if inflight < 1 {
+		inflight = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &limiter{
+		slots:    make(chan struct{}, inflight),
+		inflight: inflight,
+		capacity: int64(inflight) + int64(queue),
+	}
+}
+
+// admit reserves a queue position. It never blocks: false means the
+// queue is full and the request must be shed. A successful admission
+// must be followed by exactly one wait/cancel pair.
+func (l *limiter) admit() bool {
+	if l.admitted.Add(1) > l.capacity {
+		l.admitted.Add(-1)
+		l.shed.Inc()
+		return false
+	}
+	return true
+}
+
+// wait blocks an admitted request until an execution slot frees (or ctx
+// ends). It returns a release function on success; calling release
+// ends both the slot and the admission.
+func (l *limiter) wait(ctx context.Context) (release func(), ok bool) {
+	select {
+	case l.slots <- struct{}{}:
+	default:
+		select {
+		case l.slots <- struct{}{}:
+		case <-ctx.Done():
+			l.admitted.Add(-1)
+			return nil, false
+		}
+	}
+	return func() {
+		<-l.slots
+		l.admitted.Add(-1)
+	}, true
+}
+
+// cancel abandons an admission without having acquired a slot.
+func (l *limiter) cancel() { l.admitted.Add(-1) }
+
+// depth reports (executing, queued): slot occupancy, and admissions
+// still waiting for a slot. Both are instantaneous monitoring reads,
+// not a consistent cut.
+func (l *limiter) depth() (executing, queued int64) {
+	executing = int64(len(l.slots))
+	queued = l.admitted.Load() - executing
+	if queued < 0 {
+		queued = 0
+	}
+	return executing, queued
+}
+
+// shedWith429 answers a shed request: 429 with a Retry-After estimate
+// derived from the engine's observed solve latency and the limiter's
+// backlog — roughly how long until a freshly shed request would find a
+// free queue position.
+func (s *Server) shedWith429(w http.ResponseWriter, l *limiter, what string) {
+	retry := retryAfterSeconds(s.eng.ExecLatency().Quantile(0.5), l)
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusTooManyRequests, errTooBusy(what))
+}
+
+// retryAfterSeconds estimates the drain time of one queue position:
+// backlog × p50 solve latency / slots, clamped to [1, 60] seconds.
+// With no latency history yet it reports the 1-second floor.
+func retryAfterSeconds(p50 time.Duration, l *limiter) int {
+	_, queued := l.depth()
+	est := time.Duration(queued+1) * p50 / time.Duration(l.inflight)
+	secs := int(est / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}

@@ -15,8 +15,15 @@
 //	GET  /v1/jobs/{id}/events stream per-point completions (SSE; NDJSON with ?format=ndjson)
 //	GET  /v1/results/{id}     fetch a cached result by content address (404 until done)
 //	POST /v1/run              run a Job synchronously; X-Cache: hit|coalesced|miss
-//	GET  /v1/stats            cache and worker-pool statistics
+//	GET  /v1/stats            cache, queue-depth and solve-latency statistics
+//	GET  /v1/metrics          full ops-metrics snapshot (per-endpoint latency histograms)
 //	GET  /healthz             liveness probe
+//
+// The daemon admits work instead of queueing it unboundedly: each heavy
+// endpoint class has a fixed number of execution slots plus a bounded
+// accept queue, and a request that finds both full is shed with
+// 429 Too Many Requests and a Retry-After estimate (see admission.go
+// and DESIGN.md §15).
 package daemon
 
 import (
@@ -28,12 +35,22 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	channelmod "repro"
+	"repro/internal/telemetry"
 )
 
 // maxJobBytes bounds a submitted job document.
 const maxJobBytes = 8 << 20
+
+// errDraining answers new work arriving during graceful shutdown.
+var errDraining = fmt.Errorf("daemon is shutting down")
+
+// errTooBusy answers a shed request (429).
+func errTooBusy(what string) error {
+	return fmt.Errorf("too many %s requests in flight; retry later", what)
+}
 
 // jobStatus is a submission's lifecycle state.
 type jobStatus string
@@ -66,11 +83,11 @@ type jobState struct {
 	feed *feed
 }
 
-// maxTracked bounds the submission registry: beyond it, the oldest
-// completed (done/failed) states are pruned. States still queued or
-// running are never dropped, so the registry can only exceed the bound
-// while that many jobs are genuinely in flight.
-const maxTracked = 1024
+// defaultMaxTracked bounds the submission registry: beyond it, the
+// least-recently-completed (done/failed) states are pruned. States
+// still queued or running are never dropped, so the registry can only
+// exceed the bound while that many jobs are genuinely in flight.
+const defaultMaxTracked = 1024
 
 // maxRetainedJobBytes bounds the canonical job document a jobState
 // retains for event replay; together with maxTracked it caps the
@@ -87,6 +104,15 @@ func retainable(p *channelmod.PreparedJob) *channelmod.PreparedJob {
 	return p
 }
 
+// Options configures a Server beyond its engine.
+type Options struct {
+	// Limits is the admission-control configuration; zero fields take
+	// defaults (see DefaultLimits).
+	Limits Limits
+	// MaxTracked bounds the submission registry (0 → 1024).
+	MaxTracked int
+}
+
 // Server owns the engine and the submission registry.
 type Server struct {
 	eng *channelmod.Engine
@@ -96,9 +122,24 @@ type Server struct {
 	// become cancellable instead of leaking.
 	baseCtx context.Context
 
+	limits     Limits
+	runLim     *limiter
+	submitLim  *limiter
+	metrics    *opsMetrics
+	maxTracked int
+
 	mu    sync.Mutex
 	jobs  map[string]*jobState
-	order []string // insertion order, for registry pruning
+	order []string // pruning order: insertion order, completed moved to back on completion
+
+	// Graceful drain (see Shutdown): draining rejects new work,
+	// drainForce tells in-flight event streams to flush a terminal
+	// message now, streams counts event streams that have not yet
+	// written their terminal message.
+	draining   atomic.Bool
+	drainForce chan struct{}
+	forceOnce  sync.Once
+	streams    sync.WaitGroup
 
 	submitted atomic.Uint64
 	running   atomic.Int64
@@ -107,7 +148,7 @@ type Server struct {
 }
 
 // New returns a server over the given engine, scoped to the process
-// lifetime.
+// lifetime, with default admission limits.
 func New(eng *channelmod.Engine) *Server {
 	return NewContext(context.Background(), eng)
 }
@@ -118,22 +159,43 @@ func New(eng *channelmod.Engine) *Server {
 // on. Pass the context that outlives graceful shutdown, not a
 // per-request one.
 func NewContext(ctx context.Context, eng *channelmod.Engine) *Server {
-	return &Server{eng: eng, baseCtx: ctx, jobs: make(map[string]*jobState)}
+	return NewOptions(ctx, eng, Options{})
 }
 
-// track registers a new state under s.mu and prunes the oldest
-// completed entries beyond maxTracked.
+// NewOptions is NewContext with explicit admission limits and registry
+// bounds.
+func NewOptions(ctx context.Context, eng *channelmod.Engine, opts Options) *Server {
+	limits := opts.Limits.withDefaults()
+	maxTracked := opts.MaxTracked
+	if maxTracked <= 0 {
+		maxTracked = defaultMaxTracked
+	}
+	return &Server{
+		eng:        eng,
+		baseCtx:    ctx,
+		limits:     limits,
+		runLim:     newLimiter(limits.RunInflight, limits.RunQueue),
+		submitLim:  newLimiter(limits.SubmitInflight, limits.SubmitQueue),
+		metrics:    newOpsMetrics(),
+		maxTracked: maxTracked,
+		jobs:       make(map[string]*jobState),
+		drainForce: make(chan struct{}),
+	}
+}
+
+// track registers a new state under s.mu and prunes the
+// least-recently-completed entries beyond maxTracked.
 func (s *Server) track(hash string, st *jobState) {
 	if _, exists := s.jobs[hash]; !exists {
 		s.order = append(s.order, hash)
 	}
 	st.EventsURL = "/v1/jobs/" + hash + "/events"
 	s.jobs[hash] = st
-	if len(s.jobs) <= maxTracked {
+	if len(s.jobs) <= s.maxTracked {
 		return
 	}
 	kept := s.order[:0]
-	excess := len(s.jobs) - maxTracked
+	excess := len(s.jobs) - s.maxTracked
 	for _, h := range s.order {
 		old, ok := s.jobs[h]
 		if excess > 0 && ok && (old.Status == statusDone || old.Status == statusFailed) {
@@ -148,18 +210,35 @@ func (s *Server) track(hash string, st *jobState) {
 	s.order = kept
 }
 
+// markCompleted moves a hash to the back of the pruning order. Without
+// this, pruning selects by *insertion* order: under contention a job
+// submitted early but finished last would be pruned the moment it
+// completes — exactly the state its submitter is about to poll — while
+// long-idle completed entries survived. Completion order makes the
+// prune a least-recently-completed eviction. Caller holds s.mu.
+func (s *Server) markCompleted(hash string) {
+	for i, h := range s.order {
+		if h == hash {
+			copy(s.order[i:], s.order[i+1:])
+			s.order[len(s.order)-1] = hash
+			return
+		}
+	}
+}
+
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handlePoll)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
-	mux.HandleFunc("POST /v1/run", s.handleRun)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/jobs", s.instrument("submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("poll", s.handlePoll))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("events", s.handleEvents))
+	mux.HandleFunc("GET /v1/results/{id}", s.instrument("result", s.handleResult))
+	mux.HandleFunc("POST /v1/run", s.instrument("run", s.handleRun))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-	})
+	}))
 	return mux
 }
 
@@ -182,6 +261,10 @@ func decodeJob(w http.ResponseWriter, r *http.Request) (*channelmod.PreparedJob,
 // failed address, or a done one whose result the LRU has since evicted,
 // re-executes it.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
 	p, err := decodeJob(w, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -198,6 +281,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		// Done but evicted: fall through and recompute.
 	}
+	// Admission: a submission holds one backlog position from accept to
+	// completion, so the queue bound caps the daemon's total async
+	// backlog. Idempotent resubmissions above never get here.
+	if !s.submitLim.admit() {
+		s.mu.Unlock()
+		s.shedWith429(w, s.submitLim, "submit")
+		return
+	}
 	st := &jobState{ID: p.Hash, Kind: p.Job.Kind, Status: statusQueued, prep: retainable(p), feed: newFeed()}
 	s.track(p.Hash, st)
 	snapshot := *st
@@ -205,8 +296,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	s.submitted.Add(1)
 
-	go s.execute(p, fd)
+	go s.executeAdmitted(p, fd)
 	writeJSON(w, http.StatusAccepted, snapshot)
+}
+
+// executeAdmitted waits for a submit execution slot (the admission was
+// already reserved by handleSubmit) and runs the submission.
+func (s *Server) executeAdmitted(p *channelmod.PreparedJob, fd *feed) {
+	release, ok := s.submitLim.wait(s.baseCtx)
+	if !ok {
+		// The daemon is gone before the queue drained.
+		err := fmt.Errorf("daemon: shutting down before job %.12s left the accept queue", p.Hash)
+		s.failed.Add(1)
+		s.setStatus(p.Hash, statusFailed, err)
+		fd.finish(eventError, errorPayload(err))
+		s.dropFeed(p.Hash, fd)
+		return
+	}
+	defer release()
+	s.execute(p, fd)
 }
 
 // execute runs a submission to completion in the background, publishing
@@ -231,10 +339,15 @@ func (s *Server) execute(p *channelmod.PreparedJob, fd *feed) {
 		s.setStatus(p.Hash, statusDone, nil)
 		fd.finish(eventDone, donePayload(p.Hash, info))
 	}
-	// Drop the live feed: late readers replay through the cache instead,
-	// so the registry never pins a completed job's event log in memory.
+	s.dropFeed(p.Hash, fd)
+}
+
+// dropFeed detaches a completed submission's live feed: late readers
+// replay through the cache instead, so the registry never pins a
+// completed job's event log in memory.
+func (s *Server) dropFeed(hash string, fd *feed) {
 	s.mu.Lock()
-	if st, ok := s.jobs[p.Hash]; ok && st.feed == fd {
+	if st, ok := s.jobs[hash]; ok && st.feed == fd {
 		st.feed = nil
 	}
 	s.mu.Unlock()
@@ -264,6 +377,9 @@ func (s *Server) setStatus(hash string, status jobStatus, err error) {
 	}
 	if status == statusDone {
 		st.ResultURL = "/v1/results/" + hash
+	}
+	if status == statusDone || status == statusFailed {
+		s.markCompleted(hash)
 	}
 }
 
@@ -300,10 +416,29 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 // in the X-Cache header: "hit" (cache), "coalesced" (deduplicated onto a
 // concurrent identical run) or "miss" (computed here).
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
 	p, err := decodeJob(w, r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	// Admission: a cached address is a read and always served; anything
+	// else needs a run slot (even a coalesced wait holds its caller's
+	// goroutine, so it counts against the synchronous budget).
+	if _, cached := s.eng.Lookup(p.Hash); !cached {
+		if !s.runLim.admit() {
+			s.shedWith429(w, s.runLim, "run")
+			return
+		}
+		release, ok := s.runLim.wait(r.Context())
+		if !ok {
+			// Client gave up while queued; nothing to answer.
+			return
+		}
+		defer release()
 	}
 	s.mu.Lock()
 	if st, known := s.jobs[p.Hash]; !known {
@@ -338,6 +473,11 @@ type statsResponse struct {
 	Cache channelmod.EngineCacheStats `json:"cache"`
 	Pool  poolStats                   `json:"pool"`
 	Jobs  jobCounts                   `json:"jobs"`
+	// Admission reports each limiter's occupancy and shed count.
+	Admission map[string]admissionJSON `json:"admission"`
+	// SolveLatency summarizes the engine's execution latency (cache
+	// misses only); the full histogram is on /v1/metrics.
+	SolveLatency telemetry.SnapshotJSON `json:"solve_latency"`
 }
 
 type poolStats struct {
@@ -355,23 +495,85 @@ type jobCounts struct {
 	Tracked   int    `json:"tracked"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// jobCounts snapshots the submission counters (shared by /v1/stats and
+// /v1/metrics).
+func (s *Server) jobCounts() jobCounts {
 	s.mu.Lock()
 	tracked := len(s.jobs)
 	s.mu.Unlock()
+	return jobCounts{
+		Submitted: s.submitted.Load(),
+		Done:      s.done.Load(),
+		Failed:    s.failed.Load(),
+		Tracked:   tracked,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		Cache: s.eng.Stats(),
 		Pool: poolStats{
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Running:    s.running.Load(),
 		},
-		Jobs: jobCounts{
-			Submitted: s.submitted.Load(),
-			Done:      s.done.Load(),
-			Failed:    s.failed.Load(),
-			Tracked:   tracked,
+		Jobs: s.jobCounts(),
+		Admission: map[string]admissionJSON{
+			"run":    limiterJSON(s.runLim),
+			"submit": limiterJSON(s.submitLim),
 		},
+		SolveLatency: s.eng.ExecLatency().JSON(),
 	})
+}
+
+// Shutdown drains the daemon gracefully: new submissions and runs are
+// refused with 503, and Shutdown blocks until every in-flight event
+// stream has written its terminal message — or ctx expires, at which
+// point streams are told to flush a terminal "shutdown" event
+// immediately and Shutdown waits briefly for those flushes. Call it
+// before (not instead of) http.Server.Shutdown: this settles the
+// daemon's streams; that settles the connections.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// The mutex orders the draining flip against trackStream: once it is
+	// set, no new stream can register, so the WaitGroup only counts down.
+	s.mu.Lock()
+	s.draining.Store(true)
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.streams.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline: force streams to flush a terminal event now, then give
+	// the flushes a moment to land.
+	s.forceOnce.Do(func() { close(s.drainForce) })
+	select {
+	case <-drained:
+		return nil
+	case <-time.After(time.Second):
+		return fmt.Errorf("daemon: shutdown: event streams still unflushed: %w", ctx.Err())
+	}
+}
+
+// trackStream registers an in-flight event stream with the drain
+// accounting. live=false means the daemon is draining and the caller
+// must answer with an immediate terminal message instead of streaming.
+// The returned finish is idempotent and must be called once the
+// stream's terminal message is written (or the stream abandoned).
+func (s *Server) trackStream() (finish func(), live bool) {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.streams.Add(1)
+	s.mu.Unlock()
+	var once sync.Once
+	return func() { once.Do(s.streams.Done) }, true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

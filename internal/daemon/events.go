@@ -1,7 +1,6 @@
 package daemon
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -151,6 +150,38 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A replay of an address the cache no longer holds is a fresh
+	// synchronous execution and needs a run slot, exactly like
+	// POST /v1/run; a shed subscriber gets a clean 429 before any
+	// stream headers go out. Cached replays and live follows are reads.
+	var release func()
+	if fd == nil && status != statusFailed && prep != nil && !s.draining.Load() {
+		if _, cached := s.eng.Lookup(prep.Hash); !cached {
+			if !s.runLim.admit() {
+				s.shedWith429(w, s.runLim, "run")
+				return
+			}
+			rel, got := s.runLim.wait(r.Context())
+			if !got {
+				// Client gave up while queued; nothing to answer.
+				return
+			}
+			release = rel
+		}
+	}
+	if release != nil {
+		defer release()
+	}
+
+	finish, live := s.trackStream()
+	if !live {
+		// Draining: answer with a terminal message instead of opening a
+		// stream Shutdown would have to wait on.
+		newEventWriter(w, r).write(eventError, errorPayload(errDraining))
+		return
+	}
+	defer finish()
+
 	ew := newEventWriter(w, r)
 	if fd != nil {
 		s.followFeed(r, ew, fd)
@@ -163,17 +194,30 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		// No live feed: replay through the engine. A cached parent
 		// replays instantly with per-point hit provenance; an evicted
 		// address re-executes and streams live. Like /v1/run, the
-		// execution is detached from the request context — this caller
-		// may become the singleflight leader, and a disconnecting
-		// subscriber must not abort a solve that coalesced followers
-		// wait on. On disconnect the stream just stops writing; the job
-		// runs to completion and populates the cache.
-		dead := false
+		// execution is detached from the request context (scoped to the
+		// daemon's lifetime instead) — this caller may become the
+		// singleflight leader, and a disconnecting subscriber must not
+		// abort a solve that coalesced followers wait on. On disconnect
+		// the stream just stops writing; the job runs to completion and
+		// populates the cache.
+		dead, forced := false, false
 		s.running.Add(1)
-		_, info, err := s.eng.RunStreamPrepared(context.WithoutCancel(r.Context()), prep,
+		_, info, err := s.eng.RunStreamPrepared(s.baseCtx, prep,
 			func(ev channelmod.JobPointEvent) error {
 				if dead {
 					return nil
+				}
+				select {
+				case <-s.drainForce:
+					// Shutdown deadline hit mid-replay: flush a terminal
+					// message now and detach the stream from the drain
+					// accounting; the solve itself keeps running under
+					// baseCtx and still populates the cache.
+					ew.write(eventError, errorPayload(errDraining))
+					dead, forced = true, true
+					finish()
+					return nil
+				default:
 				}
 				b, merr := json.Marshal(ev.JSON())
 				if merr != nil {
@@ -188,7 +232,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			s.failed.Add(1)
 			s.setStatus(prep.Hash, statusFailed, err)
-			ew.write(eventError, errorPayload(err))
+			if !forced {
+				ew.write(eventError, errorPayload(err))
+			}
 			return
 		}
 		// A pure cache-hit replay is a read: only a real (re-)execution
@@ -197,7 +243,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			s.done.Add(1)
 			s.setStatus(prep.Hash, statusDone, nil)
 		}
-		ew.write(eventDone, donePayload(prep.Hash, info))
+		if !forced {
+			ew.write(eventDone, donePayload(prep.Hash, info))
+		}
 	default:
 		// Oversized to retain (see retainable), or raced a registry
 		// prune.
@@ -206,7 +254,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // followFeed replays the feed's history and follows it live until the
-// terminal message or client disconnect.
+// terminal message, client disconnect, or the shutdown drain deadline
+// (which flushes a terminal message so no subscriber hangs on a closing
+// daemon).
 func (s *Server) followFeed(r *http.Request, ew *eventWriter, fd *feed) {
 	seen := 0
 	for {
@@ -223,6 +273,9 @@ func (s *Server) followFeed(r *http.Request, ew *eventWriter, fd *feed) {
 		}
 		select {
 		case <-wake:
+		case <-s.drainForce:
+			ew.write(eventError, errorPayload(errDraining))
+			return
 		case <-r.Context().Done():
 			return
 		}

@@ -6,8 +6,10 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/batch"
+	"repro/internal/telemetry"
 )
 
 // DefaultCacheEntries is the default capacity of an Engine's result
@@ -31,6 +33,12 @@ type Engine struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	coalesced atomic.Uint64
+
+	// execLatency records wall-clock durations of real executions (cache
+	// misses) — the solve-latency distribution the daemon's /v1/stats and
+	// /v1/metrics surface. Hits and coalesced waits are not recorded:
+	// they measure the cache, not the solver.
+	execLatency *telemetry.Histogram
 }
 
 // New returns an Engine with the given result-cache capacity
@@ -40,8 +48,9 @@ func New(cacheEntries int) *Engine {
 		cacheEntries = DefaultCacheEntries
 	}
 	return &Engine{
-		cache:    newLRUCache(cacheEntries),
-		inflight: inflightGroup{calls: make(map[string]*inflightCall)},
+		cache:       newLRUCache(cacheEntries),
+		inflight:    inflightGroup{calls: make(map[string]*inflightCall)},
+		execLatency: telemetry.NewHistogram(nil),
 	}
 }
 
@@ -219,7 +228,9 @@ func (e *Engine) runPrepared(ctx context.Context, p *Prepared, emit func(PointEv
 	}
 
 	e.misses.Add(1)
+	start := time.Now()
 	res, execErr := e.execGuarded(ctx, canon, hash, &sink{emit: emit})
+	e.execLatency.Observe(time.Since(start))
 	if execErr == nil {
 		e.cache.add(hash, res)
 	}
@@ -244,6 +255,13 @@ func (e *Engine) execGuarded(ctx context.Context, canon *Job, hash string, snk *
 // counters (the daemon's cached-result fetch).
 func (e *Engine) Lookup(hash string) (*Result, bool) {
 	return e.cache.get(hash)
+}
+
+// ExecLatency snapshots the solve-latency distribution: wall-clock
+// durations of the engine's real executions (cache misses), from
+// canonical job to finished result.
+func (e *Engine) ExecLatency() telemetry.Snapshot {
+	return e.execLatency.Snapshot()
 }
 
 // RunAll executes many jobs concurrently on the bounded worker pool.

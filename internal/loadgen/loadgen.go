@@ -1,0 +1,595 @@
+// Package loadgen is a deterministic mixed-traffic load harness for
+// the chanmodd daemon. From one seed it builds a fixed request plan —
+// synchronous runs, async submit/poll/fetch cycles, overlapping sweep
+// resubmissions, and SSE/NDJSON event subscribers (including slow
+// consumers and mid-stream disconnects) — and drives a real HTTP
+// server with a bounded worker pool, recording per-endpoint latency
+// histograms, error and shed (429) counts, and the client-observed
+// cache mix.
+//
+// Determinism: BuildPlan is a pure function of its Config — identical
+// seed and mix produce an identical op sequence (the property the
+// committed BENCH_daemon.json trajectory depends on). Execution
+// interleaving across workers is scheduler-dependent, but the set of
+// requests issued, their bodies and their per-op structure are not.
+//
+// Jobs come from internal/genscen scenarios trimmed to a single
+// control segment and one outer iteration, so every solve is real but
+// cheap (sub-millisecond to a few milliseconds); a load run measures
+// the serving layer, not the optimizer.
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/genscen"
+	"repro/internal/scenario"
+	"repro/internal/telemetry"
+)
+
+// OpKind names one traffic pattern of the mix.
+type OpKind string
+
+// The op kinds of a plan.
+const (
+	// OpRun is a synchronous POST /v1/run.
+	OpRun OpKind = "run"
+	// OpSubmit is an async submit → poll-until-done → fetch cycle.
+	OpSubmit OpKind = "submit"
+	// OpResubmit submits a sweep and immediately resubmits a widened
+	// overlapping sweep, then streams the widened sweep's events — the
+	// pattern that exercises per-point cache reuse under concurrency.
+	OpResubmit OpKind = "resubmit"
+	// OpSubscribe submits a sweep and consumes its event stream.
+	OpSubscribe OpKind = "subscribe"
+)
+
+// Op is one planned client interaction.
+type Op struct {
+	Kind OpKind `json:"kind"`
+	// Body is the job document to submit or run.
+	Body string `json:"body"`
+	// WideBody is OpResubmit's overlapping widened sweep.
+	WideBody string `json:"wide_body,omitempty"`
+	// NDJSON selects newline-delimited JSON framing for the event
+	// stream (default SSE).
+	NDJSON bool `json:"ndjson,omitempty"`
+	// Slow inserts a delay between event-stream reads (a consumer far
+	// slower than the solver).
+	Slow bool `json:"slow,omitempty"`
+	// Disconnect hangs up after the first event instead of draining
+	// the stream.
+	Disconnect bool `json:"disconnect,omitempty"`
+}
+
+// Mix weights the op kinds; zero-valued mixes take DefaultMix.
+type Mix struct {
+	Run       int `json:"run"`
+	Submit    int `json:"submit"`
+	Resubmit  int `json:"resubmit"`
+	Subscribe int `json:"subscribe"`
+}
+
+// DefaultMix is run-heavy with a steady async and streaming minority.
+func DefaultMix() Mix { return Mix{Run: 5, Submit: 3, Resubmit: 1, Subscribe: 2} }
+
+func (m Mix) total() int { return m.Run + m.Submit + m.Resubmit + m.Subscribe }
+
+// Config parameterizes a plan.
+type Config struct {
+	// Seed drives every random choice of the plan.
+	Seed int64 `json:"seed"`
+	// Ops is the number of client interactions (each may issue several
+	// HTTP requests).
+	Ops int `json:"ops"`
+	// Concurrency is the worker count executing the plan (default 8).
+	Concurrency int `json:"concurrency"`
+	// Scenarios is the size of the generated scenario pool (default 4):
+	// smaller pools revisit identical jobs more often and drive the
+	// cache hit ratio up.
+	Scenarios int `json:"scenarios"`
+	// Mix weights the op kinds (zero → DefaultMix).
+	Mix Mix `json:"mix"`
+	// RevisitPercent is the chance (0–100) that an op reuses an
+	// earlier op's job instead of drawing a fresh one (default 35) —
+	// the knob behind the cache hit ratio.
+	RevisitPercent int `json:"revisit_percent"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops <= 0 {
+		c.Ops = 64
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Scenarios <= 0 {
+		c.Scenarios = 4
+	}
+	if c.Mix.total() <= 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.RevisitPercent <= 0 {
+		c.RevisitPercent = 35
+	}
+	return c
+}
+
+// BuildPlan deterministically expands a Config into its op sequence.
+func BuildPlan(cfg Config) ([]Op, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	files := make([]*scenario.File, cfg.Scenarios)
+	for i := range files {
+		f, err := genscen.Generate(cfg.Seed + int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: generate scenario %d: %w", i, err)
+		}
+		// One control segment, one outer iteration: real solves, load-test
+		// cheap (the harness measures the daemon, not the optimizer).
+		f.Segments = 1
+		f.OuterIterations = 1
+		files[i] = f
+	}
+
+	var (
+		ops     = make([]Op, 0, cfg.Ops)
+		seenRun []string
+		seenSub []string
+		evalJob = func(f *scenario.File) (string, error) {
+			return marshalJob(&engine.Job{Kind: engine.KindOptimize, Scenario: *f, Optimize: &engine.OptimizeSpec{Variant: engine.VariantBaseline}})
+		}
+		sweepJob = func(f *scenario.File, flows []float64) (string, error) {
+			return marshalJob(&engine.Job{Kind: engine.KindSweep, Scenario: *f, Sweep: &engine.SweepSpec{Kind: "flow", FlowMLMin: flows}})
+		}
+	)
+	drawFlows := func(n int) []float64 {
+		base := 0.2 + 0.05*float64(rng.Intn(40))
+		flows := make([]float64, n)
+		for i := range flows {
+			flows[i] = base + 0.1*float64(i)
+		}
+		return flows
+	}
+	for i := 0; i < cfg.Ops; i++ {
+		kind := drawKind(rng, cfg.Mix)
+		revisit := rng.Intn(100) < cfg.RevisitPercent
+		f := files[rng.Intn(len(files))]
+		switch kind {
+		case OpRun:
+			var body string
+			if revisit && len(seenRun) > 0 {
+				body = seenRun[rng.Intn(len(seenRun))]
+			} else {
+				b, err := evalJob(f)
+				if err != nil {
+					return nil, err
+				}
+				body = b
+				seenRun = append(seenRun, body)
+			}
+			ops = append(ops, Op{Kind: OpRun, Body: body})
+		case OpSubmit:
+			var body string
+			if revisit && len(seenSub) > 0 {
+				body = seenSub[rng.Intn(len(seenSub))]
+			} else {
+				b, err := sweepJob(f, drawFlows(2+rng.Intn(3)))
+				if err != nil {
+					return nil, err
+				}
+				body = b
+				seenSub = append(seenSub, body)
+			}
+			ops = append(ops, Op{Kind: OpSubmit, Body: body})
+		case OpResubmit:
+			flows := drawFlows(2 + rng.Intn(2))
+			narrow, err := sweepJob(f, flows)
+			if err != nil {
+				return nil, err
+			}
+			wide, err := sweepJob(f, append(flows[:len(flows):len(flows)], flows[len(flows)-1]+0.1))
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, Op{Kind: OpResubmit, Body: narrow, WideBody: wide})
+		case OpSubscribe:
+			b, err := sweepJob(f, drawFlows(3+rng.Intn(3)))
+			if err != nil {
+				return nil, err
+			}
+			op := Op{Kind: OpSubscribe, Body: b, NDJSON: rng.Intn(2) == 0}
+			switch rng.Intn(4) {
+			case 0:
+				op.Slow = true
+			case 1:
+				op.Disconnect = true
+			}
+			ops = append(ops, op)
+		}
+	}
+	return ops, nil
+}
+
+func drawKind(rng *rand.Rand, m Mix) OpKind {
+	n := rng.Intn(m.total())
+	switch {
+	case n < m.Run:
+		return OpRun
+	case n < m.Run+m.Submit:
+		return OpSubmit
+	case n < m.Run+m.Submit+m.Resubmit:
+		return OpResubmit
+	default:
+		return OpSubscribe
+	}
+}
+
+func marshalJob(j *engine.Job) (string, error) {
+	b, err := json.Marshal(j)
+	if err != nil {
+		return "", fmt.Errorf("loadgen: marshal job: %w", err)
+	}
+	return string(b), nil
+}
+
+// endpointNames is the fixed set of client-side instrumented request
+// targets (also the JSON key order of the report).
+var endpointNames = []string{"events", "poll", "result", "run", "submit"}
+
+// endpointRecorder accumulates one endpoint's client-observed numbers.
+type endpointRecorder struct {
+	latency *telemetry.Histogram
+	count   telemetry.Counter
+	errors  telemetry.Counter
+	shed    telemetry.Counter
+}
+
+// Collector aggregates a run's client-side measurements. Safe for
+// concurrent use by the worker pool.
+type Collector struct {
+	byName map[string]*endpointRecorder
+
+	hits, misses, coalesced telemetry.Counter
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	c := &Collector{byName: make(map[string]*endpointRecorder, len(endpointNames))}
+	for _, name := range endpointNames {
+		c.byName[name] = &endpointRecorder{latency: telemetry.NewHistogram(nil)}
+	}
+	return c
+}
+
+// record logs one request against an endpoint. 429 counts as shed, any
+// other non-2xx as an error.
+func (c *Collector) record(name string, status int, d time.Duration) {
+	r := c.byName[name]
+	r.latency.Observe(d)
+	r.count.Inc()
+	switch {
+	case status == http.StatusTooManyRequests:
+		r.shed.Inc()
+	case status < 200 || status >= 300:
+		r.errors.Inc()
+	}
+}
+
+// recordCache logs a run's X-Cache provenance.
+func (c *Collector) recordCache(xcache string) {
+	switch xcache {
+	case "hit":
+		c.hits.Inc()
+	case "coalesced":
+		c.coalesced.Inc()
+	case "miss":
+		c.misses.Inc()
+	}
+}
+
+// EndpointReport is one endpoint's aggregated client view.
+type EndpointReport struct {
+	Requests uint64                 `json:"requests"`
+	Errors   uint64                 `json:"errors"`
+	Shed     uint64                 `json:"shed"`
+	Latency  telemetry.SnapshotJSON `json:"latency"`
+}
+
+// CacheReport is the client-observed cache mix of synchronous runs.
+type CacheReport struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+// Report is one load phase's result.
+type Report struct {
+	Ops         int     `json:"ops"`
+	Concurrency int     `json:"concurrency"`
+	WallMS      float64 `json:"wall_ms"`
+	// RequestsPerSec is total HTTP requests (all endpoints) over wall
+	// time.
+	RequestsPerSec float64                   `json:"requests_per_sec"`
+	Endpoints      map[string]EndpointReport `json:"endpoints"`
+	Cache          CacheReport               `json:"cache"`
+}
+
+// TotalErrors sums non-shed errors across endpoints.
+func (r Report) TotalErrors() uint64 {
+	var n uint64
+	for _, e := range r.Endpoints {
+		n += e.Errors
+	}
+	return n
+}
+
+// TotalShed sums 429 responses across endpoints.
+func (r Report) TotalShed() uint64 {
+	var n uint64
+	for _, e := range r.Endpoints {
+		n += e.Shed
+	}
+	return n
+}
+
+// report snapshots the collector into a Report.
+func (c *Collector) report(ops, concurrency int, wall time.Duration) Report {
+	rep := Report{
+		Ops:         ops,
+		Concurrency: concurrency,
+		WallMS:      float64(wall.Nanoseconds()) / 1e6,
+		Endpoints:   make(map[string]EndpointReport, len(endpointNames)),
+	}
+	var total uint64
+	for _, name := range endpointNames {
+		r := c.byName[name]
+		rep.Endpoints[name] = EndpointReport{
+			Requests: r.count.Load(),
+			Errors:   r.errors.Load(),
+			Shed:     r.shed.Load(),
+			Latency:  r.latency.Snapshot().JSON(),
+		}
+		total += r.count.Load()
+	}
+	if wall > 0 {
+		rep.RequestsPerSec = float64(total) / wall.Seconds()
+	}
+	h, m, co := c.hits.Load(), c.misses.Load(), c.coalesced.Load()
+	rep.Cache = CacheReport{Hits: h, Misses: m, Coalesced: co}
+	if h+m+co > 0 {
+		rep.Cache.HitRatio = float64(h) / float64(h+m+co)
+	}
+	return rep
+}
+
+// Run executes a plan against a daemon at baseURL with cfg.Concurrency
+// workers and returns the aggregated client-side report. A shed (429)
+// ends its op without error; any transport failure aborts the run.
+func Run(ctx context.Context, baseURL string, cfg Config, plan []Op) (Report, error) {
+	cfg = cfg.withDefaults()
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	col := NewCollector()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		firstErr = make(chan error, cfg.Concurrency)
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(plan) || ctx.Err() != nil {
+					return
+				}
+				if err := runOp(ctx, client, baseURL, plan[i], col); err != nil {
+					select {
+					case firstErr <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-firstErr:
+		return Report{}, err
+	default:
+	}
+	return col.report(len(plan), cfg.Concurrency, time.Since(start)), nil
+}
+
+// runOp executes one planned interaction.
+func runOp(ctx context.Context, client *http.Client, baseURL string, op Op, col *Collector) error {
+	switch op.Kind {
+	case OpRun:
+		status, hdr, _, err := doJSON(ctx, client, col, http.MethodPost, baseURL+"/v1/run", op.Body, "run")
+		if err != nil {
+			return err
+		}
+		if status == http.StatusOK {
+			col.recordCache(hdr.Get("X-Cache"))
+		}
+		return nil
+	case OpSubmit:
+		id, ok, err := submit(ctx, client, baseURL, op.Body, col)
+		if err != nil || !ok {
+			return err
+		}
+		if err := pollDone(ctx, client, baseURL, id, col); err != nil {
+			return err
+		}
+		_, _, _, err = doJSON(ctx, client, col, http.MethodGet, baseURL+"/v1/results/"+id, "", "result")
+		return err
+	case OpResubmit:
+		idA, okA, err := submit(ctx, client, baseURL, op.Body, col)
+		if err != nil {
+			return err
+		}
+		idB, okB, err := submit(ctx, client, baseURL, op.WideBody, col)
+		if err != nil {
+			return err
+		}
+		if okB {
+			if err := consumeEvents(ctx, client, baseURL, idB, op, col); err != nil {
+				return err
+			}
+		}
+		if okA {
+			return pollDone(ctx, client, baseURL, idA, col)
+		}
+		return nil
+	case OpSubscribe:
+		id, ok, err := submit(ctx, client, baseURL, op.Body, col)
+		if err != nil || !ok {
+			return err
+		}
+		return consumeEvents(ctx, client, baseURL, id, op, col)
+	default:
+		return fmt.Errorf("loadgen: unknown op kind %q", op.Kind)
+	}
+}
+
+// doJSON issues one request, records it under the endpoint name, and
+// returns status, headers and body.
+func doJSON(ctx context.Context, client *http.Client, col *Collector, method, url, body, name string) (int, http.Header, []byte, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("loadgen: %s %s: %w", method, url, err)
+	}
+	b, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	col.record(name, resp.StatusCode, time.Since(start))
+	if rerr != nil {
+		return resp.StatusCode, resp.Header, nil, rerr
+	}
+	return resp.StatusCode, resp.Header, b, nil
+}
+
+// submit posts a job; ok=false means the submission was shed (or
+// otherwise not accepted) and the op should stop cleanly.
+func submit(ctx context.Context, client *http.Client, baseURL, body string, col *Collector) (id string, ok bool, err error) {
+	status, _, b, err := doJSON(ctx, client, col, http.MethodPost, baseURL+"/v1/jobs", body, "submit")
+	if err != nil {
+		return "", false, err
+	}
+	if status != http.StatusAccepted && status != http.StatusOK {
+		return "", false, nil
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(b, &st); err != nil || st.ID == "" {
+		return "", false, fmt.Errorf("loadgen: submit response %q: %v", b, err)
+	}
+	return st.ID, true, nil
+}
+
+// pollDone polls a submission until it completes. A 404 also counts as
+// complete: the registry only prunes finished states.
+func pollDone(ctx context.Context, client *http.Client, baseURL, id string, col *Collector) error {
+	for {
+		status, _, b, err := doJSON(ctx, client, col, http.MethodGet, baseURL+"/v1/jobs/"+id, "", "poll")
+		if err != nil {
+			return err
+		}
+		if status == http.StatusNotFound {
+			return nil
+		}
+		var st struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(b, &st); err != nil {
+			return err
+		}
+		if st.Status == "done" || st.Status == "failed" {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// consumeEvents streams a job's events per the op's framing and
+// consumer behavior, recording the subscription under "events".
+func consumeEvents(ctx context.Context, client *http.Client, baseURL, id string, op Op, col *Collector) error {
+	url := baseURL + "/v1/jobs/" + id + "/events"
+	if op.NDJSON {
+		url += "?format=ndjson"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("loadgen: events %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		col.record("events", resp.StatusCode, time.Since(start))
+		return nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		lines++
+		if op.Disconnect && lines >= 1 {
+			break
+		}
+		if op.Slow {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}
+	// A disconnecting consumer tears the stream down mid-read; that is
+	// the scenario, not an error.
+	if err := sc.Err(); err != nil && !op.Disconnect {
+		return fmt.Errorf("loadgen: events %s: %w", id, err)
+	}
+	col.record("events", resp.StatusCode, time.Since(start))
+	return nil
+}

@@ -1,0 +1,104 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	channelmod "repro"
+	"repro/internal/daemon"
+)
+
+// TestPlanDeterminism: the plan is a pure function of the config —
+// identical seeds and mixes yield an identical request sequence, and a
+// different seed yields a different one. The committed BENCH_daemon
+// trajectory depends on this.
+func TestPlanDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Ops: 48}
+	a, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed and mix produced different plans")
+	}
+
+	c, err := BuildPlan(Config{Seed: 43, Ops: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+
+	// Every op kind appears in a plan of this size, including the slow
+	// and disconnecting consumer variants the daemon must tolerate.
+	kinds := map[OpKind]int{}
+	slow, disc := 0, 0
+	for _, op := range a {
+		kinds[op.Kind]++
+		if op.Slow {
+			slow++
+		}
+		if op.Disconnect {
+			disc++
+		}
+		if op.Kind == OpResubmit && op.WideBody == "" {
+			t.Fatal("resubmit op without widened body")
+		}
+	}
+	for _, k := range []OpKind{OpRun, OpSubmit, OpResubmit, OpSubscribe} {
+		if kinds[k] == 0 {
+			t.Errorf("plan of %d ops has no %q ops: %v", len(a), k, kinds)
+		}
+	}
+	if slow == 0 || disc == 0 {
+		t.Errorf("plan has %d slow / %d disconnecting consumers, want both > 0", slow, disc)
+	}
+}
+
+// TestHarnessAgainstDaemon drives a real in-process daemon with a
+// small mixed plan: no transport failures, no server errors, a
+// non-zero hit ratio from revisited jobs, and latency recorded for
+// every endpoint the plan touched.
+func TestHarnessAgainstDaemon(t *testing.T) {
+	srv := daemon.NewOptions(context.Background(), channelmod.NewEngine(512), daemon.Options{
+		Limits: daemon.Limits{RunInflight: 8, RunQueue: daemon.Unlimited, SubmitInflight: 8, SubmitQueue: daemon.Unlimited},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	cfg := Config{Seed: 7, Ops: 40, Concurrency: 6}
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), ts.URL, cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.TotalErrors() != 0 {
+		t.Errorf("harness observed %d non-shed errors: %+v", rep.TotalErrors(), rep.Endpoints)
+	}
+	if rep.TotalShed() != 0 {
+		t.Errorf("unlimited-queue run shed %d requests", rep.TotalShed())
+	}
+	if rep.RequestsPerSec <= 0 {
+		t.Errorf("throughput %v, want > 0", rep.RequestsPerSec)
+	}
+	if rep.Cache.Hits+rep.Cache.Misses == 0 || rep.Cache.HitRatio <= 0 {
+		t.Errorf("cache mix %+v, want revisits to produce hits", rep.Cache)
+	}
+	for _, name := range []string{"run", "submit", "poll", "events"} {
+		e := rep.Endpoints[name]
+		if e.Requests == 0 || e.Latency.Count == 0 {
+			t.Errorf("endpoint %s: %d requests, latency count %d — want both > 0", name, e.Requests, e.Latency.Count)
+		}
+	}
+}

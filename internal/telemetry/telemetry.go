@@ -1,0 +1,247 @@
+// Package telemetry provides the serving layer's operational metrics:
+// lock-free counters, gauges and fixed-bucket latency histograms cheap
+// enough to sit on request and solve hot paths. It is deliberately
+// separate from internal/metrics, which summarizes *thermal* sample
+// sets (the physics); telemetry measures the daemon itself.
+//
+// All types are safe for concurrent use without locks: counters and
+// gauges are single atomics, histograms are an array of per-bucket
+// atomics plus count/sum/max. Recording never allocates
+// (Histogram.Observe is //chanmod:noalloc and alloc-gated); reading
+// produces immutable snapshots with interpolated quantiles.
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a lock-free monotonic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free up/down instantaneous value (queue depths,
+// in-flight request counts).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by delta (negative to decrement) and returns the
+// new value, so reserve-and-check admission patterns are one atomic op.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency histogram. Bucket i counts
+// observations d with bounds[i-1] < d <= bounds[i]; one implicit
+// overflow bucket counts everything above the last bound. Bounds are
+// fixed at construction, so recording is a bounded scan plus a handful
+// of atomic adds — no locks, no allocation.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Uint64 // len(bounds)+1, last = overflow
+	count  atomic.Uint64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// DefaultLatencyBounds covers the daemon's serving range, 100 µs to
+// 60 s, with roughly logarithmic spacing (1-2-5 per decade).
+func DefaultLatencyBounds() []time.Duration {
+	return []time.Duration{
+		100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+		1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+		1 * time.Second, 2 * time.Second, 5 * time.Second,
+		10 * time.Second, 30 * time.Second, 60 * time.Second,
+	}
+}
+
+// NewHistogram builds a histogram over the given ascending bucket
+// bounds; nil selects DefaultLatencyBounds. It panics on unsorted or
+// non-positive bounds — bucket layouts are build-time constants, not
+// runtime inputs.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds()
+	}
+	for i, b := range bounds {
+		if b <= 0 || (i > 0 && b <= bounds[i-1]) {
+			panic(fmt.Sprintf("telemetry: bounds must be positive and ascending, got %v at %d", b, i))
+		}
+	}
+	return &Histogram{
+		bounds: append([]time.Duration(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration. Negative durations (clock steps) count
+// into the first bucket.
+//
+//chanmod:noalloc
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	for {
+		cur := h.maxNS.Load()
+		if int64(d) <= cur || h.maxNS.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Bucket is one histogram bucket of a snapshot: Count observations at
+// or below Le (the overflow bucket has Le == 0 and Overflow == true).
+type Bucket struct {
+	Le       time.Duration
+	Count    uint64
+	Overflow bool
+}
+
+// Snapshot is an immutable point-in-time view of a histogram.
+type Snapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Max     time.Duration
+	Buckets []Bucket
+}
+
+// Snapshot captures the histogram's current state. Concurrent Observe
+// calls may land between the per-bucket reads; the snapshot is a
+// consistent-enough view for monitoring, not an atomic cut.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Sum:     time.Duration(h.sumNS.Load()),
+		Max:     time.Duration(h.maxNS.Load()),
+		Buckets: make([]Bucket, len(h.counts)),
+	}
+	var total uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		total += n
+		if i < len(h.bounds) {
+			s.Buckets[i] = Bucket{Le: h.bounds[i], Count: n}
+		} else {
+			s.Buckets[i] = Bucket{Count: n, Overflow: true}
+		}
+	}
+	// Derive the total from the buckets themselves so the snapshot is
+	// internally consistent even when Observes race the reads.
+	s.Count = total
+	return s
+}
+
+// Mean returns the average observation, zero when empty.
+func (s Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation inside the containing bucket. The overflow bucket is
+// pinned to the observed maximum; an empty histogram reports zero.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	lower := time.Duration(0)
+	for _, b := range s.Buckets {
+		if b.Count == 0 {
+			if !b.Overflow {
+				lower = b.Le
+			}
+			continue
+		}
+		if float64(cum+b.Count) >= rank {
+			if b.Overflow {
+				return s.Max
+			}
+			upper := b.Le
+			if upper > s.Max && s.Max > lower {
+				// The bucket's nominal span exceeds anything observed;
+				// clamping to the max keeps small-sample quantiles honest.
+				upper = s.Max
+			}
+			within := (rank - float64(cum)) / float64(b.Count)
+			return lower + time.Duration(within*float64(upper-lower))
+		}
+		cum += b.Count
+		lower = b.Le
+	}
+	return s.Max
+}
+
+// SnapshotJSON is the wire form of a histogram snapshot: quantiles in
+// milliseconds plus the cumulative bucket table.
+type SnapshotJSON struct {
+	Count  uint64       `json:"count"`
+	MeanMs float64      `json:"mean_ms"`
+	P50Ms  float64      `json:"p50_ms"`
+	P95Ms  float64      `json:"p95_ms"`
+	P99Ms  float64      `json:"p99_ms"`
+	MaxMs  float64      `json:"max_ms"`
+	Bucket []BucketJSON `json:"buckets,omitempty"`
+}
+
+// BucketJSON is one bucket of SnapshotJSON; the overflow bucket is
+// marked by le_ms == 0 with overflow == true.
+type BucketJSON struct {
+	LeMs     float64 `json:"le_ms"`
+	Count    uint64  `json:"count"`
+	Overflow bool    `json:"overflow,omitempty"`
+}
+
+// JSON projects the snapshot for /v1/metrics. Empty buckets are
+// elided from the table to keep payloads small; quantiles always
+// reflect the full distribution.
+func (s Snapshot) JSON() SnapshotJSON {
+	out := SnapshotJSON{
+		Count:  s.Count,
+		MeanMs: ms(s.Mean()),
+		P50Ms:  ms(s.Quantile(0.50)),
+		P95Ms:  ms(s.Quantile(0.95)),
+		P99Ms:  ms(s.Quantile(0.99)),
+		MaxMs:  ms(s.Max),
+	}
+	for _, b := range s.Buckets {
+		if b.Count == 0 {
+			continue
+		}
+		out.Bucket = append(out.Bucket, BucketJSON{LeMs: ms(b.Le), Count: b.Count, Overflow: b.Overflow})
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

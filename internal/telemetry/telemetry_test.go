@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the bucket assignment contract: an
+// observation equal to a bound lands in that bound's bucket (le
+// semantics), one nanosecond above it lands in the next, and anything
+// above the last bound lands in the overflow bucket.
+func TestBucketBoundaries(t *testing.T) {
+	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
+	h := NewHistogram(bounds)
+
+	h.Observe(time.Millisecond)         // == bound 0 → bucket 0
+	h.Observe(time.Millisecond + 1)     // just above → bucket 1
+	h.Observe(10 * time.Millisecond)    // == bound 1 → bucket 1
+	h.Observe(100 * time.Millisecond)   // == bound 2 → bucket 2
+	h.Observe(100*time.Millisecond + 1) // just above last bound → overflow
+	h.Observe(time.Hour)                // far overflow
+	h.Observe(-time.Second)             // clamps to 0 → bucket 0
+	h.Observe(0)                        // 0 <= bound 0 → bucket 0
+	h.Observe(500 * time.Microsecond)   // inside bucket 0
+
+	s := h.Snapshot()
+	want := []uint64{4, 2, 1, 2}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("bucket count %d, want %d", len(s.Buckets), len(want))
+	}
+	for i, w := range want {
+		if s.Buckets[i].Count != w {
+			t.Errorf("bucket %d count %d, want %d", i, s.Buckets[i].Count, w)
+		}
+	}
+	if !s.Buckets[3].Overflow {
+		t.Error("last bucket not marked overflow")
+	}
+	if s.Count != 9 {
+		t.Errorf("count %d, want 9", s.Count)
+	}
+	if s.Max != time.Hour {
+		t.Errorf("max %v, want 1h", s.Max)
+	}
+}
+
+// TestNewHistogramValidation: histograms reject broken bucket layouts
+// at construction (they are build-time constants, not runtime input).
+func TestNewHistogramValidation(t *testing.T) {
+	for _, bounds := range [][]time.Duration{
+		{0, time.Second},               // non-positive
+		{-time.Second},                 // negative
+		{time.Second, time.Second},     // duplicate
+		{2 * time.Second, time.Second}, // descending
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+	if h := NewHistogram(nil); len(h.bounds) != len(DefaultLatencyBounds()) {
+		t.Error("nil bounds did not select the defaults")
+	}
+}
+
+// TestConcurrentExactness: N goroutines × M increments lose nothing —
+// the lock-free paths must be exact, not approximate.
+func TestConcurrentExactness(t *testing.T) {
+	const n, m = 16, 2000
+	h := NewHistogram([]time.Duration{time.Millisecond, time.Second})
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < m; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				// Spread observations across all three buckets.
+				switch i % 3 {
+				case 0:
+					h.Observe(time.Microsecond)
+				case 1:
+					h.Observe(10 * time.Millisecond)
+				default:
+					h.Observe(2 * time.Second)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Load(); got != n*m {
+		t.Errorf("counter %d, want %d", got, n*m)
+	}
+	if got := g.Load(); got != 0 {
+		t.Errorf("gauge %d, want 0", got)
+	}
+	s := h.Snapshot()
+	if s.Count != n*m {
+		t.Errorf("histogram count %d, want %d", s.Count, n*m)
+	}
+	var sum uint64
+	for _, b := range s.Buckets {
+		sum += b.Count
+	}
+	if sum != n*m {
+		t.Errorf("bucket sum %d, want %d", sum, n*m)
+	}
+	if s.Max != 2*time.Second {
+		t.Errorf("max %v, want 2s", s.Max)
+	}
+}
+
+// TestQuantiles: interpolated quantiles respect bucket structure and
+// the overflow bucket pins to the observed maximum.
+func TestQuantiles(t *testing.T) {
+	h := NewHistogram([]time.Duration{10 * time.Millisecond, 100 * time.Millisecond})
+	for i := 0; i < 90; i++ {
+		h.Observe(5 * time.Millisecond) // bucket 0
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50 * time.Millisecond) // bucket 1
+	}
+	h.Observe(3 * time.Second) // overflow
+
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 <= 0 || p50 > 10*time.Millisecond {
+		t.Errorf("p50 %v outside bucket 0 (0, 10ms]", p50)
+	}
+	if p95 := s.Quantile(0.95); p95 <= 10*time.Millisecond || p95 > 100*time.Millisecond {
+		t.Errorf("p95 %v outside bucket 1 (10ms, 100ms]", p95)
+	}
+	if p100 := s.Quantile(1); p100 != 3*time.Second {
+		t.Errorf("p100 %v, want the observed max 3s", p100)
+	}
+	if q := (Snapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty snapshot quantile %v, want 0", q)
+	}
+
+	j := s.JSON()
+	if j.Count != 100 || j.P50Ms <= 0 || j.P99Ms < j.P50Ms || j.MaxMs != 3000 {
+		t.Errorf("JSON projection inconsistent: %+v", j)
+	}
+	// Elided empty buckets: all three buckets are occupied here.
+	if len(j.Bucket) != 3 {
+		t.Errorf("JSON buckets %d, want 3", len(j.Bucket))
+	}
+}
+
+// TestObserveNoAlloc dynamically pins the static //chanmod:noalloc
+// contract on the record hot path.
+//
+//chanmod:allocgate telemetry.Histogram.Observe
+func TestObserveNoAlloc(t *testing.T) {
+	h := NewHistogram(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(3 * time.Millisecond)
+		h.Observe(2 * time.Second)
+	})
+	if allocs != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f times per run, want 0", allocs)
+	}
+}
